@@ -1,0 +1,55 @@
+// Table 4 — the four microservice chains and their available slack at the
+// 1000 ms SLO, plus the per-stage slack allocation and batch sizes that the
+// two slack-distribution policies produce (paper §4.1 / §3).
+
+#include <iostream>
+
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "core/slack.hpp"
+#include "workload/application.hpp"
+
+int main(int argc, char** argv) {
+  const fifer::Config cfg = fifer::Config::from_args(argc, argv);
+  const int cap = static_cast<int>(cfg.get_int("batch_cap", 64));
+
+  const auto services = fifer::MicroserviceRegistry::djinn_tonic();
+  const auto apps = fifer::ApplicationRegistry::paper_chains();
+
+  fifer::Table t4("Table 4 — microservice chains and their slack");
+  t4.set_columns({"application", "chain", "exec_ms", "busy_ms", "slack_ms"});
+  for (const auto& app : apps.all()) {
+    std::string chain;
+    for (std::size_t i = 0; i < app.stages.size(); ++i) {
+      if (i > 0) chain += " => ";
+      chain += app.stages[i];
+    }
+    t4.add_row({app.name, chain, fifer::fmt(app.total_exec_ms(services), 1),
+                fifer::fmt(app.total_busy_ms(services), 1),
+                fifer::fmt(app.total_slack_ms(services), 0)});
+  }
+  t4.print(std::cout);
+  std::cout << "\nPublished Table 4 slack: FaceSecurity 788, IMG 700, IPA 697,"
+               "\nDetect-Fatigue 572 (ms).\n\n";
+
+  for (const auto policy :
+       {fifer::SlackPolicy::kProportional, fifer::SlackPolicy::kEqualDivision}) {
+    fifer::Table alloc(std::string("Per-stage slack & batch size — ") +
+                       fifer::to_string(policy));
+    alloc.set_columns({"application", "stage", "stage_slack_ms", "B_size"});
+    for (const auto& app : apps.all()) {
+      const auto slack = fifer::allocate_slack(app, services, policy);
+      const auto batches = fifer::batch_sizes(app, services, policy, cap);
+      for (std::size_t i = 0; i < app.stages.size(); ++i) {
+        alloc.add_row({app.name, app.stages[i], fifer::fmt(slack[i], 1),
+                       std::to_string(batches[i])});
+      }
+    }
+    alloc.print(std::cout);
+    std::cout << "\n";
+  }
+  std::cout << "Paper check: proportional allocation yields near-uniform batch\n"
+               "sizes per chain; equal division inflates batches on short\n"
+               "stages (e.g. NLP) and starves long ones.\n";
+  return 0;
+}

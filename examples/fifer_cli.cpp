@@ -1,0 +1,173 @@
+// fifer_cli — the kitchen-sink runner: every experiment knob on the command
+// line, optional JSON/CSV report output, and optional trace file I/O. The
+// programmatic equivalent of the paper's evaluation harness.
+//
+// Usage examples:
+//   fifer_cli policy=fifer mix=heavy trace=wits duration_s=900
+//   fifer_cli policy=rscale trace=file trace_file=wits.txt report=out/run1
+//   fifer_cli policy=fifer trace=wiki save_trace=wiki.txt nodes=16
+//   fifer_cli policy=bline trace=poisson lambda=50 jitter=0.2 seed=7
+//
+// Keys (defaults in brackets):
+//   policy [fifer]        bline|sbatch|rscale|bpred|fifer|hpa
+//   mix [heavy]           heavy|medium|light
+//   trace [wits]          poisson|drift|wits|wiki|step|file
+//   trace_file            input path when trace=file
+//   save_trace            write the generated trace to this path
+//   duration_s [600]  lambda [20]  seed [1]  warmup_s [100]
+//   nodes [5]  cores [16]  idle_timeout_s [120]  jitter [0.15]
+//   slack [prop]          prop|ed        scheduler [lsf]  lsf|fifo
+//   placement [pack]      pack|spread    predictor []     override model
+//   batch_cap [64]  epochs [30]  retrain_s [0]  report []  verbose [false]
+
+#include <exception>
+#include <iostream>
+
+#include "common/config.hpp"
+#include "common/logging.hpp"
+#include "common/table.hpp"
+#include "core/framework.hpp"
+#include "core/report.hpp"
+#include "workload/analysis.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+fifer::RateTrace build_trace(const fifer::Config& cfg, double duration_s,
+                             double lambda, fifer::Rng& rng) {
+  const std::string kind = cfg.get_string("trace", "wits");
+  if (kind == "poisson") return fifer::poisson_trace(duration_s, lambda);
+  if (kind == "drift") {
+    return fifer::modulated_poisson_trace(duration_s, lambda,
+                                          cfg.get_double("drift", 0.5), rng);
+  }
+  if (kind == "wits") {
+    fifer::WitsParams p;
+    p.duration_s = duration_s;
+    p.base_rps = lambda * 0.9;
+    p.spike_peak_rps = lambda * 5.0;
+    p.walk_sigma = lambda * 0.07;
+    p.noise_sigma = lambda * 0.05;
+    return fifer::wits_trace(p, rng);
+  }
+  if (kind == "wiki") {
+    fifer::WikiParams p;
+    p.duration_s = duration_s;
+    p.average_rps = lambda;
+    p.day_period_s = std::max(120.0, duration_s / 3.0);
+    return fifer::wiki_trace(p, rng);
+  }
+  if (kind == "step") {
+    return fifer::step_trace(duration_s, lambda, cfg.get_double("step_to", lambda * 3),
+                             cfg.get_double("step_at_s", duration_s / 2));
+  }
+  if (kind == "file") {
+    return fifer::RateTrace::from_file(cfg.get_string("trace_file", "trace.txt"));
+  }
+  throw std::invalid_argument("unknown trace kind: " + kind);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const fifer::Config cfg = fifer::Config::from_args(argc, argv);
+
+  if (cfg.get_bool("verbose", false)) {
+    fifer::Logging::set_level(fifer::LogLevel::kInfo);
+  }
+
+  const double duration_s = cfg.get_double("duration_s", 600.0);
+  const double lambda = cfg.get_double("lambda", 20.0);
+  const auto seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
+
+  fifer::ExperimentParams p;
+  p.rm = fifer::RmConfig::by_name(cfg.get_string("policy", "fifer"));
+  p.mix = fifer::WorkloadMix::by_name(cfg.get_string("mix", "heavy"));
+  p.seed = seed;
+  p.warmup_ms = fifer::seconds(cfg.get_double("warmup_s", 100.0));
+  p.input_scale_jitter = cfg.get_double("jitter", 0.15);
+  p.train.epochs = static_cast<std::size_t>(cfg.get_int("epochs", 30));
+
+  // Cluster.
+  p.cluster.node_count = static_cast<std::uint32_t>(cfg.get_int("nodes", 5));
+  p.cluster.cores_per_node = cfg.get_double("cores", 16.0);
+
+  // Policy knob overrides.
+  p.rm.idle_timeout_ms = fifer::seconds(cfg.get_double("idle_timeout_s", 120.0));
+  p.rm.batch_cap = static_cast<int>(cfg.get_int("batch_cap", p.rm.batch_cap));
+  p.rm.retrain_interval_ms = fifer::seconds(cfg.get_double("retrain_s", 0.0));
+  if (cfg.has("slack")) {
+    p.rm.slack_policy = cfg.get_string("slack", "prop") == "ed"
+                            ? fifer::SlackPolicy::kEqualDivision
+                            : fifer::SlackPolicy::kProportional;
+  }
+  if (cfg.has("scheduler")) {
+    p.rm.scheduler = cfg.get_string("scheduler", "lsf") == "fifo"
+                         ? fifer::SchedulerPolicy::kFifo
+                         : fifer::SchedulerPolicy::kLeastSlackFirst;
+  }
+  if (cfg.has("placement")) {
+    p.rm.node_selection = cfg.get_string("placement", "pack") == "spread"
+                              ? fifer::NodeSelection::kSpread
+                              : fifer::NodeSelection::kBinPack;
+  }
+  if (cfg.has("predictor")) p.rm.predictor = cfg.get_string("predictor", "");
+
+  // Trace.
+  fifer::Rng trace_rng(seed ^ 0xC11);
+  p.trace = build_trace(cfg, duration_s, lambda, trace_rng);
+  p.trace_name = cfg.get_string("trace", "wits");
+  if (cfg.has("save_trace")) {
+    p.trace.to_file(cfg.get_string("save_trace", "trace.txt"));
+  }
+
+  const std::string report_prefix = cfg.get_string("report", "");
+
+  // Reject typos before burning cycles.
+  if (const auto unused = cfg.unused_keys(); !unused.empty()) {
+    std::cerr << "unknown option(s):";
+    for (const auto& k : unused) std::cerr << ' ' << k;
+    std::cerr << "\n";
+    return 2;
+  }
+
+  const auto trace_profile = fifer::profile_trace(p.trace);
+  std::cout << "trace: avg " << fifer::fmt(trace_profile.mean_rps, 1) << " req/s, peak "
+            << fifer::fmt(trace_profile.peak_rps, 1) << " (peak/median "
+            << fifer::fmt(trace_profile.peak_to_median, 1) << "x, dispersion "
+            << fifer::fmt(trace_profile.index_of_dispersion, 1) << ")\n";
+  std::cout << "running " << p.rm.name << " / " << p.mix.name() << " on "
+            << fifer::fmt(p.cluster.total_cores(), 0) << " cores for "
+            << fifer::fmt(duration_s, 0) << " s...\n\n";
+
+  const auto r = fifer::run_experiment(std::move(p));
+
+  fifer::Table t("results");
+  t.set_columns({"metric", "value"});
+  t.add_row({"jobs completed", std::to_string(r.jobs_completed)});
+  t.add_row({"SLO compliance %", fifer::fmt(100.0 - r.slo_violation_pct(), 2)});
+  t.add_row({"median latency ms", fifer::fmt(r.response_ms.median(), 1)});
+  t.add_row({"P95 latency ms", fifer::fmt(r.response_ms.p95(), 1)});
+  t.add_row({"P99 latency ms", fifer::fmt(r.response_ms.p99(), 1)});
+  t.add_row({"median queuing ms", fifer::fmt(r.queuing_ms.median(), 1)});
+  t.add_row({"P99 cold wait ms", fifer::fmt(r.cold_wait_ms.p99(), 1)});
+  t.add_row({"containers spawned", std::to_string(r.containers_spawned)});
+  t.add_row({"avg active containers", fifer::fmt(r.avg_active_containers, 1)});
+  t.add_row({"requests/container", fifer::fmt(r.mean_rpc(), 1)});
+  t.add_row({"energy kJ", fifer::fmt(r.energy_joules / 1000.0, 1)});
+  t.add_row({"avg power W", fifer::fmt(r.avg_power_watts(), 0)});
+  t.add_row({"bus transitions", std::to_string(r.bus_transitions)});
+  t.add_row({"predictor retrains", std::to_string(r.predictor_retrains)});
+  t.print(std::cout);
+
+  if (!report_prefix.empty()) {
+    const auto paths = fifer::write_report(r, report_prefix);
+    std::cout << "\nreport written:";
+    for (const auto& path : paths) std::cout << "\n  " << path;
+    std::cout << "\n";
+  }
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 1;
+}

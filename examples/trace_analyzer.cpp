@@ -1,0 +1,126 @@
+// Example: post-hoc analysis of a lifecycle trace log. Runs an experiment
+// with tracing enabled (or reads an existing log via log=path), then mines
+// the JSONL for per-application latency breakdowns, per-stage wait/exec
+// shares, and a container cold-start summary — the kind of analysis a real
+// deployment does from its request logs.
+//
+// Usage: trace_analyzer [log=<path>] [policy=fifer] [duration_s=240]
+//                       [lambda=15] [keep_log=false]
+
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <map>
+
+#include "common/config.hpp"
+#include "common/json.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/framework.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+struct AppAgg {
+  fifer::Percentiles response_ms;
+  std::uint64_t violations = 0;
+};
+
+struct StageAgg {
+  fifer::RunningStats wait_ms;
+  fifer::RunningStats exec_ms;
+  fifer::RunningStats cold_ms;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const fifer::Config cfg = fifer::Config::from_args(argc, argv);
+  std::string log_path = cfg.get_string("log", "");
+  const bool keep_log = cfg.get_bool("keep_log", false);
+  bool generated = false;
+
+  if (log_path.empty()) {
+    // No log supplied: produce one.
+    log_path = "fifer_trace.jsonl";
+    generated = true;
+    fifer::ExperimentParams p;
+    p.rm = fifer::RmConfig::by_name(cfg.get_string("policy", "fifer"));
+    p.mix = fifer::WorkloadMix::heavy();
+    p.trace = fifer::poisson_trace(cfg.get_double("duration_s", 240.0),
+                                   cfg.get_double("lambda", 15.0));
+    p.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
+    p.train.epochs = 8;
+    p.trace_log_path = log_path;
+    const auto r = fifer::run_experiment(std::move(p));
+    std::cout << "ran " << r.policy << ": " << r.jobs_completed
+              << " jobs logged to " << log_path << "\n\n";
+  }
+
+  // ---- mine the log ----
+  std::ifstream in(log_path);
+  if (!in) throw std::runtime_error("cannot open log: " + log_path);
+
+  std::map<std::string, AppAgg> apps;
+  std::map<std::string, StageAgg> stages;
+  fifer::RunningStats cold_starts_ms;
+  std::string line;
+  std::uint64_t jobs = 0, containers = 0;
+  while (std::getline(in, line)) {
+    const fifer::Json rec = fifer::Json::parse(line);
+    const std::string& type = rec.at("type").as_string();
+    if (type == "container") {
+      ++containers;
+      cold_starts_ms.add(rec.at("cold_start_ms").as_number());
+      continue;
+    }
+    ++jobs;
+    AppAgg& app = apps[rec.at("app").as_string()];
+    app.response_ms.add(rec.at("response_ms").as_number());
+    app.violations += rec.at("violated_slo").as_bool() ? 1 : 0;
+    const fifer::Json& stage_list = rec.at("stages");
+    for (std::size_t i = 0; i < stage_list.size(); ++i) {
+      const fifer::Json& s = stage_list.at(i);
+      StageAgg& agg = stages[s.at("stage").as_string()];
+      const double wait =
+          s.at("exec_start_ms").as_number() - s.at("enqueued_ms").as_number();
+      agg.wait_ms.add(wait);
+      agg.exec_ms.add(s.at("exec_end_ms").as_number() -
+                      s.at("exec_start_ms").as_number());
+      agg.cold_ms.add(s.at("cold_wait_ms").as_number());
+    }
+  }
+
+  fifer::Table per_app("per-application latency (from the trace log)");
+  per_app.set_columns({"app", "jobs", "median_ms", "p99_ms", "violations"});
+  for (auto& [name, agg] : apps) {
+    per_app.add_row({name, std::to_string(agg.response_ms.count()),
+                     fifer::fmt(agg.response_ms.median(), 0),
+                     fifer::fmt(agg.response_ms.p99(), 0),
+                     std::to_string(agg.violations)});
+  }
+  per_app.print(std::cout);
+
+  std::cout << "\n";
+  fifer::Table per_stage("per-stage breakdown");
+  per_stage.set_columns(
+      {"stage", "tasks", "mean_wait_ms", "mean_exec_ms", "mean_cold_ms"});
+  for (auto& [name, agg] : stages) {
+    per_stage.add_row({name, std::to_string(agg.wait_ms.count()),
+                       fifer::fmt(agg.wait_ms.mean(), 1),
+                       fifer::fmt(agg.exec_ms.mean(), 1),
+                       fifer::fmt(agg.cold_ms.mean(), 1)});
+  }
+  per_stage.print(std::cout);
+
+  std::cout << "\ncontainers spawned: " << containers << " (mean cold start "
+            << fifer::fmt(cold_starts_ms.mean(), 0) << " ms); jobs analyzed: "
+            << jobs << "\n";
+
+  if (generated && !keep_log) std::remove(log_path.c_str());
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 1;
+}

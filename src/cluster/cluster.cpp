@@ -1,0 +1,105 @@
+#include "cluster/cluster.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace fifer {
+
+const char* to_string(NodeSelection s) {
+  switch (s) {
+    case NodeSelection::kBinPack: return "bin-pack";
+    case NodeSelection::kSpread: return "spread";
+  }
+  return "?";
+}
+
+Cluster::Cluster(const ClusterSpec& spec) : spec_(spec) {
+  if (spec.node_count == 0) {
+    throw std::invalid_argument("Cluster: need at least one node");
+  }
+  nodes_.reserve(spec.node_count);
+  for (std::uint32_t i = 0; i < spec.node_count; ++i) {
+    nodes_.emplace_back(static_cast<NodeId>(i), spec.cores_per_node,
+                        spec.memory_per_node_mb);
+  }
+}
+
+const Node& Cluster::node(NodeId id) const {
+  return nodes_.at(value_of(id));
+}
+
+std::optional<NodeId> Cluster::allocate(double cpu, double memory_mb,
+                                        NodeSelection policy, SimTime now) {
+  advance_energy(now);
+  const Node* best = nullptr;
+  for (const Node& n : nodes_) {
+    if (!n.fits(cpu, memory_mb)) continue;
+    if (best == nullptr) {
+      best = &n;
+      continue;
+    }
+    if (policy == NodeSelection::kBinPack) {
+      // Least free cores wins; ties resolve to the lowest-numbered node,
+      // which the iteration order already guarantees.
+      if (n.free_cores() < best->free_cores()) best = &n;
+    } else {
+      if (n.free_cores() > best->free_cores()) best = &n;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  const NodeId id = best->id();
+  nodes_[value_of(id)].allocate(cpu, memory_mb, now);
+  return id;
+}
+
+void Cluster::release(NodeId id, double cpu, double memory_mb, SimTime now) {
+  advance_energy(now);
+  nodes_.at(value_of(id)).release(cpu, memory_mb, now);
+}
+
+std::uint32_t Cluster::power_down_idle_nodes(SimTime now) {
+  advance_energy(now);
+  std::uint32_t count = 0;
+  for (Node& n : nodes_) {
+    if (n.eligible_for_power_down(spec_.power, now)) {
+      n.power_down(now);
+      ++count;
+    }
+  }
+  return count;
+}
+
+double Cluster::allocated_cores() const {
+  double total = 0.0;
+  for (const Node& n : nodes_) total += n.allocated_cores();
+  return total;
+}
+
+std::uint32_t Cluster::powered_on_nodes() const {
+  std::uint32_t count = 0;
+  for (const Node& n : nodes_) count += n.powered_on() ? 1 : 0;
+  return count;
+}
+
+std::uint32_t Cluster::total_containers() const {
+  std::uint32_t count = 0;
+  for (const Node& n : nodes_) count += n.container_count();
+  return count;
+}
+
+double Cluster::power_watts() const {
+  double total = 0.0;
+  for (const Node& n : nodes_) total += n.power_watts(spec_.power);
+  return total;
+}
+
+void Cluster::advance_energy(SimTime now) {
+  if (now < energy_watermark_) {
+    throw std::logic_error("Cluster::advance_energy: time moved backwards");
+  }
+  const double elapsed_s = to_seconds(now - energy_watermark_);
+  energy_joules_ += power_watts() * elapsed_s;
+  energy_watermark_ = now;
+}
+
+}  // namespace fifer

@@ -1,0 +1,29 @@
+#include "cluster/coldstart.hpp"
+
+#include <algorithm>
+
+namespace fifer {
+
+SimDuration ColdStartModel::mean_cold_start_ms(const MicroserviceSpec& spec) const {
+  const double pull_ms = spec.image_mb / pull_mbps * 1000.0;
+  const double fetch_ms = spec.model_artifact_mb / storage_mbps * 1000.0;
+  return runtime_init_ms + pull_ms + fetch_ms;
+}
+
+SimDuration ColdStartModel::sample_cold_start_ms(const MicroserviceSpec& spec,
+                                                 Rng& rng) const {
+  const double init =
+      rng.truncated_normal(runtime_init_ms, runtime_init_jitter_ms, 200.0);
+  const double pull_ms = spec.image_mb / pull_mbps * 1000.0;
+  const double fetch_ms = spec.model_artifact_mb / storage_mbps * 1000.0;
+  const double transfer =
+      (pull_ms + fetch_ms) *
+      std::max(0.2, rng.normal(1.0, bandwidth_jitter));
+  return init + transfer;
+}
+
+SimDuration ColdStartModel::mean_model_fetch_ms(const MicroserviceSpec& spec) const {
+  return spec.model_artifact_mb / storage_mbps * 1000.0;
+}
+
+}  // namespace fifer

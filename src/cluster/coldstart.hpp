@@ -1,0 +1,43 @@
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "workload/microservice.hpp"
+
+namespace fifer {
+
+/// Container cold-start (provisioning) latency model.
+///
+/// The paper characterizes cold starts on AWS Lambda (Figure 2) as dominated
+/// by application/runtime initialization plus artifact fetching, adding
+/// ~2000-7500 ms on top of execution, and reports container spawn times of
+/// 2-9 s on their Kubernetes cluster depending on image size (§6.1.5).
+///
+/// We decompose a cold start into:
+///   runtime_init   - language runtime + framework bring-up (jittered)
+///   image_pull     - container image transfer (image_mb / pull bandwidth);
+///                    the paper's pods set imagePullPolicy so images are
+///                    pulled from the registry for every new container
+///   model_fetch    - pre-trained model download from the ephemeral store
+///                    (model_artifact_mb / storage bandwidth)
+struct ColdStartModel {
+  double runtime_init_ms = 1200.0;
+  double runtime_init_jitter_ms = 250.0;  ///< Std-dev of init time.
+  double pull_mbps = 250.0;     ///< Registry pull bandwidth, MB/s.
+  double storage_mbps = 150.0;  ///< Ephemeral store bandwidth, MB/s.
+  double bandwidth_jitter = 0.10;  ///< Relative jitter on transfer times.
+
+  /// Mean cold-start latency for a service (no jitter) - what the reactive
+  /// scaler's delay-factor test compares against (Algorithm 1b's C_d).
+  SimDuration mean_cold_start_ms(const MicroserviceSpec& spec) const;
+
+  /// Draws one cold-start latency sample.
+  SimDuration sample_cold_start_ms(const MicroserviceSpec& spec, Rng& rng) const;
+
+  /// Mean time to fetch only the model artifact - incurred per *invocation*
+  /// on warm containers in the single-function AWS characterization
+  /// (Figure 2b attributes warm exec-time variability to S3 model fetch).
+  SimDuration mean_model_fetch_ms(const MicroserviceSpec& spec) const;
+};
+
+}  // namespace fifer

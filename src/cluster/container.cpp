@@ -1,0 +1,96 @@
+#include "cluster/container.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fifer {
+
+const char* to_string(ContainerState s) {
+  switch (s) {
+    case ContainerState::kProvisioning: return "provisioning";
+    case ContainerState::kIdle: return "idle";
+    case ContainerState::kBusy: return "busy";
+    case ContainerState::kTerminated: return "terminated";
+  }
+  return "?";
+}
+
+Container::Container(ContainerId id, std::string service, NodeId node, int batch_size,
+                     SimTime spawned_at, SimDuration cold_start_ms)
+    : id_(id),
+      service_(std::move(service)),
+      node_(node),
+      batch_size_(std::max(1, batch_size)),
+      spawned_at_(spawned_at),
+      ready_at_(spawned_at + std::max(0.0, cold_start_ms)),
+      last_used_at_(spawned_at + std::max(0.0, cold_start_ms)) {}
+
+void Container::set_batch_size(int b) { batch_size_ = std::max(1, b); }
+
+void Container::mark_warm(SimTime now) {
+  if (state_ != ContainerState::kProvisioning) {
+    throw std::logic_error("Container::mark_warm: not provisioning");
+  }
+  state_ = ContainerState::kIdle;
+  last_used_at_ = now;
+}
+
+int Container::free_slots() const {
+  if (terminated()) return 0;
+  const int used = static_cast<int>(local_queue_.size()) + (executing_ ? 1 : 0);
+  return std::max(0, batch_size_ - used);
+}
+
+void Container::enqueue(TaskRef task) {
+  if (terminated()) {
+    throw std::logic_error("Container::enqueue: container terminated");
+  }
+  if (free_slots() <= 0) {
+    throw std::logic_error("Container::enqueue: no free slots");
+  }
+  local_queue_.push_back(task);
+}
+
+TaskRef Container::pop() {
+  if (local_queue_.empty()) {
+    throw std::logic_error("Container::pop: local queue empty");
+  }
+  TaskRef t = local_queue_.front();
+  local_queue_.pop_front();
+  return t;
+}
+
+void Container::begin_execution(SimTime now) {
+  if (state_ != ContainerState::kIdle) {
+    throw std::logic_error("Container::begin_execution: container not idle");
+  }
+  state_ = ContainerState::kBusy;
+  executing_ = true;
+  exec_started_at_ = now;
+}
+
+void Container::end_execution(SimTime now) {
+  if (state_ != ContainerState::kBusy) {
+    throw std::logic_error("Container::end_execution: container not busy");
+  }
+  state_ = ContainerState::kIdle;
+  executing_ = false;
+  busy_ms_ += now - exec_started_at_;
+  last_used_at_ = now;
+  ++jobs_executed_;
+}
+
+bool Container::idle_expired(SimTime now, SimDuration idle_timeout) const {
+  return state_ == ContainerState::kIdle && local_queue_.empty() &&
+         now - last_used_at_ >= idle_timeout;
+}
+
+void Container::terminate(SimTime now) {
+  if (state_ == ContainerState::kBusy) {
+    throw std::logic_error("Container::terminate: container busy");
+  }
+  state_ = ContainerState::kTerminated;
+  last_used_at_ = now;
+}
+
+}  // namespace fifer

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "common/types.hpp"
+#include "workload/request.hpp"
+
+namespace fifer {
+
+/// Lifecycle states of a container.
+enum class ContainerState {
+  kProvisioning,  ///< Spawned; cold start in progress.
+  kIdle,          ///< Warm, no task executing.
+  kBusy,          ///< Warm, executing a task.
+  kTerminated,    ///< Reaped (idle timeout or shutdown).
+};
+
+const char* to_string(ContainerState s);
+
+/// One warm-able container hosting a single microservice (function).
+///
+/// A container owns a local queue whose capacity is its batch size
+/// (`B_size`, the paper §3): the number of requests that may be queued at /
+/// executed by this container back-to-back without violating the stage's
+/// slack. The scheduling and scaling *decisions* live in `core/`; this class
+/// only tracks occupancy and lifecycle.
+class Container {
+ public:
+  Container(ContainerId id, std::string service, NodeId node, int batch_size,
+            SimTime spawned_at, SimDuration cold_start_ms);
+
+  ContainerId id() const { return id_; }
+  const std::string& service() const { return service_; }
+  NodeId node() const { return node_; }
+
+  int batch_size() const { return batch_size_; }
+  /// Allows the load balancer to retune B_size when slack policy changes.
+  void set_batch_size(int b);
+
+  ContainerState state() const { return state_; }
+  bool warm() const {
+    return state_ == ContainerState::kIdle || state_ == ContainerState::kBusy;
+  }
+  bool terminated() const { return state_ == ContainerState::kTerminated; }
+
+  SimTime spawned_at() const { return spawned_at_; }
+  /// When the cold start finishes and the container can execute.
+  SimTime ready_at() const { return ready_at_; }
+  SimDuration cold_start_ms() const { return ready_at_ - spawned_at_; }
+
+  /// Marks the cold start finished (driver calls this at ready_at()).
+  void mark_warm(SimTime now);
+
+  /// Slots still available in the local queue. A busy container's in-flight
+  /// task occupies one slot, matching the paper's definition of free slots
+  /// as batch size minus queued work.
+  int free_slots() const;
+
+  /// Number of tasks waiting in the local queue (excluding in-flight).
+  std::size_t queued() const { return local_queue_.size(); }
+
+  /// Enqueues a task (precondition: free_slots() > 0).
+  void enqueue(TaskRef task);
+
+  /// Pops the next local task (FIFO within a container; cross-container
+  /// ordering is the scheduler's job). Precondition: queued() > 0.
+  TaskRef pop();
+
+  bool executing() const { return executing_; }
+  void begin_execution(SimTime now);
+  void end_execution(SimTime now);
+
+  SimTime last_used_at() const { return last_used_at_; }
+  std::uint64_t jobs_executed() const { return jobs_executed_; }
+
+  /// Whether the container has been idle (warm, empty) since before
+  /// `now - idle_timeout`.
+  bool idle_expired(SimTime now, SimDuration idle_timeout) const;
+
+  void terminate(SimTime now);
+
+  /// Busy time accumulated; used for utilization metrics.
+  SimDuration busy_ms() const { return busy_ms_; }
+
+ private:
+  ContainerId id_;
+  std::string service_;
+  NodeId node_;
+  int batch_size_;
+  SimTime spawned_at_;
+  SimTime ready_at_;
+  SimTime last_used_at_;
+  ContainerState state_ = ContainerState::kProvisioning;
+  bool executing_ = false;
+  std::deque<TaskRef> local_queue_;
+  std::uint64_t jobs_executed_ = 0;
+  SimDuration busy_ms_ = 0.0;
+  SimTime exec_started_at_ = 0.0;
+};
+
+}  // namespace fifer

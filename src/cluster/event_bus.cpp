@@ -1,0 +1,31 @@
+#include "cluster/event_bus.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fifer {
+
+double EventBus::congestion_factor() const {
+  if (model_.capacity == 0) return 1.0;
+  const double load =
+      static_cast<double>(inflight_) / static_cast<double>(model_.capacity);
+  return 1.0 + model_.congestion_alpha * std::max(0.0, load - 1.0);
+}
+
+SimDuration EventBus::begin_transition(SimDuration mean_ms, Rng& rng) {
+  ++inflight_;
+  ++total_;
+  const double factor = congestion_factor();
+  peak_congestion_ = std::max(peak_congestion_, factor);
+  const double jitter = std::max(0.2, rng.normal(1.0, model_.jitter));
+  return std::max(0.0, mean_ms) * jitter * factor;
+}
+
+void EventBus::end_transition() {
+  if (inflight_ == 0) {
+    throw std::logic_error("EventBus::end_transition: nothing in flight");
+  }
+  --inflight_;
+}
+
+}  // namespace fifer

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace fifer {
+
+/// Model of the centralized event bus + ephemeral data store that carries
+/// function-chain transitions (paper Figure 1; §8 flags the centralized
+/// components as the scalability bottleneck).
+///
+/// Each transition's latency is the chain's calibrated mean overhead times a
+/// lognormal-ish jitter, inflated by a congestion factor once the number of
+/// in-flight transitions exceeds the bus's nominal capacity:
+///
+///   latency = mean * jitter * (1 + alpha * max(0, inflight/capacity - 1))
+struct EventBusModel {
+  /// Relative jitter (sigma of the multiplicative noise).
+  double jitter = 0.10;
+  /// In-flight transitions the bus sustains without queuing delay. The
+  /// default comfortably covers the 80-core prototype; scale it with the
+  /// cluster for large simulations.
+  std::uint32_t capacity = 4096;
+  /// How steeply latency grows past capacity (1.0 = latency doubles at 2x).
+  double congestion_alpha = 1.0;
+};
+
+/// Tracks in-flight transitions and samples per-message delivery latency.
+/// The experiment driver calls begin_transition() when a stage hands off to
+/// the next and end_transition() when the message is delivered.
+class EventBus {
+ public:
+  explicit EventBus(const EventBusModel& model = {}) : model_(model) {}
+
+  const EventBusModel& model() const { return model_; }
+
+  /// Samples the delivery latency for a transition whose calibrated mean is
+  /// `mean_ms`, and accounts it as in flight.
+  SimDuration begin_transition(SimDuration mean_ms, Rng& rng);
+
+  /// Marks one transition delivered.
+  void end_transition();
+
+  std::uint32_t inflight() const { return inflight_; }
+  std::uint64_t total_transitions() const { return total_; }
+  /// Highest congestion factor observed (1.0 = never congested).
+  double peak_congestion() const { return peak_congestion_; }
+
+ private:
+  double congestion_factor() const;
+
+  EventBusModel model_;
+  std::uint32_t inflight_ = 0;
+  std::uint64_t total_ = 0;
+  double peak_congestion_ = 1.0;
+};
+
+}  // namespace fifer

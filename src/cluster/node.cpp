@@ -1,0 +1,52 @@
+#include "cluster/node.hpp"
+
+#include <stdexcept>
+
+namespace fifer {
+
+Node::Node(NodeId id, double cores, double memory_mb)
+    : id_(id), cores_(cores), memory_mb_(memory_mb) {
+  if (cores <= 0.0 || memory_mb <= 0.0) {
+    throw std::invalid_argument("Node: cores and memory must be positive");
+  }
+}
+
+bool Node::allocate(double cpu, double memory_mb, SimTime now) {
+  if (!fits(cpu, memory_mb)) return false;
+  allocated_cores_ += cpu;
+  allocated_memory_mb_ += memory_mb;
+  ++containers_;
+  powered_on_ = true;  // Placing work on an off node wakes it.
+  empty_since_ = kNeverTime;
+  (void)now;
+  return true;
+}
+
+void Node::release(double cpu, double memory_mb, SimTime now) {
+  if (containers_ == 0) {
+    throw std::logic_error("Node::release: no containers allocated");
+  }
+  allocated_cores_ -= cpu;
+  allocated_memory_mb_ -= memory_mb;
+  --containers_;
+  if (allocated_cores_ < 1e-9) allocated_cores_ = 0.0;
+  if (allocated_memory_mb_ < 1e-9) allocated_memory_mb_ = 0.0;
+  if (containers_ == 0) empty_since_ = now;
+}
+
+bool Node::eligible_for_power_down(const NodePowerModel& model, SimTime now) const {
+  return powered_on_ && containers_ == 0 && empty_since_ != kNeverTime &&
+         now - empty_since_ >= model.power_down_after_ms;
+}
+
+void Node::power_down(SimTime now) {
+  powered_on_ = false;
+  (void)now;
+}
+
+double Node::power_watts(const NodePowerModel& model) const {
+  if (!powered_on_) return model.off_watts;
+  return model.base_watts + model.per_core_active_watts * allocated_cores_;
+}
+
+}  // namespace fifer

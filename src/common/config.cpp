@@ -1,0 +1,95 @@
+#include "common/config.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+namespace fifer {
+
+namespace {
+
+std::string to_lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+}  // namespace
+
+Config Config::from_args(int argc, const char* const* argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument("expected key=value argument, got: " + arg);
+    }
+    cfg.set(arg.substr(0, eq), arg.substr(eq + 1));
+  }
+  return cfg;
+}
+
+Config Config::from_string(const std::string& text) {
+  std::istringstream in(text);
+  std::vector<std::string> tokens;
+  std::string tok;
+  while (in >> tok) tokens.push_back(tok);
+  std::vector<const char*> argv{"config"};
+  for (const auto& t : tokens) argv.push_back(t.c_str());
+  return from_args(static_cast<int>(argv.size()), argv.data());
+}
+
+void Config::set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+
+bool Config::has(const std::string& key) const { return values_.count(key) > 0; }
+
+std::optional<std::string> Config::lookup(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  read_[key] = true;
+  return it->second;
+}
+
+std::string Config::get_string(const std::string& key, const std::string& fallback) const {
+  return lookup(key).value_or(fallback);
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  const auto v = lookup(key);
+  if (!v) return fallback;
+  std::size_t pos = 0;
+  const double parsed = std::stod(*v, &pos);
+  if (pos != v->size()) throw std::invalid_argument("bad double for " + key + ": " + *v);
+  return parsed;
+}
+
+std::int64_t Config::get_int(const std::string& key, std::int64_t fallback) const {
+  const auto v = lookup(key);
+  if (!v) return fallback;
+  std::size_t pos = 0;
+  const std::int64_t parsed = std::stoll(*v, &pos);
+  if (pos != v->size()) throw std::invalid_argument("bad int for " + key + ": " + *v);
+  return parsed;
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  const auto v = lookup(key);
+  if (!v) return fallback;
+  const std::string s = to_lower(*v);
+  if (s == "1" || s == "true" || s == "yes" || s == "on") return true;
+  if (s == "0" || s == "false" || s == "no" || s == "off") return false;
+  throw std::invalid_argument("bad bool for " + key + ": " + *v);
+}
+
+std::vector<std::string> Config::unused_keys() const {
+  std::vector<std::string> out;
+  for (const auto& [key, _] : values_) {
+    if (!read_.count(key)) out.push_back(key);
+  }
+  return out;
+}
+
+}  // namespace fifer

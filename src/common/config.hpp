@@ -1,0 +1,47 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fifer {
+
+/// Tiny `key=value` configuration map used by the benchmark harnesses and
+/// examples to override experiment parameters from the command line, e.g.
+///
+///   ./bench_fig8_prototype seed=7 duration_s=300 workload=heavy
+///
+/// Unknown keys are detected via `unused_keys()` so a typo'd parameter fails
+/// loudly instead of silently running the default experiment.
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses `argv[1..]`; each argument must look like `key=value`.
+  /// Throws std::invalid_argument on malformed arguments.
+  static Config from_args(int argc, const char* const* argv);
+
+  /// Parses a whitespace-separated `key=value` list (testing convenience).
+  static Config from_string(const std::string& text);
+
+  void set(const std::string& key, const std::string& value);
+
+  bool has(const std::string& key) const;
+
+  std::string get_string(const std::string& key, const std::string& fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Keys that were set but never read; used to reject typos.
+  std::vector<std::string> unused_keys() const;
+
+ private:
+  std::optional<std::string> lookup(const std::string& key) const;
+
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> read_;
+};
+
+}  // namespace fifer

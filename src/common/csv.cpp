@@ -1,0 +1,49 @@
+#include "common/csv.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace fifer {
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
+    : out_(path), columns_(header.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  write_row(header);
+  rows_ = 0;  // header does not count as a data row
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  if (columns_ != 0 && cells.size() != columns_) {
+    throw std::invalid_argument("CsvWriter: column count mismatch");
+  }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << csv_escape(cells[i]);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+void CsvWriter::write_row(const std::vector<double>& cells) {
+  std::vector<std::string> text;
+  text.reserve(cells.size());
+  for (const double c : cells) {
+    std::ostringstream os;
+    os << c;
+    text.push_back(os.str());
+  }
+  write_row(text);
+}
+
+}  // namespace fifer

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace fifer {
+
+/// Minimal CSV writer. The benches optionally dump raw series (CDFs,
+/// timelines) next to the printed tables so figures can be replotted.
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path` and writes the header row.
+  /// Throws std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  void write_row(const std::vector<std::string>& cells);
+  void write_row(const std::vector<double>& cells);
+
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  std::ofstream out_;
+  std::size_t columns_;
+  std::size_t rows_ = 0;
+};
+
+/// Escapes a cell per RFC 4180 (quotes fields containing `,`, `"`, or
+/// newlines).
+std::string csv_escape(const std::string& cell);
+
+}  // namespace fifer

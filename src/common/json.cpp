@@ -1,0 +1,371 @@
+#include "common/json.hpp"
+
+#include <cmath>
+#include <cctype>
+#include <cstdio>
+#include <stdexcept>
+
+namespace fifer {
+
+Json Json::object() {
+  Json j;
+  j.value_ = std::make_shared<Object>();
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.value_ = std::make_shared<Array>();
+  return j;
+}
+
+bool Json::is_object() const {
+  return std::holds_alternative<std::shared_ptr<Object>>(value_);
+}
+
+bool Json::is_array() const {
+  return std::holds_alternative<std::shared_ptr<Array>>(value_);
+}
+
+Json& Json::operator[](const std::string& key) {
+  if (!is_object()) throw std::logic_error("Json::operator[]: not an object");
+  return std::get<std::shared_ptr<Object>>(value_)->members[key];
+}
+
+Json& Json::push_back(Json v) {
+  if (!is_array()) throw std::logic_error("Json::push_back: not an array");
+  auto& items = std::get<std::shared_ptr<Array>>(value_)->items;
+  items.push_back(std::move(v));
+  return items.back();
+}
+
+std::size_t Json::size() const {
+  if (is_object()) return std::get<std::shared_ptr<Object>>(value_)->members.size();
+  if (is_array()) return std::get<std::shared_ptr<Array>>(value_)->items.size();
+  return 0;
+}
+
+bool Json::is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+bool Json::is_number() const { return std::holds_alternative<double>(value_); }
+bool Json::is_string() const { return std::holds_alternative<std::string>(value_); }
+bool Json::is_bool() const { return std::holds_alternative<bool>(value_); }
+
+double Json::as_number() const {
+  if (!is_number()) throw std::logic_error("Json::as_number: not a number");
+  return std::get<double>(value_);
+}
+
+const std::string& Json::as_string() const {
+  if (!is_string()) throw std::logic_error("Json::as_string: not a string");
+  return std::get<std::string>(value_);
+}
+
+bool Json::as_bool() const {
+  if (!is_bool()) throw std::logic_error("Json::as_bool: not a bool");
+  return std::get<bool>(value_);
+}
+
+const Json& Json::at(const std::string& key) const {
+  if (!is_object()) throw std::logic_error("Json::at(key): not an object");
+  const auto& members = std::get<std::shared_ptr<Object>>(value_)->members;
+  const auto it = members.find(key);
+  if (it == members.end()) throw std::out_of_range("Json: missing key " + key);
+  return it->second;
+}
+
+bool Json::contains(const std::string& key) const {
+  if (!is_object()) return false;
+  return std::get<std::shared_ptr<Object>>(value_)->members.count(key) > 0;
+}
+
+const Json& Json::at(std::size_t index) const {
+  if (!is_array()) throw std::logic_error("Json::at(index): not an array");
+  const auto& items = std::get<std::shared_ptr<Array>>(value_)->items;
+  if (index >= items.size()) throw std::out_of_range("Json: index out of range");
+  return items[index];
+}
+
+namespace {
+
+/// Strict recursive-descent parser over a string view of the input.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Json parse_document() {
+    Json v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("Json::parse: " + what + " at offset " +
+                             std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t n = std::string(lit).size();
+    if (text_.compare(pos_, n, lit) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return Json(parse_string());
+    if (c == 't') {
+      if (!consume_literal("true")) fail("bad literal");
+      return Json(true);
+    }
+    if (c == 'f') {
+      if (!consume_literal("false")) fail("bad literal");
+      return Json(false);
+    }
+    if (c == 'n') {
+      if (!consume_literal("null")) fail("bad literal");
+      return Json();
+    }
+    return parse_number();
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json obj = Json::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      const std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj[key] = parse_value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return obj;
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json arr = Json::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return arr;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("dangling escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+          const unsigned code =
+              static_cast<unsigned>(std::stoul(text_.substr(pos_, 4), nullptr, 16));
+          pos_ += 4;
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else {
+            // Basic multilingual plane only; encode as UTF-8.
+            if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            }
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    try {
+      std::size_t used = 0;
+      const double v = std::stod(text_.substr(start, pos_ - start), &used);
+      if (used != pos_ - start) fail("malformed number");
+      return Json(v);
+    } catch (const std::exception&) {
+      fail("malformed number");
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(const std::string& text) { return Parser(text).parse_document(); }
+
+std::string Json::escape(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+namespace {
+
+std::string format_number(double d) {
+  if (!std::isfinite(d)) return "null";  // JSON has no Inf/NaN
+  if (d == std::floor(d) && std::abs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", d);
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.10g", d);
+  return buf;
+}
+
+void add_newline_indent(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent * depth), ' ');
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  if (std::holds_alternative<std::nullptr_t>(value_)) {
+    out += "null";
+  } else if (const auto* b = std::get_if<bool>(&value_)) {
+    out += *b ? "true" : "false";
+  } else if (const auto* d = std::get_if<double>(&value_)) {
+    out += format_number(*d);
+  } else if (const auto* s = std::get_if<std::string>(&value_)) {
+    out += escape(*s);
+  } else if (is_object()) {
+    const auto& members = std::get<std::shared_ptr<Object>>(value_)->members;
+    if (members.empty()) {
+      out += "{}";
+      return;
+    }
+    out += '{';
+    bool first = true;
+    for (const auto& [key, value] : members) {
+      if (!first) out += ',';
+      first = false;
+      add_newline_indent(out, indent, depth + 1);
+      out += escape(key);
+      out += indent > 0 ? ": " : ":";
+      value.dump_to(out, indent, depth + 1);
+    }
+    add_newline_indent(out, indent, depth);
+    out += '}';
+  } else {
+    const auto& items = std::get<std::shared_ptr<Array>>(value_)->items;
+    if (items.empty()) {
+      out += "[]";
+      return;
+    }
+    out += '[';
+    bool first = true;
+    for (const auto& item : items) {
+      if (!first) out += ',';
+      first = false;
+      add_newline_indent(out, indent, depth + 1);
+      item.dump_to(out, indent, depth + 1);
+    }
+    add_newline_indent(out, indent, depth);
+    out += ']';
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+}  // namespace fifer

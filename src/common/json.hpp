@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace fifer {
+
+/// Minimal JSON document: build-and-dump for exporting experiment results
+/// (stable key ordering so output diffs cleanly) plus a strict parser for
+/// reading them back (e.g. the lifecycle trace logs).
+class Json {
+ public:
+  Json() : value_(nullptr) {}  // null
+  Json(bool b) : value_(b) {}
+  Json(double d) : value_(d) {}
+  Json(int i) : value_(static_cast<double>(i)) {}
+  Json(std::int64_t i) : value_(static_cast<double>(i)) {}
+  Json(std::uint64_t i) : value_(static_cast<double>(i)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+
+  /// Builds an empty object / array.
+  static Json object();
+  static Json array();
+
+  /// Parses a complete JSON document (RFC 8259 subset: no surrogate-pair
+  /// \u escapes). Throws std::runtime_error with position info on syntax
+  /// errors or trailing garbage.
+  static Json parse(const std::string& text);
+
+  bool is_object() const;
+  bool is_array() const;
+
+  /// Object member access (creates the member; *this must be an object).
+  Json& operator[](const std::string& key);
+
+  /// Appends to an array (*this must be an array).
+  Json& push_back(Json v);
+
+  /// Number of members (object) or items (array); 0 for scalars.
+  std::size_t size() const;
+
+  // --- read accessors (for parsed documents) ---
+  bool is_null() const;
+  bool is_number() const;
+  bool is_string() const;
+  bool is_bool() const;
+
+  /// Value accessors; throw std::logic_error on type mismatch.
+  double as_number() const;
+  const std::string& as_string() const;
+  bool as_bool() const;
+
+  /// Object member lookup without insertion; throws std::out_of_range when
+  /// absent, std::logic_error when not an object.
+  const Json& at(const std::string& key) const;
+  bool contains(const std::string& key) const;
+
+  /// Array element access; throws std::out_of_range / std::logic_error.
+  const Json& at(std::size_t index) const;
+
+  /// Serializes; `indent` > 0 pretty-prints with that many spaces.
+  std::string dump(int indent = 0) const;
+
+  /// Escapes a string per RFC 8259 (adds the surrounding quotes).
+  static std::string escape(const std::string& s);
+
+ private:
+  struct Object {
+    std::map<std::string, Json> members;
+  };
+  struct Array {
+    std::vector<Json> items;
+  };
+  using Value = std::variant<std::nullptr_t, bool, double, std::string,
+                             std::shared_ptr<Object>, std::shared_ptr<Array>>;
+
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Value value_;
+};
+
+}  // namespace fifer

@@ -1,0 +1,35 @@
+#include "common/logging.hpp"
+
+#include <iostream>
+
+namespace fifer {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+std::ostream* g_sink = nullptr;
+}  // namespace
+
+LogLevel Logging::level() { return g_level; }
+
+void Logging::set_level(LogLevel level) { g_level = level; }
+
+void Logging::set_sink(std::ostream* sink) { g_sink = sink; }
+
+const char* Logging::level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+void Logging::write(LogLevel level, const std::string& message) {
+  if (level < g_level || g_level == LogLevel::kOff) return;
+  std::ostream& os = g_sink ? *g_sink : std::cerr;
+  os << '[' << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace fifer

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <iosfwd>
+#include <sstream>
+#include <string>
+
+namespace fifer {
+
+/// Log severities, lowest to highest.
+enum class LogLevel { kDebug, kInfo, kWarn, kError, kOff };
+
+/// Process-wide logging controls. The simulator is hot-path sensitive, so
+/// logging below the active level costs one branch and no formatting.
+class Logging {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel level);
+
+  /// Redirects output (default: std::cerr). Pass nullptr to restore.
+  static void set_sink(std::ostream* sink);
+
+  static void write(LogLevel level, const std::string& message);
+
+  static const char* level_name(LogLevel level);
+};
+
+namespace detail {
+
+/// Stream-collecting helper behind the FIFER_LOG macro; emits on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logging::write(level_, stream_.str()); }
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace fifer
+
+/// Usage: FIFER_LOG(kInfo) << "spawned " << n << " containers";
+#define FIFER_LOG(severity)                                             \
+  if (::fifer::LogLevel::severity < ::fifer::Logging::level()) {        \
+  } else                                                                \
+    ::fifer::detail::LogLine(::fifer::LogLevel::severity)

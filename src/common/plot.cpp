@@ -1,0 +1,94 @@
+#include "common/plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <ostream>
+
+#include "common/table.hpp"
+
+namespace fifer {
+
+std::string ascii_bar(double value, double max_value, std::size_t width, char fill) {
+  if (max_value <= 0.0 || value <= 0.0 || width == 0) return "";
+  const double frac = std::clamp(value / max_value, 0.0, 1.0);
+  return std::string(static_cast<std::size_t>(std::round(frac * width)), fill);
+}
+
+BarChart::BarChart(std::string title, std::size_t width)
+    : title_(std::move(title)), width_(width) {}
+
+BarChart& BarChart::add(std::string label, double value) {
+  rows_.emplace_back(std::move(label), value);
+  return *this;
+}
+
+void BarChart::print(std::ostream& os) const {
+  if (rows_.empty()) return;
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  double max_value = 0.0;
+  std::size_t label_w = 0;
+  for (const auto& [label, value] : rows_) {
+    max_value = std::max(max_value, value);
+    label_w = std::max(label_w, label.size());
+  }
+  for (const auto& [label, value] : rows_) {
+    os << "  " << label << std::string(label_w - label.size(), ' ') << " | "
+       << ascii_bar(value, max_value, width_) << ' ' << fmt(value, 2) << '\n';
+  }
+}
+
+LineChart::LineChart(std::string title, std::size_t width, std::size_t height)
+    : title_(std::move(title)),
+      width_(std::max<std::size_t>(8, width)),
+      height_(std::max<std::size_t>(4, height)) {}
+
+LineChart& LineChart::add_series(std::string name, std::vector<double> values) {
+  series_.emplace_back(std::move(name), std::move(values));
+  return *this;
+}
+
+void LineChart::print(std::ostream& os) const {
+  if (series_.empty()) return;
+  static constexpr char kGlyphs[] = "*o+x^#@%";
+
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const auto& [_, values] : series_) {
+    for (const double v : values) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  if (!std::isfinite(lo) || !std::isfinite(hi)) return;
+  if (hi <= lo) hi = lo + 1.0;
+
+  std::vector<std::string> grid(height_, std::string(width_, ' '));
+  for (std::size_t s = 0; s < series_.size(); ++s) {
+    const auto& values = series_[s].second;
+    if (values.empty()) continue;
+    const char glyph = kGlyphs[s % (sizeof kGlyphs - 1)];
+    for (std::size_t col = 0; col < width_; ++col) {
+      // Nearest-sample resampling onto the chart width.
+      const auto idx = static_cast<std::size_t>(
+          static_cast<double>(col) * static_cast<double>(values.size() - 1) /
+          static_cast<double>(width_ - 1));
+      const double frac = (values[idx] - lo) / (hi - lo);
+      const auto row = static_cast<std::size_t>(
+          std::round((1.0 - frac) * static_cast<double>(height_ - 1)));
+      grid[row][col] = glyph;
+    }
+  }
+
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  os << "  " << fmt(hi, 1) << '\n';
+  for (const auto& row : grid) os << "  |" << row << '\n';
+  os << "  " << fmt(lo, 1) << " +" << std::string(width_, '-') << '\n';
+  os << "  legend:";
+  for (std::size_t s = 0; s < series_.size(); ++s) {
+    os << "  " << kGlyphs[s % (sizeof kGlyphs - 1)] << '=' << series_[s].first;
+  }
+  os << '\n';
+}
+
+}  // namespace fifer

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fifer {
+
+/// ASCII chart helpers for the console "figures" the benches print.
+/// Deliberately tiny: horizontal bars and a multi-series line chart.
+
+/// Renders one horizontal bar scaled to `max_value` over `width` cells.
+std::string ascii_bar(double value, double max_value, std::size_t width = 40,
+                      char fill = '#');
+
+/// A labelled bar chart: one row per (label, value).
+class BarChart {
+ public:
+  explicit BarChart(std::string title = "", std::size_t width = 40);
+
+  BarChart& add(std::string label, double value);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::size_t width_;
+  std::vector<std::pair<std::string, double>> rows_;
+};
+
+/// A multi-series line chart drawn into a character grid: x is the sample
+/// index, y is auto-scaled to the data range across all series. Each series
+/// is drawn with its own glyph; a legend line maps glyphs to names.
+class LineChart {
+ public:
+  LineChart(std::string title, std::size_t width = 72, std::size_t height = 16);
+
+  /// Adds a named series (values are resampled onto the chart width).
+  LineChart& add_series(std::string name, std::vector<double> values);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::size_t width_;
+  std::size_t height_;
+  std::vector<std::pair<std::string, std::vector<double>>> series_;
+};
+
+}  // namespace fifer

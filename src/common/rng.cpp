@@ -1,0 +1,16 @@
+#include "common/rng.hpp"
+
+namespace fifer {
+
+double Rng::truncated_normal(double mean, double stddev, double lo) {
+  // Resampling is fine here: callers truncate far into the body of the
+  // distribution (e.g. exec times with sigma << mean), so the acceptance
+  // rate is near 1. A hard cap guards against pathological parameters.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const double v = normal(mean, stddev);
+    if (v >= lo) return v;
+  }
+  return lo;
+}
+
+}  // namespace fifer

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace fifer {
+
+/// Deterministic random number source used throughout the library.
+///
+/// Every stochastic component (arrival processes, execution-time jitter,
+/// cold-start sampling, NN weight init) owns an `Rng` seeded from the
+/// experiment seed through `split()`, so experiments are bit-reproducible
+/// and sub-streams are statistically independent of one another.
+class Rng {
+ public:
+  /// Seeds the generator. The raw seed is scrambled through SplitMix64 so
+  /// that small consecutive seeds (0, 1, 2, ...) still produce well-mixed,
+  /// uncorrelated initial states.
+  explicit Rng(std::uint64_t seed = 0x5eed'f1fe'0000ull) : engine_(splitmix64(seed)) {}
+
+  /// Derives an independent child stream. Children with distinct `salt`
+  /// values are decorrelated even when derived from the same parent.
+  Rng split(std::uint64_t salt) {
+    return Rng(splitmix64(engine_()) ^ splitmix64(salt * 0x9e3779b97f4a7c15ull + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return std::uniform_real_distribution<double>(0.0, 1.0)(engine_); }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Normal draw with the given mean and standard deviation.
+  double normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Normal draw truncated below at `lo` (resampling; used for latencies
+  /// that must stay positive).
+  double truncated_normal(double mean, double stddev, double lo);
+
+  /// Exponential draw with the given rate (events per unit time).
+  double exponential(double rate) {
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  /// Poisson draw with the given mean.
+  std::int64_t poisson(double mean) {
+    return std::poisson_distribution<std::int64_t>(mean)(engine_);
+  }
+
+  /// Bernoulli draw.
+  bool bernoulli(double p) { return std::bernoulli_distribution(p)(engine_); }
+
+  /// Access to the raw engine for use with std distributions / shuffles.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  explicit Rng(std::uint64_t mixed, int) : engine_(mixed) {}
+
+  /// SplitMix64 finalizer; the standard recipe for seeding from weak seeds.
+  static std::uint64_t splitmix64(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  std::mt19937_64 engine_;
+};
+
+}  // namespace fifer

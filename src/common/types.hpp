@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+/// Fundamental value types shared across the Fifer library.
+///
+/// Simulated time is a `double` measured in milliseconds since the start of
+/// the experiment. Milliseconds are the natural unit of the paper: execution
+/// times are 0.09-151 ms, SLOs are 1000 ms, cold starts are 2000-9000 ms.
+namespace fifer {
+
+/// Simulated time in milliseconds since experiment start.
+using SimTime = double;
+
+/// A duration in milliseconds of simulated time.
+using SimDuration = double;
+
+/// Sentinel for "no time" / "never".
+inline constexpr SimTime kNeverTime = std::numeric_limits<double>::infinity();
+
+/// Convenience conversion helpers so call sites read naturally.
+constexpr SimDuration milliseconds(double v) { return v; }
+constexpr SimDuration seconds(double v) { return v * 1000.0; }
+constexpr SimDuration minutes(double v) { return v * 60'000.0; }
+
+/// Convert a simulated duration back to (fractional) seconds.
+constexpr double to_seconds(SimDuration d) { return d / 1000.0; }
+
+/// Strongly-typed entity identifiers. They are plain integers underneath but
+/// distinct types, so a ContainerId cannot be passed where a NodeId is
+/// expected.
+enum class JobId : std::uint64_t {};
+enum class TaskId : std::uint64_t {};
+enum class ContainerId : std::uint64_t {};
+enum class NodeId : std::uint32_t {};
+
+constexpr std::uint64_t value_of(JobId id) { return static_cast<std::uint64_t>(id); }
+constexpr std::uint64_t value_of(TaskId id) { return static_cast<std::uint64_t>(id); }
+constexpr std::uint64_t value_of(ContainerId id) { return static_cast<std::uint64_t>(id); }
+constexpr std::uint32_t value_of(NodeId id) { return static_cast<std::uint32_t>(id); }
+
+}  // namespace fifer

@@ -1,0 +1,63 @@
+#include "core/app_profile.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fifer {
+
+ProfileBook::ProfileBook(const WorkloadMix& mix, const ApplicationRegistry& apps,
+                         const MicroserviceRegistry& services, const RmConfig& rm) {
+  for (const auto& entry : mix.entries()) {
+    const ApplicationChain& chain = apps.at(entry.app);
+    if (apps_.count(chain.name)) continue;
+
+    AppProfile profile;
+    profile.app = &chain;
+    profile.stage_slack_ms = allocate_slack(chain, services, rm.slack_policy);
+    if (rm.batching) {
+      profile.stage_batch = batch_sizes(chain, services, rm.slack_policy, rm.batch_cap);
+    } else {
+      profile.stage_batch.assign(chain.stages.size(), 1);
+    }
+
+    profile.suffix_busy_ms.assign(chain.stages.size(), 0.0);
+    SimDuration suffix = 0.0;
+    for (std::size_t i = chain.stages.size(); i-- > 0;) {
+      suffix += chain.stage_prob(i) *
+                (services.at(chain.stages[i]).mean_exec_ms + chain.stage_overhead_ms);
+      profile.suffix_busy_ms[i] = suffix;
+    }
+
+    for (std::size_t i = 0; i < chain.stages.size(); ++i) {
+      const std::string& stage_name = chain.stages[i];
+      auto [it, inserted] = stages_.try_emplace(stage_name);
+      StageProfile& sp = it->second;
+      if (inserted) {
+        sp.stage = stage_name;
+        sp.exec_ms = services.at(stage_name).mean_exec_ms;
+        sp.slack_ms = profile.stage_slack_ms[i];
+        sp.batch = profile.stage_batch[i];
+      } else {
+        // Shared stage: take the most constrained sharer.
+        sp.slack_ms = std::min(sp.slack_ms, profile.stage_slack_ms[i]);
+        sp.batch = std::min(sp.batch, profile.stage_batch[i]);
+      }
+    }
+
+    apps_.emplace(chain.name, std::move(profile));
+  }
+}
+
+const AppProfile& ProfileBook::app(const std::string& name) const {
+  const auto it = apps_.find(name);
+  if (it == apps_.end()) throw std::out_of_range("ProfileBook: unknown app " + name);
+  return it->second;
+}
+
+const StageProfile& ProfileBook::stage(const std::string& name) const {
+  const auto it = stages_.find(name);
+  if (it == stages_.end()) throw std::out_of_range("ProfileBook: unknown stage " + name);
+  return it->second;
+}
+
+}  // namespace fifer

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/rm_config.hpp"
+#include "core/slack.hpp"
+#include "workload/application.hpp"
+#include "workload/mix.hpp"
+
+namespace fifer {
+
+/// Precomputed per-application scheduling data derived from the offline
+/// profiling step (paper §4.1 / §5.1: response latency, stage sequence,
+/// estimated execution times, and per-stage slack are written to the stats
+/// store before any request arrives).
+struct AppProfile {
+  const ApplicationChain* app = nullptr;
+  std::vector<SimDuration> stage_slack_ms;   ///< Under the RM's slack policy.
+  std::vector<int> stage_batch;              ///< B_size per stage.
+  /// Busy time (exec + overhead) from stage i to the end of the chain —
+  /// what LSF subtracts to compute remaining slack.
+  std::vector<SimDuration> suffix_busy_ms;
+};
+
+/// Per-microservice (per shared stage) scheduling data. Where several
+/// applications share a stage, batch size and slack take the most
+/// constrained (minimum) value so no sharer's SLO is jeopardized.
+struct StageProfile {
+  std::string stage;
+  SimDuration exec_ms = 0.0;     ///< Table-3 mean execution time.
+  SimDuration slack_ms = 0.0;    ///< Min allocated slack across sharers.
+  int batch = 1;                 ///< Min B_size across sharers (1 if !batching).
+  /// Per-stage response budget S_r = slack + exec (Algorithm 1b).
+  SimDuration response_budget_ms() const { return slack_ms + exec_ms; }
+};
+
+/// Builds profiles for every application in `mix` and every stage they
+/// touch, under the RM's batching/slack configuration.
+class ProfileBook {
+ public:
+  ProfileBook(const WorkloadMix& mix, const ApplicationRegistry& apps,
+              const MicroserviceRegistry& services, const RmConfig& rm);
+
+  const AppProfile& app(const std::string& name) const;
+  const StageProfile& stage(const std::string& name) const;
+  const std::map<std::string, StageProfile>& stages() const { return stages_; }
+
+ private:
+  std::map<std::string, AppProfile> apps_;
+  std::map<std::string, StageProfile> stages_;
+};
+
+}  // namespace fifer

@@ -1,0 +1,116 @@
+#include "core/report.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "common/csv.hpp"
+
+namespace fifer {
+
+namespace {
+
+Json quantiles_to_json(const Percentiles& p) {
+  Json q = Json::object();
+  q["count"] = static_cast<std::uint64_t>(p.count());
+  q["mean"] = p.mean();
+  q["p25"] = p.quantile(0.25);
+  q["p50"] = p.median();
+  q["p75"] = p.quantile(0.75);
+  q["p95"] = p.p95();
+  q["p99"] = p.p99();
+  q["max"] = p.max();
+  return q;
+}
+
+}  // namespace
+
+Json result_to_json(const ExperimentResult& r) {
+  Json j = Json::object();
+  j["policy"] = r.policy;
+  j["mix"] = r.mix;
+  j["trace"] = r.trace;
+  j["duration_s"] = to_seconds(r.duration_ms);
+
+  j["jobs_submitted"] = r.jobs_submitted;
+  j["jobs_completed"] = r.jobs_completed;
+  j["slo_violations"] = r.slo_violations;
+  j["slo_violation_pct"] = r.slo_violation_pct();
+
+  j["response_ms"] = quantiles_to_json(r.response_ms);
+  j["queuing_ms"] = quantiles_to_json(r.queuing_ms);
+  j["exec_ms"] = quantiles_to_json(r.exec_only_ms);
+  j["cold_wait_ms"] = quantiles_to_json(r.cold_wait_ms);
+
+  j["containers_spawned"] = r.containers_spawned;
+  j["avg_active_containers"] = r.avg_active_containers;
+  j["peak_active_containers"] =
+      static_cast<std::uint64_t>(r.peak_active_containers);
+  j["mean_requests_per_container"] = r.mean_rpc();
+  j["energy_joules"] = r.energy_joules;
+  j["avg_power_watts"] = r.avg_power_watts();
+  j["bus_transitions"] = r.bus_transitions;
+  j["bus_peak_congestion"] = r.bus_peak_congestion;
+  j["predictor_retrains"] = r.predictor_retrains;
+
+  Json stages = Json::object();
+  for (const auto& [name, sm] : r.stages) {
+    Json s = Json::object();
+    s["containers_spawned"] = sm.containers_spawned;
+    s["cold_starts"] = sm.cold_starts;
+    s["tasks_executed"] = sm.tasks_executed;
+    s["spawn_failures"] = sm.spawn_failures;
+    s["requests_per_container"] = sm.requests_per_container();
+    s["mean_queue_wait_ms"] = sm.queue_wait_ms.mean();
+    s["mean_exec_ms"] = sm.exec_ms.mean();
+    stages[name] = std::move(s);
+  }
+  j["stages"] = std::move(stages);
+  return j;
+}
+
+std::vector<std::string> write_report(const ExperimentResult& r,
+                                      const std::string& prefix) {
+  std::vector<std::string> written;
+
+  const std::string json_path = prefix + "_summary.json";
+  {
+    std::ofstream out(json_path);
+    if (!out) throw std::runtime_error("write_report: cannot open " + json_path);
+    out << result_to_json(r).dump(2) << '\n';
+  }
+  written.push_back(json_path);
+
+  const std::string timeline_path = prefix + "_timeline.csv";
+  {
+    CsvWriter csv(timeline_path,
+                  {"t_s", "active_containers", "provisioning_containers",
+                   "queued_tasks", "powered_on_nodes", "power_watts"});
+    for (const auto& s : r.timeline) {
+      csv.write_row({to_seconds(s.time), static_cast<double>(s.active_containers),
+                     static_cast<double>(s.provisioning_containers),
+                     static_cast<double>(s.queued_tasks),
+                     static_cast<double>(s.powered_on_nodes), s.power_watts});
+    }
+  }
+  written.push_back(timeline_path);
+
+  const std::string cdf_path = prefix + "_cdf.csv";
+  {
+    CsvWriter csv(cdf_path, {"quantile", "response_ms"});
+    for (const auto& [value, prob] : r.response_ms.cdf(200)) {
+      csv.write_row({prob, value});
+    }
+  }
+  written.push_back(cdf_path);
+  return written;
+}
+
+Json comparison_to_json(const std::vector<ExperimentResult>& results) {
+  Json j = Json::object();
+  for (const auto& r : results) {
+    j[r.policy] = result_to_json(r);
+  }
+  return j;
+}
+
+}  // namespace fifer

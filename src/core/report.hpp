@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "core/metrics.hpp"
+
+namespace fifer {
+
+/// Serializes one experiment result into a JSON summary: headline metrics,
+/// latency quantiles, per-stage counters, bus stats.
+Json result_to_json(const ExperimentResult& result);
+
+/// Writes a full report for one result under `prefix`:
+///   <prefix>_summary.json   headline + per-stage metrics
+///   <prefix>_timeline.csv   containers/queue/power over time
+///   <prefix>_cdf.csv        response-latency CDF (200 points)
+/// Returns the paths written. Throws std::runtime_error on I/O failure.
+std::vector<std::string> write_report(const ExperimentResult& result,
+                                      const std::string& prefix);
+
+/// Serializes a whole comparison (several policies on the same workload)
+/// into one JSON document keyed by policy name.
+Json comparison_to_json(const std::vector<ExperimentResult>& results);
+
+}  // namespace fifer

@@ -1,0 +1,114 @@
+#include "core/rm_config.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+namespace fifer {
+
+const char* to_string(SchedulerPolicy p) {
+  switch (p) {
+    case SchedulerPolicy::kFifo: return "FIFO";
+    case SchedulerPolicy::kLeastSlackFirst: return "LSF";
+  }
+  return "?";
+}
+
+const char* to_string(ScalingMode m) {
+  switch (m) {
+    case ScalingMode::kPerRequest: return "per-request";
+    case ScalingMode::kStatic: return "static";
+    case ScalingMode::kReactive: return "reactive";
+    case ScalingMode::kUtilization: return "utilization-hpa";
+  }
+  return "?";
+}
+
+RmConfig RmConfig::bline() {
+  RmConfig c;
+  c.name = "Bline";
+  c.batching = false;
+  c.scaling = ScalingMode::kPerRequest;
+  c.scheduler = SchedulerPolicy::kFifo;
+  c.node_selection = NodeSelection::kSpread;
+  c.predictor = "";
+  return c;
+}
+
+RmConfig RmConfig::sbatch() {
+  RmConfig c;
+  c.name = "SBatch";
+  c.batching = true;
+  c.slack_policy = SlackPolicy::kEqualDivision;
+  c.scaling = ScalingMode::kStatic;
+  c.scheduler = SchedulerPolicy::kLeastSlackFirst;
+  c.node_selection = NodeSelection::kBinPack;
+  c.predictor = "";
+  return c;
+}
+
+RmConfig RmConfig::rscale() {
+  RmConfig c;
+  c.name = "RScale";
+  c.batching = true;
+  c.slack_policy = SlackPolicy::kProportional;
+  c.scaling = ScalingMode::kReactive;
+  c.scheduler = SchedulerPolicy::kLeastSlackFirst;
+  c.node_selection = NodeSelection::kBinPack;
+  c.predictor = "";
+  return c;
+}
+
+RmConfig RmConfig::bpred() {
+  RmConfig c;
+  c.name = "BPred";
+  c.batching = false;
+  c.scaling = ScalingMode::kPerRequest;
+  c.scheduler = SchedulerPolicy::kLeastSlackFirst;
+  c.node_selection = NodeSelection::kSpread;
+  c.predictor = "ewma";
+  return c;
+}
+
+RmConfig RmConfig::fifer() {
+  RmConfig c;
+  c.name = "Fifer";
+  c.batching = true;
+  c.slack_policy = SlackPolicy::kProportional;
+  c.scaling = ScalingMode::kReactive;
+  c.scheduler = SchedulerPolicy::kLeastSlackFirst;
+  c.node_selection = NodeSelection::kBinPack;
+  c.predictor = "lstm";
+  return c;
+}
+
+RmConfig RmConfig::hpa() {
+  RmConfig c;
+  c.name = "HPA";
+  c.batching = false;
+  c.scaling = ScalingMode::kUtilization;
+  c.scheduler = SchedulerPolicy::kFifo;
+  c.node_selection = NodeSelection::kSpread;
+  c.predictor = "";
+  c.reactive_interval_ms = seconds(15.0);  // HPA's default sync period
+  return c;
+}
+
+RmConfig RmConfig::by_name(const std::string& name) {
+  std::string key = name;
+  std::transform(key.begin(), key.end(), key.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (key == "bline") return bline();
+  if (key == "sbatch") return sbatch();
+  if (key == "rscale") return rscale();
+  if (key == "bpred") return bpred();
+  if (key == "fifer") return fifer();
+  if (key == "hpa") return hpa();
+  throw std::invalid_argument("unknown RM policy: " + name);
+}
+
+std::vector<RmConfig> RmConfig::paper_policies() {
+  return {bline(), sbatch(), rscale(), bpred(), fifer()};
+}
+
+}  // namespace fifer

@@ -1,0 +1,122 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/types.hpp"
+#include "core/slack.hpp"
+
+namespace fifer {
+
+/// Queue-ordering policy for stage global queues (paper §4.3).
+enum class SchedulerPolicy {
+  kFifo,           ///< Arrival order.
+  kLeastSlackFirst,  ///< Least remaining slack first (Fifer's LSF).
+};
+
+const char* to_string(SchedulerPolicy p);
+
+/// How containers are added per stage.
+enum class ScalingMode {
+  kPerRequest,  ///< Bline/BPred: spawn for each request that finds no slot.
+  kStatic,      ///< SBatch: fixed pool sized from the trace average, no scaling.
+  kReactive,    ///< RScale: Algorithm 1a/1b dynamic reactive scaling.
+  /// Kubernetes-style horizontal pod autoscaling on container utilization —
+  /// the execution-time-agnostic scaler of Fission/Knative the paper calls
+  /// out in §2.2.1. Scales toward busy/live = hpa_target, at most doubling
+  /// or halving per period, and actively scales idle containers down.
+  kUtilization,
+};
+
+const char* to_string(ScalingMode m);
+
+/// Full configuration of a resource-management policy. The five named RMs
+/// the paper compares (§5.3 "Metrics and Resource Management Policies") are
+/// preset combinations; every knob is independently overridable, which is
+/// what the ablation benches exploit.
+struct RmConfig {
+  std::string name = "custom";
+
+  /// Request batching: B_size derived from slack (true) vs. one request per
+  /// container (false).
+  bool batching = true;
+  SlackPolicy slack_policy = SlackPolicy::kProportional;
+  int batch_cap = 64;
+
+  ScalingMode scaling = ScalingMode::kReactive;
+  /// Predictor name for proactive provisioning ("" disables; "ewma" for
+  /// BPred, "lstm" for Fifer). Composes with any ScalingMode.
+  std::string predictor;
+
+  SchedulerPolicy scheduler = SchedulerPolicy::kLeastSlackFirst;
+  NodeSelection node_selection = NodeSelection::kBinPack;
+
+  /// Load-monitor cadence for the reactive policy (Algorithm 1a).
+  SimDuration reactive_interval_ms = seconds(2.0);
+  /// Prediction cadence T (paper §4.5: 10 s).
+  SimDuration predict_interval_ms = seconds(10.0);
+  /// Prediction window Wp (paper §4.5: 10 min): the forecast target is the
+  /// *maximum* arrival rate over this future window, which is what makes
+  /// proactive provisioning conservative enough to pre-absorb bursts.
+  SimDuration predict_window_ms = minutes(10.0);
+  /// Idle-container reap timeout (paper §4.4.1: 10 minutes).
+  SimDuration idle_timeout_ms = minutes(10.0);
+  /// Sizing headroom applied to throughput-based container estimates.
+  double headroom = 1.2;
+  /// Per-stage cap on containers spawned by one reactive tick, as a
+  /// multiple of the current fleet (with a small absolute floor). Models
+  /// the API-server/pod-creation throttling every real orchestrator has and
+  /// stops a single queue spike from spawning hundreds of containers.
+  double reactive_burst_factor = 1.0;
+  /// Evict the LRU idle container of a non-backlogged stage when the
+  /// cluster is full (serverless platforms reclaim idle instances under
+  /// capacity pressure). Disable to study the pipeline deadlocks a
+  /// reclamation-free design suffers at saturation.
+  bool enable_reclamation = true;
+  /// SBatch pool size per stage; 0 = derive from the trace average rate.
+  int static_containers_per_stage = 0;
+  /// Target busy fraction for the kUtilization (HPA) scaler.
+  double hpa_target = 0.5;
+  /// Online-retraining cadence for trainable predictors (paper §8: the
+  /// LSTM "can be constantly updated by retraining in the background with
+  /// new arrival rates"). 0 disables; when enabled the predictor is
+  /// re-fitted on the observed arrival-rate log at this interval.
+  SimDuration retrain_interval_ms = 0.0;
+
+  bool proactive() const { return !predictor.empty(); }
+
+  // ----- The paper's five presets -----
+
+  /// AWS-like baseline: no batching, spawn per request, FIFO, spread
+  /// placement (Kubernetes default), no prediction.
+  static RmConfig bline();
+
+  /// Static batching: equal-division slack, fixed pool from average load.
+  static RmConfig sbatch();
+
+  /// Fifer minus prediction (== GrandSLAm-style dynamic batching):
+  /// proportional slack, reactive scaling, LSF, greedy bin-packing.
+  static RmConfig rscale();
+
+  /// Archipelago-style: Bline + LSF + EWMA proactive provisioning,
+  /// no batching, no server consolidation.
+  static RmConfig bpred();
+
+  /// The full system: RScale + LSTM proactive provisioning.
+  static RmConfig fifer();
+
+  /// Extra baseline beyond the paper's five: a Kubernetes-HPA-style
+  /// utilization autoscaler (Knative/Fission class, §2.2.1) — no batching,
+  /// no slack awareness, FIFO, spread placement.
+  static RmConfig hpa();
+
+  /// Lookup by case-insensitive name ("bline", "sbatch", "rscale",
+  /// "bpred", "fifer"); throws std::invalid_argument otherwise.
+  static RmConfig by_name(const std::string& name);
+
+  /// All five presets in the paper's comparison order.
+  static std::vector<RmConfig> paper_policies();
+};
+
+}  // namespace fifer

@@ -1,0 +1,68 @@
+#include "core/slack.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fifer {
+
+const char* to_string(SlackPolicy p) {
+  switch (p) {
+    case SlackPolicy::kProportional: return "proportional";
+    case SlackPolicy::kEqualDivision: return "equal-division";
+  }
+  return "?";
+}
+
+std::vector<SimDuration> allocate_slack(const ApplicationChain& app,
+                                        const MicroserviceRegistry& services,
+                                        SlackPolicy policy) {
+  if (app.stages.empty()) {
+    throw std::invalid_argument("allocate_slack: application has no stages");
+  }
+  const SimDuration total = app.total_slack_ms(services);
+  const std::size_t n = app.stages.size();
+  std::vector<SimDuration> out(n, 0.0);
+
+  if (policy == SlackPolicy::kEqualDivision) {
+    std::fill(out.begin(), out.end(), total / static_cast<double>(n));
+    return out;
+  }
+
+  // Weights are *expected* stage exec times so dynamic chains (stages with
+  // execution probability < 1) are budgeted for their average contribution.
+  SimDuration exec_sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    exec_sum += app.stage_prob(i) * services.at(app.stages[i]).mean_exec_ms;
+  }
+  if (exec_sum <= 0.0) {
+    // Degenerate chain of zero-cost stages: fall back to equal division.
+    std::fill(out.begin(), out.end(), total / static_cast<double>(n));
+    return out;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = total * app.stage_prob(i) * services.at(app.stages[i]).mean_exec_ms /
+             exec_sum;
+  }
+  return out;
+}
+
+int batch_size(SimDuration stage_slack_ms, SimDuration stage_exec_ms, int cap) {
+  if (cap < 1) throw std::invalid_argument("batch_size: cap must be >= 1");
+  if (stage_exec_ms <= 0.0) return cap;
+  const double raw = std::floor(stage_slack_ms / stage_exec_ms);
+  return static_cast<int>(std::clamp(raw, 1.0, static_cast<double>(cap)));
+}
+
+std::vector<int> batch_sizes(const ApplicationChain& app,
+                             const MicroserviceRegistry& services, SlackPolicy policy,
+                             int cap) {
+  const auto slack = allocate_slack(app, services, policy);
+  std::vector<int> out(app.stages.size(), 1);
+  for (std::size_t i = 0; i < app.stages.size(); ++i) {
+    out[i] = batch_size(slack[i], services.at(app.stages[i]).mean_exec_ms, cap);
+  }
+  return out;
+}
+
+}  // namespace fifer

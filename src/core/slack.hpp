@@ -1,0 +1,40 @@
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "workload/application.hpp"
+
+namespace fifer {
+
+/// How an application's total slack is distributed across its stages
+/// (paper §4.1 "Slack Distribution"):
+///  - kProportional: each stage gets slack proportional to its share of the
+///    chain's execution time (Fifer's choice; yields near-uniform batch
+///    sizes across stages).
+///  - kEqualDivision: total slack split evenly across stages (the SBatch
+///    baseline's policy).
+enum class SlackPolicy { kProportional, kEqualDivision };
+
+const char* to_string(SlackPolicy p);
+
+/// Per-stage slack (ms) for `app` under `policy`. The slack base is the
+/// chain's total slack at its SLO; stage weights use Table-3 mean exec
+/// times.
+std::vector<SimDuration> allocate_slack(const ApplicationChain& app,
+                                        const MicroserviceRegistry& services,
+                                        SlackPolicy policy);
+
+/// The paper's batch-size rule (§3):
+///   B_size = Stage_Slack / Stage_Exec_Time
+/// floored, clamped to [1, cap]. `cap` guards the degenerate case of
+/// sub-millisecond stages (e.g. the SENNA NLP stage) where raw division
+/// yields thousands of slots.
+int batch_size(SimDuration stage_slack_ms, SimDuration stage_exec_ms, int cap);
+
+/// Batch sizes for every stage of `app` under `policy`.
+std::vector<int> batch_sizes(const ApplicationChain& app,
+                             const MicroserviceRegistry& services, SlackPolicy policy,
+                             int cap);
+
+}  // namespace fifer

@@ -1,0 +1,141 @@
+#include "core/stage.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fifer {
+
+StageState::StageState(StageProfile profile, SchedulerPolicy scheduler)
+    : profile_(std::move(profile)), scheduler_(scheduler) {}
+
+void StageState::enqueue(TaskRef task, double priority_key) {
+  const double key =
+      scheduler_ == SchedulerPolicy::kFifo ? static_cast<double>(seq_) : priority_key;
+  queue_.push(QueueEntry{key, seq_, task});
+  ++seq_;
+  ++total_enqueued_;
+}
+
+TaskRef StageState::pop_next() {
+  if (queue_.empty()) throw std::logic_error("StageState::pop_next: queue empty");
+  TaskRef t = queue_.top().task;
+  queue_.pop();
+  return t;
+}
+
+double StageState::peek_key() const {
+  if (queue_.empty()) throw std::logic_error("StageState::peek_key: queue empty");
+  return queue_.top().key;
+}
+
+Container& StageState::add_container(std::unique_ptr<Container> c) {
+  containers_.push_back(std::move(c));
+  return *containers_.back();
+}
+
+std::size_t StageState::live_count() const {
+  std::size_t n = 0;
+  for (const auto& c : containers_) n += c->terminated() ? 0 : 1;
+  return n;
+}
+
+Container* StageState::select_container() {
+  Container* best = nullptr;
+  for (const auto& c : containers_) {
+    if (!c->warm() || c->free_slots() <= 0) continue;
+    if (best == nullptr || c->free_slots() < best->free_slots()) {
+      best = c.get();
+    }
+  }
+  return best;
+}
+
+Container& StageState::container(ContainerId id) {
+  for (const auto& c : containers_) {
+    if (c->id() == id && !c->terminated()) return *c;
+  }
+  throw std::out_of_range("StageState::container: unknown or terminated id");
+}
+
+std::vector<Container*> StageState::live_containers() {
+  std::vector<Container*> out;
+  out.reserve(containers_.size());
+  for (const auto& c : containers_) {
+    if (!c->terminated()) out.push_back(c.get());
+  }
+  return out;
+}
+
+std::size_t StageState::warm_count() const {
+  std::size_t n = 0;
+  for (const auto& c : containers_) n += c->warm() ? 1 : 0;
+  return n;
+}
+
+std::size_t StageState::provisioning_count() const {
+  std::size_t n = 0;
+  for (const auto& c : containers_) {
+    n += c->state() == ContainerState::kProvisioning ? 1 : 0;
+  }
+  return n;
+}
+
+int StageState::total_free_slots() const {
+  int n = 0;
+  for (const auto& c : containers_) {
+    if (!c->terminated()) n += c->free_slots();
+  }
+  return n;
+}
+
+int StageState::warm_free_slots() const {
+  int n = 0;
+  for (const auto& c : containers_) {
+    if (c->warm()) n += c->free_slots();
+  }
+  return n;
+}
+
+int StageState::provisioning_slots() const {
+  int n = 0;
+  for (const auto& c : containers_) {
+    if (c->state() == ContainerState::kProvisioning) n += c->free_slots();
+  }
+  return n;
+}
+
+int StageState::total_capacity() const {
+  int n = 0;
+  for (const auto& c : containers_) {
+    if (!c->terminated()) n += c->batch_size();
+  }
+  return n;
+}
+
+void StageState::erase_terminated() {
+  containers_.erase(std::remove_if(containers_.begin(), containers_.end(),
+                                   [](const auto& c) { return c->terminated(); }),
+                    containers_.end());
+}
+
+void StageState::record_wait(SimTime now, SimDuration wait_ms) {
+  recent_waits_.emplace_back(now, wait_ms);
+  // Trim anything far older than the largest horizon anyone asks about.
+  constexpr SimDuration kRetain = 60'000.0;
+  while (!recent_waits_.empty() && recent_waits_.front().first < now - kRetain) {
+    recent_waits_.pop_front();
+  }
+}
+
+SimDuration StageState::recent_mean_wait_ms(SimTime now, SimDuration horizon_ms) const {
+  double acc = 0.0;
+  std::size_t n = 0;
+  for (auto it = recent_waits_.rbegin(); it != recent_waits_.rend(); ++it) {
+    if (it->first < now - horizon_ms) break;
+    acc += it->second;
+    ++n;
+  }
+  return n > 0 ? acc / static_cast<double>(n) : 0.0;
+}
+
+}  // namespace fifer

@@ -1,0 +1,123 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "cluster/container.hpp"
+#include "common/types.hpp"
+#include "core/app_profile.hpp"
+#include "core/rm_config.hpp"
+#include "workload/request.hpp"
+
+namespace fifer {
+
+/// Runtime state of one stage (one microservice / function): the global
+/// request queue, the container fleet, and the rolling load statistics the
+/// load monitor reads (paper Figure 5 components 1 and 3).
+class StageState {
+ public:
+  StageState(StageProfile profile, SchedulerPolicy scheduler);
+
+  const StageProfile& profile() const { return profile_; }
+  const std::string& name() const { return profile_.stage; }
+
+  // ----- global request queue -----
+
+  /// Queues a task. `priority_key` is precomputed by the framework:
+  /// deadline minus remaining busy time for LSF (time-invariant ordering),
+  /// arrival sequence for FIFO.
+  void enqueue(TaskRef task, double priority_key);
+
+  bool queue_empty() const { return queue_.empty(); }
+  std::size_t queue_length() const { return queue_.size(); }
+
+  /// Pops the highest-priority task (least key). Precondition: !queue_empty().
+  TaskRef pop_next();
+
+  /// Peeks the highest-priority task's key without popping.
+  double peek_key() const;
+
+  // ----- container fleet -----
+
+  /// Adds a freshly spawned container; StageState takes ownership.
+  Container& add_container(std::unique_ptr<Container> c);
+
+  /// Greedy candidate selection (paper §4.4.1): among *warm* containers
+  /// with at least one free slot, pick the one with the fewest free slots
+  /// (encourages early scale-in of lightly loaded containers). Tasks are
+  /// never bound to still-provisioning containers — they stay in the global
+  /// queue and are pulled when the cold start finishes, exactly as
+  /// Brigade's worker schedules only onto running pods. Returns nullptr
+  /// when no warm container has a slot.
+  Container* select_container();
+
+  /// Container lookup by id (throws std::out_of_range when absent/reaped).
+  Container& container(ContainerId id);
+
+  /// All live (non-terminated) containers.
+  std::vector<Container*> live_containers();
+  std::size_t live_count() const;
+  std::size_t warm_count() const;
+  std::size_t provisioning_count() const;
+
+  /// Total free slots across live containers.
+  int total_free_slots() const;
+  /// Free slots on warm containers only.
+  int warm_free_slots() const;
+  /// Slot capacity of containers still cold-starting (they will pull from
+  /// the global queue when ready, so pending spawns count as future supply).
+  int provisioning_slots() const;
+  /// Total slot capacity (live containers x batch size) — Algorithm 1b's
+  /// "current_req".
+  int total_capacity() const;
+
+  /// Removes terminated containers from the fleet (driver reaps after
+  /// releasing node resources).
+  void erase_terminated();
+
+  // ----- load-monitor bookkeeping -----
+
+  /// Floor below which the idle reaper will not shrink this stage's fleet.
+  /// The proactive scaler maintains it at the current forecast target so
+  /// reap-then-respawn churn (and its pointless cold starts) cannot occur.
+  int keep_warm_floor() const { return keep_warm_floor_; }
+  void set_keep_warm_floor(int n) { keep_warm_floor_ = n < 0 ? 0 : n; }
+
+  /// Records a task's queue wait when it begins execution; the reactive
+  /// monitor asks for the recent average (Algorithm 1a's Calculate_Delay).
+  void record_wait(SimTime now, SimDuration wait_ms);
+
+  /// Mean queue wait of tasks that started execution within the trailing
+  /// `horizon_ms` (the paper's "last 10 s of jobs"); 0 when none.
+  SimDuration recent_mean_wait_ms(SimTime now, SimDuration horizon_ms) const;
+
+  std::uint64_t total_enqueued() const { return total_enqueued_; }
+
+ private:
+  struct QueueEntry {
+    double key;
+    std::uint64_t seq;
+    TaskRef task;
+    bool operator>(const QueueEntry& o) const {
+      if (key != o.key) return key > o.key;
+      return seq > o.seq;
+    }
+  };
+
+  StageProfile profile_;
+  SchedulerPolicy scheduler_;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t total_enqueued_ = 0;
+
+  std::vector<std::unique_ptr<Container>> containers_;
+  int keep_warm_floor_ = 0;
+
+  std::deque<std::pair<SimTime, SimDuration>> recent_waits_;
+};
+
+}  // namespace fifer

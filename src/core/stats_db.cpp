@@ -1,0 +1,29 @@
+#include "core/stats_db.hpp"
+
+namespace fifer {
+
+void StatsDb::write(const Key& doc, const std::string& field, double value) {
+  docs_[doc][field] = value;
+  ++writes_;
+}
+
+std::optional<double> StatsDb::read(const Key& doc, const std::string& field) const {
+  ++reads_;
+  const auto dit = docs_.find(doc);
+  if (dit == docs_.end()) return std::nullopt;
+  const auto fit = dit->second.find(field);
+  if (fit == dit->second.end()) return std::nullopt;
+  return fit->second;
+}
+
+double StatsDb::increment(const Key& doc, const std::string& field, double delta) {
+  ++writes_;
+  return docs_[doc][field] += delta;
+}
+
+bool StatsDb::erase(const Key& doc) {
+  ++writes_;
+  return docs_.erase(doc) > 0;
+}
+
+}  // namespace fifer

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace fifer {
+
+/// In-memory stand-in for the paper's centralized MongoDB stats store
+/// (§5.1): job statistics (creationTime, completionTime, scheduleTime, ...)
+/// and container metrics (lastUsedTime, batch size, free slots, ...) keyed
+/// by entity id. The paper's evaluation of the store is purely its access
+/// latency (§6.1.5: all reads/writes average within 1.25 ms), so the facade
+/// counts operations and lets the overhead bench measure them.
+class StatsDb {
+ public:
+  using Key = std::string;
+
+  /// Writes (inserts or replaces) one field of one document.
+  void write(const Key& doc, const std::string& field, double value);
+
+  /// Reads one field; nullopt if absent.
+  std::optional<double> read(const Key& doc, const std::string& field) const;
+
+  /// Atomically adds `delta` to a field (missing fields start at 0) and
+  /// returns the new value — the free-slot update pattern of pod selection.
+  double increment(const Key& doc, const std::string& field, double delta);
+
+  /// Removes a whole document; returns true if it existed.
+  bool erase(const Key& doc);
+
+  std::uint64_t reads() const { return reads_; }
+  std::uint64_t writes() const { return writes_; }
+  std::size_t documents() const { return docs_.size(); }
+
+ private:
+  std::unordered_map<Key, std::unordered_map<std::string, double>> docs_;
+  mutable std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+};
+
+}  // namespace fifer

@@ -1,0 +1,54 @@
+#include "core/sweep.hpp"
+
+namespace fifer {
+
+PolicySweep& PolicySweep::add(RmConfig rm) {
+  policies_.push_back(std::move(rm));
+  return *this;
+}
+
+PolicySweep& PolicySweep::add_paper_policies() {
+  for (auto& rm : RmConfig::paper_policies()) policies_.push_back(std::move(rm));
+  return *this;
+}
+
+PolicySweep& PolicySweep::on_progress(std::function<void(const std::string&)> cb) {
+  progress_ = std::move(cb);
+  return *this;
+}
+
+std::vector<ExperimentResult> PolicySweep::run() {
+  std::vector<ExperimentResult> results;
+  results.reserve(policies_.size());
+  for (const auto& rm : policies_) {
+    if (progress_) progress_(rm.name);
+    ExperimentParams params = base_;
+    params.rm = rm;
+    results.push_back(run_experiment(std::move(params)));
+  }
+  return results;
+}
+
+Table PolicySweep::comparison_table(const std::vector<ExperimentResult>& results,
+                                    const std::string& title) {
+  Table t(title);
+  t.set_columns({"policy", "SLO_ok_%", "median_ms", "P99_ms", "avg_containers",
+                 "containers_norm", "spawned", "RPC", "energy_kJ", "energy_norm"});
+  const double base_containers =
+      results.empty() ? 0.0 : results.front().avg_active_containers;
+  const double base_energy = results.empty() ? 0.0 : results.front().energy_joules;
+  for (const auto& r : results) {
+    t.add_row({r.policy, fmt(100.0 - r.slo_violation_pct(), 2),
+               fmt(r.response_ms.median(), 0), fmt(r.response_ms.p99(), 0),
+               fmt(r.avg_active_containers, 1),
+               base_containers > 0.0
+                   ? fmt(r.avg_active_containers / base_containers, 2)
+                   : "-",
+               std::to_string(r.containers_spawned), fmt(r.mean_rpc(), 1),
+               fmt(r.energy_joules / 1000.0, 1),
+               base_energy > 0.0 ? fmt(r.energy_joules / base_energy, 2) : "-"});
+  }
+  return t;
+}
+
+}  // namespace fifer

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "core/framework.hpp"
+
+namespace fifer {
+
+/// Grid runner: one workload (mix + trace + cluster) evaluated under many
+/// RM policies — the loop every comparison figure runs, packaged as API.
+class PolicySweep {
+ public:
+  /// `base` supplies everything except the RM (mix, trace, cluster, seed,
+  /// warmup, ...). Each added policy gets a copy of `base` with its RM
+  /// swapped in.
+  explicit PolicySweep(ExperimentParams base) : base_(std::move(base)) {}
+
+  PolicySweep& add(RmConfig rm);
+  /// Adds the paper's five policies in comparison order.
+  PolicySweep& add_paper_policies();
+
+  /// Optional progress callback invoked before each run.
+  PolicySweep& on_progress(std::function<void(const std::string&)> cb);
+
+  /// Runs everything (sequentially, deterministic per seed) and returns the
+  /// results in insertion order.
+  std::vector<ExperimentResult> run();
+
+  /// Formats a result set as the standard comparison table (SLO, latency,
+  /// containers, energy), with values normalized to the first row where it
+  /// makes sense.
+  static Table comparison_table(const std::vector<ExperimentResult>& results,
+                                const std::string& title = "policy comparison");
+
+ private:
+  ExperimentParams base_;
+  std::vector<RmConfig> policies_;
+  std::function<void(const std::string&)> progress_;
+};
+
+}  // namespace fifer

@@ -1,0 +1,58 @@
+#include "core/tenancy.hpp"
+
+#include <set>
+#include <stdexcept>
+
+namespace fifer {
+
+MultiTenantWorkload combine_tenants(const std::vector<TenantSpec>& tenants,
+                                    const MicroserviceRegistry& base_services,
+                                    const ApplicationRegistry& base_apps) {
+  if (tenants.empty()) {
+    throw std::invalid_argument("combine_tenants: need at least one tenant");
+  }
+  std::set<std::string> seen;
+  MicroserviceRegistry services = MicroserviceRegistry::empty();
+  ApplicationRegistry applications = ApplicationRegistry::empty();
+
+  std::vector<WorkloadMix::Entry> merged_entries;
+  for (const auto& tenant : tenants) {
+    if (tenant.name.empty() || !seen.insert(tenant.name).second) {
+      throw std::invalid_argument("combine_tenants: empty or duplicate tenant name");
+    }
+    if (tenant.rate_share <= 0.0) {
+      throw std::invalid_argument("combine_tenants: rate_share must be positive");
+    }
+
+    double mix_total = 0.0;
+    for (const auto& e : tenant.mix.entries()) mix_total += e.weight;
+
+    for (const auto& entry : tenant.mix.entries()) {
+      const ApplicationChain& base_chain = base_apps.at(entry.app);
+
+      ApplicationChain chain = base_chain;
+      chain.name = MultiTenantWorkload::qualify(tenant.name, base_chain.name);
+      chain.stages.clear();
+      for (const auto& stage : base_chain.stages) {
+        const std::string qualified =
+            MultiTenantWorkload::qualify(tenant.name, stage);
+        chain.stages.push_back(qualified);
+        if (!services.contains(qualified)) {
+          MicroserviceSpec spec = base_services.at(stage);
+          spec.name = qualified;
+          services.add(std::move(spec));
+        }
+      }
+      applications.add(std::move(chain));
+
+      merged_entries.push_back(
+          {MultiTenantWorkload::qualify(tenant.name, entry.app),
+           tenant.rate_share * entry.weight / mix_total});
+    }
+  }
+
+  return MultiTenantWorkload{std::move(services), std::move(applications),
+                             WorkloadMix("multi-tenant", std::move(merged_entries))};
+}
+
+}  // namespace fifer

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workload/application.hpp"
+#include "workload/mix.hpp"
+
+namespace fifer {
+
+/// One tenant's slice of a multi-tenant deployment: their application mix
+/// and their share of the total arrival rate.
+struct TenantSpec {
+  std::string name;
+  WorkloadMix mix;
+  double rate_share = 1.0;  ///< Relative weight of this tenant's traffic.
+};
+
+/// A merged multi-tenant workload ready to drop into ExperimentParams.
+///
+/// Serverless platforms never share microservices across tenants (paper
+/// footnote 4: doing so would break isolation), so each tenant's services
+/// and chains are cloned under a "tenant/" prefix: tenant "acme" running
+/// IPA produces application "acme/IPA" over stages "acme/ASR", "acme/NLP",
+/// "acme/QA". Within one tenant, chains still share stages as usual. The
+/// merged mix weights every tenant's applications by
+/// rate_share x in-mix weight, so one trace drives all tenants at their
+/// relative volumes and the paper's policies apply to each tenant's stages
+/// individually.
+struct MultiTenantWorkload {
+  MicroserviceRegistry services;
+  ApplicationRegistry applications;
+  WorkloadMix mix;
+
+  /// "tenant/Entity" name helper.
+  static std::string qualify(const std::string& tenant, const std::string& entity) {
+    return tenant + "/" + entity;
+  }
+};
+
+/// Builds the namespaced registries + merged mix for `tenants`, cloning
+/// service profiles and chains from the given base registries.
+/// Throws std::invalid_argument on empty/duplicate tenant names or
+/// non-positive rate shares.
+MultiTenantWorkload combine_tenants(const std::vector<TenantSpec>& tenants,
+                                    const MicroserviceRegistry& base_services,
+                                    const ApplicationRegistry& base_apps);
+
+}  // namespace fifer

@@ -1,0 +1,85 @@
+#include "predict/classic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fifer {
+
+double MovingWindowAverage::forecast(const std::vector<double>& recent) {
+  if (recent.empty()) return 0.0;
+  const std::size_t n = std::min(window_, recent.size());
+  double acc = 0.0;
+  for (std::size_t i = recent.size() - n; i < recent.size(); ++i) acc += recent[i];
+  return acc / static_cast<double>(n);
+}
+
+double Ewma::forecast(const std::vector<double>& recent) {
+  if (recent.empty()) return 0.0;
+  double s = recent.front();
+  for (std::size_t i = 1; i < recent.size(); ++i) {
+    s = alpha_ * recent[i] + (1.0 - alpha_) * s;
+  }
+  return std::max(0.0, s);
+}
+
+namespace {
+
+/// OLS over (index, value); returns {slope, intercept}.
+std::pair<double, double> ols(const std::vector<double>& ys) {
+  const double n = static_cast<double>(ys.size());
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < ys.size(); ++i) {
+    const double x = static_cast<double>(i);
+    sx += x;
+    sy += ys[i];
+    sxx += x * x;
+    sxy += x * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (std::abs(denom) < 1e-12) return {0.0, ys.empty() ? 0.0 : sy / n};
+  const double slope = (n * sxy - sx * sy) / denom;
+  return {slope, (sy - slope * sx) / n};
+}
+
+}  // namespace
+
+double LinearRegressionPredictor::forecast(const std::vector<double>& recent) {
+  if (recent.empty()) return 0.0;
+  if (recent.size() == 1) return std::max(0.0, recent[0]);
+  const auto [slope, intercept] = ols(recent);
+  double best = 0.0;
+  for (std::size_t h = 1; h <= horizon_; ++h) {
+    const double x = static_cast<double>(recent.size() - 1 + h);
+    best = std::max(best, slope * x + intercept);
+  }
+  return std::max(0.0, best);
+}
+
+double LogisticRegressionPredictor::forecast(const std::vector<double>& recent) {
+  if (recent.empty()) return 0.0;
+  const double peak = *std::max_element(recent.begin(), recent.end());
+  if (peak <= 0.0) return 0.0;
+  const double ceiling = headroom_ * peak;
+
+  // Fit logit(y/L) = k*(t - t0) with OLS; clamp into (eps, 1-eps) so zero /
+  // saturated windows stay finite.
+  constexpr double kEps = 1e-3;
+  std::vector<double> logits;
+  logits.reserve(recent.size());
+  for (const double y : recent) {
+    const double p = std::clamp(y / ceiling, kEps, 1.0 - kEps);
+    logits.push_back(std::log(p / (1.0 - p)));
+  }
+  const auto [slope, intercept] = ols(logits);
+
+  double best = 0.0;
+  for (std::size_t h = 1; h <= horizon_; ++h) {
+    const double x = static_cast<double>(recent.size() - 1 + h);
+    const double logit = slope * x + intercept;
+    const double p = 1.0 / (1.0 + std::exp(-logit));
+    best = std::max(best, ceiling * p);
+  }
+  return best;
+}
+
+}  // namespace fifer

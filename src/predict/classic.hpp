@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstddef>
+
+#include "predict/predictor.hpp"
+
+namespace fifer {
+
+/// Moving Window Average: forecast = mean of the last `window` rates.
+class MovingWindowAverage : public LoadPredictor {
+ public:
+  explicit MovingWindowAverage(std::size_t window = 20) : window_(window) {}
+  std::string name() const override { return "MWA"; }
+  double forecast(const std::vector<double>& recent) override;
+
+ private:
+  std::size_t window_;
+};
+
+/// Exponentially Weighted Moving Average with smoothing factor alpha.
+class Ewma : public LoadPredictor {
+ public:
+  explicit Ewma(double alpha = 0.3) : alpha_(alpha) {}
+  std::string name() const override { return "EWMA"; }
+  double forecast(const std::vector<double>& recent) override;
+
+ private:
+  double alpha_;
+};
+
+/// Ordinary-least-squares trend line over the history, extrapolated
+/// `horizon` windows ahead; the forecast is the max of the extrapolated
+/// points (clamped at >= 0).
+class LinearRegressionPredictor : public LoadPredictor {
+ public:
+  explicit LinearRegressionPredictor(std::size_t horizon = 2) : horizon_(horizon) {}
+  std::string name() const override { return "LinearR"; }
+  double forecast(const std::vector<double>& recent) override;
+
+ private:
+  std::size_t horizon_;
+};
+
+/// Logistic growth-curve fit: rates are normalized against a ceiling
+/// L = headroom * max(history), logit-transformed, and fitted with OLS in
+/// logit space (the closed-form way to fit a logistic curve). Extrapolation
+/// `horizon` windows ahead gives the forecast. Captures saturating ramps
+/// better than a straight line but lags sharp spikes — which is exactly the
+/// behaviour that ranks it mid-pack in the paper's Figure 6a.
+class LogisticRegressionPredictor : public LoadPredictor {
+ public:
+  explicit LogisticRegressionPredictor(std::size_t horizon = 2, double headroom = 1.5)
+      : horizon_(horizon), headroom_(headroom) {}
+  std::string name() const override { return "LogisticR"; }
+  double forecast(const std::vector<double>& recent) override;
+
+ private:
+  std::size_t horizon_;
+  double headroom_;
+};
+
+/// Perfect-hindsight predictor for ablations: returns whatever was injected
+/// via set_truth() (the experiment driver feeds it the true future max).
+class OraclePredictor : public LoadPredictor {
+ public:
+  std::string name() const override { return "Oracle"; }
+  void set_truth(double v) { truth_ = v; }
+  double forecast(const std::vector<double>& recent) override {
+    (void)recent;
+    return truth_;
+  }
+
+ private:
+  double truth_ = 0.0;
+};
+
+}  // namespace fifer

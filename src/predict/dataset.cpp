@@ -1,0 +1,41 @@
+#include "predict/dataset.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fifer {
+
+SequenceDataset SequenceDataset::build(const std::vector<double>& rates,
+                                       std::size_t input_window, std::size_t horizon) {
+  if (input_window == 0 || horizon == 0) {
+    throw std::invalid_argument("SequenceDataset: window and horizon must be >= 1");
+  }
+  SequenceDataset ds;
+  if (rates.size() < input_window + horizon) return ds;
+
+  ds.scale = std::max(1.0, *std::max_element(rates.begin(), rates.end()));
+  const std::size_t examples = rates.size() - input_window - horizon + 1;
+  ds.inputs.reserve(examples);
+  ds.targets.reserve(examples);
+  for (std::size_t start = 0; start < examples; ++start) {
+    std::vector<double> window(input_window);
+    for (std::size_t i = 0; i < input_window; ++i) {
+      window[i] = rates[start + i] / ds.scale;
+    }
+    double target = 0.0;
+    for (std::size_t h = 0; h < horizon; ++h) {
+      target = std::max(target, rates[start + input_window + h] / ds.scale);
+    }
+    ds.inputs.push_back(std::move(window));
+    ds.targets.push_back(target);
+  }
+  return ds;
+}
+
+std::vector<double> SequenceDataset::normalize(const std::vector<double>& window) const {
+  std::vector<double> out(window.size());
+  for (std::size_t i = 0; i < window.size(); ++i) out[i] = window[i] / scale;
+  return out;
+}
+
+}  // namespace fifer

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fifer {
+
+/// Supervised sequence dataset for the trainable predictors: each example is
+/// a window of `input_window` consecutive rates and the target is the
+/// *maximum* rate over the following `horizon` windows (matching §4.5: the
+/// model predicts the maximum in the future window Wp). Rates are scaled to
+/// [0, ~1] by the training maximum so batch-size-1 gradient training stays
+/// well-conditioned; `scale` converts back.
+struct SequenceDataset {
+  std::vector<std::vector<double>> inputs;  ///< Normalized windows.
+  std::vector<double> targets;              ///< Normalized future maxima.
+  double scale = 1.0;                       ///< Multiply to de-normalize.
+
+  static SequenceDataset build(const std::vector<double>& rates,
+                               std::size_t input_window, std::size_t horizon);
+
+  std::size_t size() const { return inputs.size(); }
+  bool empty() const { return inputs.empty(); }
+
+  /// Normalizes an inference-time window with this dataset's scale.
+  std::vector<double> normalize(const std::vector<double>& window) const;
+};
+
+}  // namespace fifer

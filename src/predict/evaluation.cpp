@@ -1,0 +1,73 @@
+#include "predict/evaluation.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+#include "predict/window.hpp"
+
+namespace fifer {
+
+PredictorEvaluation evaluate_predictor(LoadPredictor& model, const RateTrace& trace,
+                                       double train_fraction,
+                                       std::size_t window_group,
+                                       std::size_t input_window, std::size_t horizon) {
+  const std::vector<double> windows = windowed_max(trace.rates(), window_group);
+  if (windows.size() < input_window + horizon + 4) {
+    throw std::invalid_argument("evaluate_predictor: trace too short");
+  }
+  const auto cut = static_cast<std::size_t>(train_fraction *
+                                            static_cast<double>(windows.size()));
+
+  if (model.needs_training()) {
+    model.train(std::vector<double>(windows.begin(),
+                                    windows.begin() + static_cast<std::ptrdiff_t>(cut)));
+  }
+
+  PredictorEvaluation eval;
+  eval.model = model.name();
+
+  double latency_acc_ms = 0.0;
+  std::size_t steps = 0;
+  const std::size_t begin = std::max(cut, input_window);
+  for (std::size_t t = begin; t + horizon <= windows.size(); ++t) {
+    const std::vector<double> history(
+        windows.begin() + static_cast<std::ptrdiff_t>(t - input_window),
+        windows.begin() + static_cast<std::ptrdiff_t>(t));
+    const auto start = std::chrono::steady_clock::now();
+    const double pred = model.forecast(history);
+    const auto end = std::chrono::steady_clock::now();
+    latency_acc_ms +=
+        std::chrono::duration<double, std::milli>(end - start).count();
+
+    double truth = 0.0;
+    for (std::size_t h = 0; h < horizon; ++h) {
+      truth = std::max(truth, windows[t + h]);
+    }
+    eval.predicted.push_back(pred);
+    eval.actual.push_back(truth);
+    ++steps;
+  }
+
+  eval.rmse = rmse(eval.actual, eval.predicted);
+  eval.mae = mae(eval.actual, eval.predicted);
+  eval.mean_forecast_latency_ms =
+      steps > 0 ? latency_acc_ms / static_cast<double>(steps) : 0.0;
+  return eval;
+}
+
+std::vector<PredictorEvaluation> evaluate_predictors(
+    const std::vector<std::string>& names, const RateTrace& trace,
+    const TrainConfig& cfg, double train_fraction, std::size_t window_group) {
+  std::vector<PredictorEvaluation> out;
+  out.reserve(names.size());
+  for (const auto& name : names) {
+    auto model = make_predictor(name, cfg);
+    out.push_back(evaluate_predictor(*model, trace, train_fraction, window_group,
+                                     cfg.input_window, cfg.horizon));
+  }
+  return out;
+}
+
+}  // namespace fifer

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "predict/predictor.hpp"
+#include "workload/trace.hpp"
+
+namespace fifer {
+
+/// Outcome of a walk-forward predictor evaluation.
+struct PredictorEvaluation {
+  std::string model;
+  double rmse = 0.0;     ///< Against the true future-window max (req/s).
+  double mae = 0.0;
+  double mean_forecast_latency_ms = 0.0;  ///< Wall-clock per forecast() call.
+  std::vector<double> actual;     ///< True future maxima, one per step.
+  std::vector<double> predicted;  ///< Model forecasts, aligned with actual.
+};
+
+/// Walk-forward evaluation matching the paper's Figure 6 protocol: the
+/// model is (pre-)trained on `train_fraction` of the trace (ML models only)
+/// and then stepped through the remainder, forecasting the max rate over
+/// the next `horizon` windows from the preceding `input_window` windows.
+///
+/// `window_group`: how many 1-unit trace windows form one predictor window
+/// (5 for the paper's 1-s traces and Ws = 5 s).
+PredictorEvaluation evaluate_predictor(LoadPredictor& model, const RateTrace& trace,
+                                       double train_fraction = 0.6,
+                                       std::size_t window_group = 5,
+                                       std::size_t input_window = 20,
+                                       std::size_t horizon = 2);
+
+/// Convenience: builds each named model via make_predictor and evaluates it
+/// on the same trace/protocol, returning results in the given order.
+std::vector<PredictorEvaluation> evaluate_predictors(
+    const std::vector<std::string>& names, const RateTrace& trace,
+    const TrainConfig& cfg, double train_fraction = 0.6,
+    std::size_t window_group = 5);
+
+}  // namespace fifer

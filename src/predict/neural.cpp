@@ -1,0 +1,247 @@
+#include "predict/neural.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+#include "predict/nn/serialize.hpp"
+
+namespace fifer {
+
+namespace {
+
+/// Left-pads (with the earliest value) or truncates `window` to `len`.
+std::vector<double> fit_window(const std::vector<double>& window, std::size_t len) {
+  std::vector<double> out(len, window.empty() ? 0.0 : window.front());
+  const std::size_t n = std::min(len, window.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    out[len - 1 - i] = window[window.size() - 1 - i];
+  }
+  return out;
+}
+
+/// Lifts a scalar series into per-timestep 1-vectors for recurrent layers.
+std::vector<nn::Vec> to_sequence(const std::vector<double>& window) {
+  std::vector<nn::Vec> seq;
+  seq.reserve(window.size());
+  for (const double v : window) seq.push_back(nn::Vec{v});
+  return seq;
+}
+
+}  // namespace
+
+double NeuralPredictor::train_example(const std::vector<double>& window, double target) {
+  const double pred = forward(window);
+  nn::Vec dpred;
+  const double loss = nn::mse_loss({pred}, {target}, dpred);
+  backward(dpred[0]);
+  return loss;
+}
+
+void NeuralPredictor::train(const std::vector<double>& rate_history) {
+  const SequenceDataset ds =
+      SequenceDataset::build(rate_history, cfg_.input_window, cfg_.horizon);
+  if (ds.empty()) {
+    throw std::invalid_argument(
+        "NeuralPredictor::train: history shorter than input_window + horizon");
+  }
+  scale_ = ds.scale;
+
+  nn::Adam opt(params(), cfg_.learning_rate);
+  for (std::size_t epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    double epoch_loss = 0.0;
+    for (std::size_t e = 0; e < ds.size(); ++e) {
+      epoch_loss += train_example(ds.inputs[e], ds.targets[e]);
+      opt.clip_gradients(cfg_.grad_clip);
+      opt.step();
+    }
+    final_loss_ = epoch_loss / static_cast<double>(ds.size());
+  }
+  trained_ = true;
+}
+
+void NeuralPredictor::save(const std::string& path) {
+  if (!trained_) throw std::logic_error("NeuralPredictor::save: train() first");
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("NeuralPredictor::save: cannot open " + path);
+  nn::save_weights(out, params(), scale_);
+}
+
+void NeuralPredictor::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("NeuralPredictor::load: cannot open " + path);
+  scale_ = nn::load_weights(in, params());
+  trained_ = true;
+}
+
+double NeuralPredictor::forecast(const std::vector<double>& recent_rates) {
+  if (!trained_) {
+    throw std::logic_error("NeuralPredictor::forecast: train() first");
+  }
+  std::vector<double> window = fit_window(recent_rates, cfg_.input_window);
+  for (double& v : window) v /= scale_;
+  const double pred = forward(window);
+  return std::max(0.0, pred * scale_);
+}
+
+// ---------------------------------------------------------------- SimpleFF
+
+SimpleFfPredictor::SimpleFfPredictor(const TrainConfig& cfg, std::size_t hidden)
+    : NeuralPredictor(cfg),
+      rng_(cfg.seed),
+      hidden_(cfg.input_window, hidden, nn::Dense::Activation::kRelu, rng_),
+      head_(hidden, 1, nn::Dense::Activation::kLinear, rng_) {}
+
+double SimpleFfPredictor::forward(const std::vector<double>& window) {
+  return head_.forward(hidden_.forward(window))[0];
+}
+
+void SimpleFfPredictor::backward(double dpred) {
+  hidden_.backward(head_.backward({dpred}));
+}
+
+std::vector<nn::ParamRef> SimpleFfPredictor::params() {
+  auto out = hidden_.params();
+  for (auto& p : head_.params()) out.push_back(p);
+  return out;
+}
+
+// -------------------------------------------------------------------- LSTM
+
+LstmPredictor::LstmPredictor(const TrainConfig& cfg, std::size_t hidden,
+                             std::size_t layers)
+    : NeuralPredictor(cfg),
+      rng_(cfg.seed),
+      head_(hidden, 1, nn::Dense::Activation::kLinear, rng_) {
+  if (layers == 0) throw std::invalid_argument("LstmPredictor: layers must be >= 1");
+  lstms_.reserve(layers);
+  lstms_.emplace_back(1, hidden, rng_);
+  for (std::size_t l = 1; l < layers; ++l) lstms_.emplace_back(hidden, hidden, rng_);
+}
+
+double LstmPredictor::forward(const std::vector<double>& window) {
+  std::vector<nn::Vec> seq = to_sequence(window);
+  last_seq_len_ = seq.size();
+  for (auto& layer : lstms_) seq = layer.forward(seq);
+  return head_.forward(seq.back())[0];
+}
+
+void LstmPredictor::backward(double dpred) {
+  // Loss touches only the final timestep of the top layer; each layer's
+  // input gradients are exactly the hidden-output gradients of the layer
+  // below, so the sequence-shaped gradient cascades straight down the stack.
+  std::vector<nn::Vec> dh_seq(last_seq_len_,
+                              nn::Vec(lstms_.back().hidden_dim(), 0.0));
+  dh_seq.back() = head_.backward({dpred});
+  for (std::size_t l = lstms_.size(); l-- > 0;) {
+    dh_seq = lstms_[l].backward(dh_seq);
+  }
+}
+
+std::vector<nn::ParamRef> LstmPredictor::params() {
+  std::vector<nn::ParamRef> out;
+  for (auto& l : lstms_) {
+    for (auto& p : l.params()) out.push_back(p);
+  }
+  for (auto& p : head_.params()) out.push_back(p);
+  return out;
+}
+
+// ------------------------------------------------------------------ DeepAR
+
+DeepArPredictor::DeepArPredictor(const TrainConfig& cfg, std::size_t hidden,
+                                 std::size_t forecast_samples)
+    : NeuralPredictor(cfg),
+      rng_(cfg.seed),
+      sample_rng_(cfg.seed ^ 0xDEE9A4ull),
+      gru_(1, hidden, rng_),
+      head_(hidden, 2, nn::Dense::Activation::kLinear, rng_),
+      forecast_samples_(std::max<std::size_t>(1, forecast_samples)) {}
+
+double DeepArPredictor::forward(const std::vector<double>& window) {
+  std::vector<nn::Vec> seq = to_sequence(window);
+  last_seq_len_ = seq.size();
+  const std::vector<nn::Vec> hs = gru_.forward(seq);
+  last_pred_ = head_.forward(hs.back());
+  last_mu_ = last_pred_[0] * scale_;
+  const double sigma_norm = std::exp(std::clamp(last_pred_[1], -5.0, 5.0));
+  last_sigma_ = sigma_norm * scale_;
+  if (!trained_) return last_pred_[0];  // during training: analytic mean
+  // Inference: median of a few draws from N(mu, sigma), as DeepAR samples
+  // its forecast paths.
+  std::vector<double> draws(forecast_samples_);
+  for (double& d : draws) d = last_pred_[0] + sigma_norm * sample_rng_.normal(0.0, 1.0);
+  std::nth_element(draws.begin(), draws.begin() + static_cast<std::ptrdiff_t>(draws.size() / 2),
+                   draws.end());
+  return draws[draws.size() / 2];
+}
+
+void DeepArPredictor::backward(double dpred) {
+  // MSE path (only used if someone trains DeepAR with the default hook):
+  // gradient flows into mu only.
+  nn::Vec dh_last = head_.backward({dpred, 0.0});
+  std::vector<nn::Vec> dh_seq(last_seq_len_, nn::Vec(gru_.hidden_dim(), 0.0));
+  dh_seq.back() = dh_last;
+  gru_.backward(dh_seq);
+}
+
+double DeepArPredictor::train_example(const std::vector<double>& window,
+                                      double target) {
+  forward(window);
+  nn::Vec dpred;
+  const double loss = nn::gaussian_nll_loss(last_pred_, target, dpred);
+  nn::Vec dh_last = head_.backward(dpred);
+  std::vector<nn::Vec> dh_seq(last_seq_len_, nn::Vec(gru_.hidden_dim(), 0.0));
+  dh_seq.back() = dh_last;
+  gru_.backward(dh_seq);
+  return loss;
+}
+
+std::vector<nn::ParamRef> DeepArPredictor::params() {
+  auto out = gru_.params();
+  for (auto& p : head_.params()) out.push_back(p);
+  return out;
+}
+
+// ----------------------------------------------------------------- WaveNet
+
+WaveNetPredictor::WaveNetPredictor(const TrainConfig& cfg, std::size_t channels)
+    : NeuralPredictor(cfg),
+      rng_(cfg.seed),
+      head_(channels, 1, nn::Dense::Activation::kLinear, rng_) {
+  const std::size_t dilations[] = {1, 2, 4, 8};
+  std::size_t in_ch = 1;
+  for (const std::size_t d : dilations) {
+    convs_.emplace_back(in_ch, channels, 2, d, nn::CausalConv1d::Activation::kTanh,
+                        rng_);
+    in_ch = channels;
+  }
+}
+
+double WaveNetPredictor::forward(const std::vector<double>& window) {
+  std::vector<nn::Vec> seq = to_sequence(window);
+  last_seq_len_ = seq.size();
+  for (auto& conv : convs_) seq = conv.forward(seq);
+  return head_.forward(seq.back())[0];
+}
+
+void WaveNetPredictor::backward(double dpred) {
+  nn::Vec d_last = head_.backward({dpred});
+  std::vector<nn::Vec> dy(last_seq_len_, nn::Vec(convs_.back().out_channels(), 0.0));
+  dy.back() = d_last;
+  for (std::size_t c = convs_.size(); c-- > 0;) {
+    dy = convs_[c].backward(dy);
+  }
+}
+
+std::vector<nn::ParamRef> WaveNetPredictor::params() {
+  std::vector<nn::ParamRef> out;
+  for (auto& c : convs_) {
+    for (auto& p : c.params()) out.push_back(p);
+  }
+  for (auto& p : head_.params()) out.push_back(p);
+  return out;
+}
+
+}  // namespace fifer

@@ -1,0 +1,141 @@
+#pragma once
+
+#include <memory>
+
+#include "predict/dataset.hpp"
+#include "predict/nn/conv1d.hpp"
+#include "predict/nn/gru.hpp"
+#include "predict/nn/lstm.hpp"
+#include "predict/nn/optimizer.hpp"
+#include "predict/predictor.hpp"
+
+namespace fifer {
+
+/// Common scaffolding for the trainable predictors: dataset construction,
+/// the epoch loop, input normalization, and forecast clamping. Subclasses
+/// implement the per-example forward/backward.
+class NeuralPredictor : public LoadPredictor {
+ public:
+  explicit NeuralPredictor(const TrainConfig& cfg) : cfg_(cfg) {}
+
+  bool needs_training() const override { return true; }
+  void train(const std::vector<double>& rate_history) override;
+  double forecast(const std::vector<double>& recent_rates) override;
+
+  bool trained() const { return trained_; }
+  /// Mean training loss of the final epoch (exposed for tests/benches).
+  double final_epoch_loss() const { return final_loss_; }
+
+  /// Persists the trained weights + normalization scale so a model trained
+  /// offline can be shipped to the scheduler (the paper's offline step).
+  /// Throws std::logic_error if not trained, std::runtime_error on I/O.
+  void save(const std::string& path);
+  /// Restores weights saved by save(); the architecture (and therefore the
+  /// TrainConfig used at construction) must match. Marks the model trained.
+  void load(const std::string& path);
+
+ protected:
+  /// Forward pass on a normalized window; returns the normalized forecast.
+  virtual double forward(const std::vector<double>& window) = 0;
+  /// Backward pass for the latest forward given dLoss/dprediction.
+  virtual void backward(double dpred) = 0;
+  virtual std::vector<nn::ParamRef> params() = 0;
+
+  /// One training example: forward, loss, backward. Default = MSE on the
+  /// scalar forecast; DeepAR overrides with Gaussian NLL. Returns the loss.
+  virtual double train_example(const std::vector<double>& window, double target);
+
+  TrainConfig cfg_;
+  double scale_ = 1.0;
+  bool trained_ = false;
+  double final_loss_ = 0.0;
+};
+
+/// Simple Feed-Forward network: Dense(W -> 32, relu) -> Dense(32 -> 1).
+class SimpleFfPredictor : public NeuralPredictor {
+ public:
+  explicit SimpleFfPredictor(const TrainConfig& cfg, std::size_t hidden = 32);
+  std::string name() const override { return "SimpleFF"; }
+
+ protected:
+  double forward(const std::vector<double>& window) override;
+  void backward(double dpred) override;
+  std::vector<nn::ParamRef> params() override;
+
+ private:
+  Rng rng_;
+  nn::Dense hidden_, head_;
+};
+
+/// The paper's Fifer model: 2 stacked LSTM layers x 32 units + linear head,
+/// trained with batch size 1 (§5.1).
+class LstmPredictor : public NeuralPredictor {
+ public:
+  explicit LstmPredictor(const TrainConfig& cfg, std::size_t hidden = 32,
+                         std::size_t layers = 2);
+  std::string name() const override { return "LSTM"; }
+
+ protected:
+  double forward(const std::vector<double>& window) override;
+  void backward(double dpred) override;
+  std::vector<nn::ParamRef> params() override;
+
+ private:
+  Rng rng_;
+  std::vector<nn::LstmLayer> lstms_;
+  nn::Dense head_;
+  std::size_t last_seq_len_ = 0;
+};
+
+/// DeepAR-style probabilistic forecaster: GRU + (mu, log_sigma) head trained
+/// with Gaussian NLL. Like the real DeepAREstimator, the point forecast is
+/// produced by *sampling* the predictive distribution (median of a small
+/// number of draws) rather than returning the analytic mean — the sampling
+/// variance is part of the method's error profile.
+class DeepArPredictor : public NeuralPredictor {
+ public:
+  explicit DeepArPredictor(const TrainConfig& cfg, std::size_t hidden = 32,
+                           std::size_t forecast_samples = 1);
+  std::string name() const override { return "DeepAR"; }
+
+  /// Mean and sigma of the latest forecast (denormalized).
+  std::pair<double, double> last_distribution() const { return {last_mu_, last_sigma_}; }
+
+ protected:
+  double forward(const std::vector<double>& window) override;
+  void backward(double dpred) override;
+  std::vector<nn::ParamRef> params() override;
+  /// Trains against the Gaussian negative log-likelihood instead of MSE.
+  double train_example(const std::vector<double>& window, double target) override;
+
+ private:
+  Rng rng_;
+  Rng sample_rng_;
+  nn::GruLayer gru_;
+  nn::Dense head_;
+  std::size_t forecast_samples_;
+  std::size_t last_seq_len_ = 0;
+  nn::Vec last_pred_{0.0, 0.0};
+  double last_mu_ = 0.0, last_sigma_ = 0.0;
+};
+
+/// WaveNet-style model: a stack of dilated causal convolutions
+/// (dilations 1,2,4,8, tanh) with a linear head on the last timestep.
+class WaveNetPredictor : public NeuralPredictor {
+ public:
+  explicit WaveNetPredictor(const TrainConfig& cfg, std::size_t channels = 16);
+  std::string name() const override { return "WaveNet"; }
+
+ protected:
+  double forward(const std::vector<double>& window) override;
+  void backward(double dpred) override;
+  std::vector<nn::ParamRef> params() override;
+
+ private:
+  Rng rng_;
+  std::vector<nn::CausalConv1d> convs_;
+  nn::Dense head_;
+  std::size_t last_seq_len_ = 0;
+};
+
+}  // namespace fifer

@@ -1,0 +1,92 @@
+#include "predict/nn/conv1d.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fifer::nn {
+
+CausalConv1d::CausalConv1d(std::size_t in_channels, std::size_t out_channels,
+                           std::size_t kernel, std::size_t dilation, Activation act,
+                           Rng& rng)
+    : in_ch_(in_channels),
+      out_ch_(out_channels),
+      kernel_(kernel),
+      dilation_(dilation),
+      w_(Matrix::xavier(out_channels, in_channels * kernel, rng)),
+      b_(out_channels, 1, 0.0),
+      dw_(out_channels, in_channels * kernel, 0.0),
+      db_(out_channels, 1, 0.0),
+      act_(act) {
+  if (kernel == 0 || dilation == 0) {
+    throw std::invalid_argument("CausalConv1d: kernel and dilation must be >= 1");
+  }
+}
+
+std::vector<Vec> CausalConv1d::forward(const std::vector<Vec>& xs) {
+  x_cache_ = xs;
+  y_cache_.assign(xs.size(), Vec(out_ch_, 0.0));
+  for (std::size_t t = 0; t < xs.size(); ++t) {
+    if (xs[t].size() != in_ch_) throw std::invalid_argument("CausalConv1d: bad channels");
+    Vec& y = y_cache_[t];
+    for (std::size_t o = 0; o < out_ch_; ++o) {
+      double acc = b_(o, 0);
+      for (std::size_t k = 0; k < kernel_; ++k) {
+        const std::ptrdiff_t src =
+            static_cast<std::ptrdiff_t>(t) - static_cast<std::ptrdiff_t>(k * dilation_);
+        if (src < 0) continue;  // causal zero padding
+        const Vec& x = xs[static_cast<std::size_t>(src)];
+        for (std::size_t i = 0; i < in_ch_; ++i) {
+          acc += w_(o, i * kernel_ + k) * x[i];
+        }
+      }
+      switch (act_) {
+        case Activation::kLinear: y[o] = acc; break;
+        case Activation::kTanh: y[o] = std::tanh(acc); break;
+        case Activation::kRelu: y[o] = acc > 0.0 ? acc : 0.0; break;
+      }
+    }
+  }
+  return y_cache_;
+}
+
+std::vector<Vec> CausalConv1d::backward(const std::vector<Vec>& dy_seq) {
+  if (dy_seq.size() != x_cache_.size()) {
+    throw std::invalid_argument("CausalConv1d::backward: sequence length mismatch");
+  }
+  std::vector<Vec> dx(x_cache_.size(), Vec(in_ch_, 0.0));
+  for (std::size_t t = 0; t < dy_seq.size(); ++t) {
+    for (std::size_t o = 0; o < out_ch_; ++o) {
+      double dz = dy_seq[t][o];
+      switch (act_) {
+        case Activation::kLinear: break;
+        case Activation::kTanh: dz *= 1.0 - y_cache_[t][o] * y_cache_[t][o]; break;
+        case Activation::kRelu: dz *= y_cache_[t][o] > 0.0 ? 1.0 : 0.0; break;
+      }
+      if (dz == 0.0) continue;
+      db_(o, 0) += dz;
+      for (std::size_t k = 0; k < kernel_; ++k) {
+        const std::ptrdiff_t src =
+            static_cast<std::ptrdiff_t>(t) - static_cast<std::ptrdiff_t>(k * dilation_);
+        if (src < 0) continue;
+        const Vec& x = x_cache_[static_cast<std::size_t>(src)];
+        Vec& dxi = dx[static_cast<std::size_t>(src)];
+        for (std::size_t i = 0; i < in_ch_; ++i) {
+          dw_(o, i * kernel_ + k) += dz * x[i];
+          dxi[i] += dz * w_(o, i * kernel_ + k);
+        }
+      }
+    }
+  }
+  return dx;
+}
+
+std::vector<ParamRef> CausalConv1d::params() {
+  return {{&w_, &dw_}, {&b_, &db_}};
+}
+
+void CausalConv1d::zero_grads() {
+  dw_.fill(0.0);
+  db_.fill(0.0);
+}
+
+}  // namespace fifer::nn

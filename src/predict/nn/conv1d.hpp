@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+#include "predict/nn/layer.hpp"
+#include "predict/nn/matrix.hpp"
+
+namespace fifer::nn {
+
+/// Dilated *causal* 1-D convolution over a sequence of channel vectors —
+/// the building block of the WaveNet-style predictor (Figure 6a's
+/// "WeaveNet" comparison point). Output at time t sees only inputs at
+/// t, t-d, t-2d, ... (zero-padded before the sequence start), so stacking
+/// layers with dilations 1, 2, 4, 8 gives an exponentially growing causal
+/// receptive field.
+class CausalConv1d {
+ public:
+  enum class Activation { kLinear, kTanh, kRelu };
+
+  CausalConv1d(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel, std::size_t dilation, Activation act, Rng& rng);
+
+  std::size_t in_channels() const { return in_ch_; }
+  std::size_t out_channels() const { return out_ch_; }
+  std::size_t kernel() const { return kernel_; }
+  std::size_t dilation() const { return dilation_; }
+
+  /// Convolves the whole sequence; same length out as in.
+  std::vector<Vec> forward(const std::vector<Vec>& xs);
+
+  /// Backprop through the cached forward; returns input gradients.
+  std::vector<Vec> backward(const std::vector<Vec>& dy_seq);
+
+  std::vector<ParamRef> params();
+  void zero_grads();
+
+ private:
+  /// Weight layout: w_(o, i * kernel + k) multiplies input channel i at
+  /// time offset -k*dilation.
+  std::size_t in_ch_, out_ch_, kernel_, dilation_;
+  Matrix w_, b_;
+  Matrix dw_, db_;
+  Activation act_;
+  std::vector<Vec> x_cache_;
+  std::vector<Vec> y_cache_;
+};
+
+}  // namespace fifer::nn

@@ -1,0 +1,161 @@
+#include "predict/nn/gru.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fifer::nn {
+
+GruLayer::GruLayer(std::size_t input_dim, std::size_t hidden_dim, Rng& rng)
+    : hidden_(hidden_dim),
+      wx_(Matrix::xavier(3 * hidden_dim, input_dim, rng)),
+      wh_(Matrix::xavier(3 * hidden_dim, hidden_dim, rng)),
+      b_(3 * hidden_dim, 1, 0.0),
+      dwx_(3 * hidden_dim, input_dim, 0.0),
+      dwh_(3 * hidden_dim, hidden_dim, 0.0),
+      db_(3 * hidden_dim, 1, 0.0) {}
+
+std::vector<Vec> GruLayer::forward(const std::vector<Vec>& xs) {
+  cache_.clear();
+  cache_.reserve(xs.size());
+  Vec h(hidden_, 0.0);
+  std::vector<Vec> hs;
+  hs.reserve(xs.size());
+
+  for (const Vec& x : xs) {
+    if (x.size() != wx_.cols()) throw std::invalid_argument("GruLayer: bad input dim");
+    StepCache sc;
+    sc.x = x;
+    sc.h_prev = h;
+
+    const Vec zx = matvec(wx_, x);  // stacked [z, r, n] input contributions
+
+    sc.z.resize(hidden_);
+    sc.r.resize(hidden_);
+    // z and r depend on h_prev directly.
+    for (std::size_t j = 0; j < hidden_; ++j) {
+      double az = zx[j] + b_(j, 0);
+      double ar = zx[hidden_ + j] + b_(hidden_ + j, 0);
+      for (std::size_t k = 0; k < hidden_; ++k) {
+        az += wh_(j, k) * h[k];
+        ar += wh_(hidden_ + j, k) * h[k];
+      }
+      sc.z[j] = 1.0 / (1.0 + std::exp(-az));
+      sc.r[j] = 1.0 / (1.0 + std::exp(-ar));
+    }
+
+    sc.rh = hadamard(sc.r, h);
+    sc.n.resize(hidden_);
+    for (std::size_t j = 0; j < hidden_; ++j) {
+      double an = zx[2 * hidden_ + j] + b_(2 * hidden_ + j, 0);
+      for (std::size_t k = 0; k < hidden_; ++k) {
+        an += wh_(2 * hidden_ + j, k) * sc.rh[k];
+      }
+      sc.n[j] = std::tanh(an);
+    }
+
+    Vec h_new(hidden_);
+    for (std::size_t j = 0; j < hidden_; ++j) {
+      h_new[j] = (1.0 - sc.z[j]) * sc.n[j] + sc.z[j] * h[j];
+    }
+    h = h_new;
+    sc.h = h;
+    hs.push_back(h);
+    cache_.push_back(std::move(sc));
+  }
+  return hs;
+}
+
+std::vector<Vec> GruLayer::backward(const std::vector<Vec>& dh_seq) {
+  if (dh_seq.size() != cache_.size()) {
+    throw std::invalid_argument("GruLayer::backward: sequence length mismatch");
+  }
+  std::vector<Vec> dx_seq(cache_.size());
+  Vec dh_next(hidden_, 0.0);
+
+  for (std::size_t t = cache_.size(); t-- > 0;) {
+    const StepCache& sc = cache_[t];
+    Vec dh = dh_seq[t];
+    add_in_place(dh, dh_next);
+
+    // h' = (1-z) n + z h_prev
+    Vec dn(hidden_), dz(hidden_);
+    Vec dh_prev(hidden_, 0.0);
+    for (std::size_t j = 0; j < hidden_; ++j) {
+      dn[j] = dh[j] * (1.0 - sc.z[j]);
+      dz[j] = dh[j] * (sc.h_prev[j] - sc.n[j]);
+      dh_prev[j] = dh[j] * sc.z[j];
+    }
+
+    // Pre-activation gradients.
+    Vec dn_pre(hidden_), dz_pre(hidden_);
+    for (std::size_t j = 0; j < hidden_; ++j) {
+      dn_pre[j] = dn[j] * (1.0 - sc.n[j] * sc.n[j]);
+      dz_pre[j] = dz[j] * sc.z[j] * (1.0 - sc.z[j]);
+    }
+
+    // Candidate path: n depends on Wn x + Un (r h).
+    Vec drh(hidden_, 0.0);
+    for (std::size_t j = 0; j < hidden_; ++j) {
+      for (std::size_t k = 0; k < hidden_; ++k) {
+        drh[k] += wh_(2 * hidden_ + j, k) * dn_pre[j];
+      }
+    }
+    Vec dr_pre(hidden_);
+    for (std::size_t j = 0; j < hidden_; ++j) {
+      const double dr = drh[j] * sc.h_prev[j];
+      dh_prev[j] += drh[j] * sc.r[j];
+      dr_pre[j] = dr * sc.r[j] * (1.0 - sc.r[j]);
+    }
+
+    // Weight gradients for the three stacked blocks.
+    for (std::size_t j = 0; j < hidden_; ++j) {
+      for (std::size_t c = 0; c < wx_.cols(); ++c) {
+        dwx_(j, c) += dz_pre[j] * sc.x[c];
+        dwx_(hidden_ + j, c) += dr_pre[j] * sc.x[c];
+        dwx_(2 * hidden_ + j, c) += dn_pre[j] * sc.x[c];
+      }
+      for (std::size_t k = 0; k < hidden_; ++k) {
+        dwh_(j, k) += dz_pre[j] * sc.h_prev[k];
+        dwh_(hidden_ + j, k) += dr_pre[j] * sc.h_prev[k];
+        dwh_(2 * hidden_ + j, k) += dn_pre[j] * sc.rh[k];
+      }
+      db_(j, 0) += dz_pre[j];
+      db_(hidden_ + j, 0) += dr_pre[j];
+      db_(2 * hidden_ + j, 0) += dn_pre[j];
+    }
+
+    // Gradients flowing to h_prev via the z / r gate inputs.
+    for (std::size_t j = 0; j < hidden_; ++j) {
+      for (std::size_t k = 0; k < hidden_; ++k) {
+        dh_prev[k] += wh_(j, k) * dz_pre[j];
+        dh_prev[k] += wh_(hidden_ + j, k) * dr_pre[j];
+      }
+    }
+
+    // Input gradient across all three blocks.
+    Vec dx(wx_.cols(), 0.0);
+    for (std::size_t j = 0; j < hidden_; ++j) {
+      for (std::size_t c = 0; c < wx_.cols(); ++c) {
+        dx[c] += wx_(j, c) * dz_pre[j];
+        dx[c] += wx_(hidden_ + j, c) * dr_pre[j];
+        dx[c] += wx_(2 * hidden_ + j, c) * dn_pre[j];
+      }
+    }
+
+    dx_seq[t] = std::move(dx);
+    dh_next = std::move(dh_prev);
+  }
+  return dx_seq;
+}
+
+std::vector<ParamRef> GruLayer::params() {
+  return {{&wx_, &dwx_}, {&wh_, &dwh_}, {&b_, &db_}};
+}
+
+void GruLayer::zero_grads() {
+  dwx_.fill(0.0);
+  dwh_.fill(0.0);
+  db_.fill(0.0);
+}
+
+}  // namespace fifer::nn

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <vector>
+
+#include "predict/nn/layer.hpp"
+#include "predict/nn/matrix.hpp"
+
+namespace fifer::nn {
+
+/// One GRU layer — the recurrent core of the DeepAR-style probabilistic
+/// predictor (Figure 6a's "DeepArEst" comparison point).
+///
+/// Gate layout in the stacked matrices is [update z, reset r, candidate n],
+/// rows [0,H), [H,2H), [2H,3H). Uses the standard formulation
+///   z = sigma(Wz x + Uz h + bz)
+///   r = sigma(Wr x + Ur h + br)
+///   n = tanh(Wn x + Un (r*h) + bn)
+///   h' = (1-z)*n + z*h
+class GruLayer {
+ public:
+  GruLayer(std::size_t input_dim, std::size_t hidden_dim, Rng& rng);
+
+  std::size_t input_dim() const { return wx_.cols(); }
+  std::size_t hidden_dim() const { return hidden_; }
+
+  /// Runs over the sequence from a zero state; returns all hidden states.
+  std::vector<Vec> forward(const std::vector<Vec>& xs);
+
+  /// Backprop through the cached sequence; accumulates weight grads and
+  /// returns input gradients.
+  std::vector<Vec> backward(const std::vector<Vec>& dh_seq);
+
+  std::vector<ParamRef> params();
+  void zero_grads();
+
+ private:
+  struct StepCache {
+    Vec x, h_prev;
+    Vec z, r, n;   ///< Post-activation gates.
+    Vec rh;        ///< r * h_prev (input to the candidate path).
+    Vec h;
+  };
+
+  std::size_t hidden_;
+  Matrix wx_, wh_, b_;  // (3H x I), (3H x H), (3H x 1)
+  Matrix dwx_, dwh_, db_;
+  std::vector<StepCache> cache_;
+};
+
+}  // namespace fifer::nn

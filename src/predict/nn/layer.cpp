@@ -1,0 +1,83 @@
+#include "predict/nn/layer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fifer::nn {
+
+Dense::Dense(std::size_t in_dim, std::size_t out_dim, Activation act, Rng& rng)
+    : w_(Matrix::xavier(out_dim, in_dim, rng)),
+      b_(out_dim, 1, 0.0),
+      dw_(out_dim, in_dim, 0.0),
+      db_(out_dim, 1, 0.0),
+      act_(act) {}
+
+Vec Dense::forward(const Vec& x) {
+  x_cache_ = x;
+  Vec z = matvec(w_, x);
+  for (std::size_t i = 0; i < z.size(); ++i) z[i] += b_(i, 0);
+  switch (act_) {
+    case Activation::kLinear: y_cache_ = z; break;
+    case Activation::kTanh: y_cache_ = tanh_vec(z); break;
+    case Activation::kSigmoid: y_cache_ = sigmoid_vec(z); break;
+    case Activation::kRelu: y_cache_ = relu_vec(z); break;
+  }
+  return y_cache_;
+}
+
+Vec Dense::backward(const Vec& dy) {
+  if (x_cache_.empty()) throw std::logic_error("Dense::backward before forward");
+  Vec dz;
+  switch (act_) {
+    case Activation::kLinear: dz = dy; break;
+    case Activation::kTanh: dz = hadamard(dy, dtanh_from_y(y_cache_)); break;
+    case Activation::kSigmoid: dz = hadamard(dy, dsigmoid_from_y(y_cache_)); break;
+    case Activation::kRelu: dz = hadamard(dy, drelu_from_y(y_cache_)); break;
+  }
+  add_outer(dw_, dz, x_cache_);
+  for (std::size_t i = 0; i < dz.size(); ++i) db_(i, 0) += dz[i];
+  return matvec_transposed(w_, dz);
+}
+
+std::vector<ParamRef> Dense::params() {
+  return {{&w_, &dw_}, {&b_, &db_}};
+}
+
+void Dense::zero_grads() {
+  dw_.fill(0.0);
+  db_.fill(0.0);
+}
+
+double mse_loss(const Vec& prediction, const Vec& target, Vec& dpred) {
+  if (prediction.size() != target.size()) {
+    throw std::invalid_argument("mse_loss: size mismatch");
+  }
+  dpred.assign(prediction.size(), 0.0);
+  double loss = 0.0;
+  const double n = static_cast<double>(prediction.size());
+  for (std::size_t i = 0; i < prediction.size(); ++i) {
+    const double d = prediction[i] - target[i];
+    loss += d * d / n;
+    dpred[i] = 2.0 * d / n;
+  }
+  return loss;
+}
+
+double gaussian_nll_loss(const Vec& pred, double target, Vec& dpred) {
+  if (pred.size() != 2) {
+    throw std::invalid_argument("gaussian_nll_loss: expected {mu, log_sigma}");
+  }
+  const double mu = pred[0];
+  // Clamp log_sigma for numerical stability during early training.
+  const double log_sigma = std::clamp(pred[1], -5.0, 5.0);
+  const double sigma = std::exp(log_sigma);
+  const double z = (target - mu) / sigma;
+  const double loss = 0.5 * z * z + log_sigma;
+  dpred.assign(2, 0.0);
+  dpred[0] = -z / sigma;
+  dpred[1] = 1.0 - z * z;
+  return loss;
+}
+
+}  // namespace fifer::nn

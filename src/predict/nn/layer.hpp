@@ -1,0 +1,52 @@
+#pragma once
+
+#include <vector>
+
+#include "predict/nn/matrix.hpp"
+
+namespace fifer::nn {
+
+/// A trainable parameter paired with its gradient accumulator. Layers hand
+/// these out to the optimizer; the layer retains ownership.
+struct ParamRef {
+  Matrix* value = nullptr;
+  Matrix* grad = nullptr;
+};
+
+/// Fully-connected layer: y = act(W x + b).
+class Dense {
+ public:
+  enum class Activation { kLinear, kTanh, kSigmoid, kRelu };
+
+  Dense(std::size_t in_dim, std::size_t out_dim, Activation act, Rng& rng);
+
+  std::size_t in_dim() const { return w_.cols(); }
+  std::size_t out_dim() const { return w_.rows(); }
+
+  /// Forward pass; caches input and activation for the next backward().
+  Vec forward(const Vec& x);
+
+  /// Backward pass for the most recent forward(); accumulates weight/bias
+  /// gradients and returns dLoss/dx.
+  Vec backward(const Vec& dy);
+
+  std::vector<ParamRef> params();
+  void zero_grads();
+
+ private:
+  Matrix w_, b_;        // b_ stored as (out, 1)
+  Matrix dw_, db_;
+  Activation act_;
+  Vec x_cache_;
+  Vec y_cache_;
+};
+
+/// Mean-squared-error loss for scalar or vector targets.
+/// Returns the loss; fills `dpred` with dLoss/dprediction.
+double mse_loss(const Vec& prediction, const Vec& target, Vec& dpred);
+
+/// Gaussian negative log-likelihood for (mean, log_sigma) heads — the
+/// DeepAR-style probabilistic objective. `pred` = {mu, log_sigma}.
+double gaussian_nll_loss(const Vec& pred, double target, Vec& dpred);
+
+}  // namespace fifer::nn

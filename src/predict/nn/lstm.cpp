@@ -1,0 +1,128 @@
+#include "predict/nn/lstm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fifer::nn {
+
+namespace {
+
+/// Forget-gate bias starts at 1.0 — the standard trick that keeps memory
+/// flowing early in training.
+Matrix initial_bias(std::size_t hidden) {
+  Matrix b(4 * hidden, 1, 0.0);
+  for (std::size_t i = hidden; i < 2 * hidden; ++i) b(i, 0) = 1.0;
+  return b;
+}
+
+}  // namespace
+
+LstmLayer::LstmLayer(std::size_t input_dim, std::size_t hidden_dim, Rng& rng)
+    : hidden_(hidden_dim),
+      wx_(Matrix::xavier(4 * hidden_dim, input_dim, rng)),
+      wh_(Matrix::xavier(4 * hidden_dim, hidden_dim, rng)),
+      b_(initial_bias(hidden_dim)),
+      dwx_(4 * hidden_dim, input_dim, 0.0),
+      dwh_(4 * hidden_dim, hidden_dim, 0.0),
+      db_(4 * hidden_dim, 1, 0.0) {}
+
+std::vector<Vec> LstmLayer::forward(const std::vector<Vec>& xs) {
+  cache_.clear();
+  cache_.reserve(xs.size());
+  Vec h(hidden_, 0.0);
+  Vec c(hidden_, 0.0);
+  std::vector<Vec> hs;
+  hs.reserve(xs.size());
+
+  for (const Vec& x : xs) {
+    if (x.size() != wx_.cols()) throw std::invalid_argument("LstmLayer: bad input dim");
+    StepCache sc;
+    sc.x = x;
+    sc.h_prev = h;
+    sc.c_prev = c;
+
+    Vec z = matvec(wx_, x);
+    add_in_place(z, matvec(wh_, h));
+    for (std::size_t i = 0; i < z.size(); ++i) z[i] += b_(i, 0);
+
+    sc.i.resize(hidden_);
+    sc.f.resize(hidden_);
+    sc.g.resize(hidden_);
+    sc.o.resize(hidden_);
+    for (std::size_t j = 0; j < hidden_; ++j) {
+      sc.i[j] = 1.0 / (1.0 + std::exp(-z[j]));
+      sc.f[j] = 1.0 / (1.0 + std::exp(-z[hidden_ + j]));
+      sc.g[j] = std::tanh(z[2 * hidden_ + j]);
+      sc.o[j] = 1.0 / (1.0 + std::exp(-z[3 * hidden_ + j]));
+    }
+
+    c = hadamard(sc.f, c);
+    add_in_place(c, hadamard(sc.i, sc.g));
+    sc.c = c;
+    sc.tanh_c = tanh_vec(c);
+    h = hadamard(sc.o, sc.tanh_c);
+    sc.h = h;
+
+    hs.push_back(h);
+    cache_.push_back(std::move(sc));
+  }
+  return hs;
+}
+
+std::vector<Vec> LstmLayer::backward(const std::vector<Vec>& dh_seq) {
+  if (dh_seq.size() != cache_.size()) {
+    throw std::invalid_argument("LstmLayer::backward: sequence length mismatch");
+  }
+  std::vector<Vec> dx_seq(cache_.size());
+  Vec dh_next(hidden_, 0.0);  // dLoss/dh flowing from t+1.
+  Vec dc_next(hidden_, 0.0);  // dLoss/dc flowing from t+1.
+
+  for (std::size_t t = cache_.size(); t-- > 0;) {
+    const StepCache& sc = cache_[t];
+    Vec dh = dh_seq[t];
+    add_in_place(dh, dh_next);
+
+    // h = o * tanh(c)
+    const Vec do_gate = hadamard(dh, sc.tanh_c);
+    Vec dc = hadamard(dh, sc.o);
+    for (std::size_t j = 0; j < hidden_; ++j) {
+      dc[j] *= 1.0 - sc.tanh_c[j] * sc.tanh_c[j];
+      dc[j] += dc_next[j];
+    }
+
+    // c = f * c_prev + i * g
+    const Vec df = hadamard(dc, sc.c_prev);
+    const Vec di = hadamard(dc, sc.g);
+    const Vec dg = hadamard(dc, sc.i);
+    dc_next = hadamard(dc, sc.f);
+
+    // Pre-activation gradients, stacked [i, f, g, o].
+    Vec dz(4 * hidden_, 0.0);
+    for (std::size_t j = 0; j < hidden_; ++j) {
+      dz[j] = di[j] * sc.i[j] * (1.0 - sc.i[j]);
+      dz[hidden_ + j] = df[j] * sc.f[j] * (1.0 - sc.f[j]);
+      dz[2 * hidden_ + j] = dg[j] * (1.0 - sc.g[j] * sc.g[j]);
+      dz[3 * hidden_ + j] = do_gate[j] * sc.o[j] * (1.0 - sc.o[j]);
+    }
+
+    add_outer(dwx_, dz, sc.x);
+    add_outer(dwh_, dz, sc.h_prev);
+    for (std::size_t j = 0; j < dz.size(); ++j) db_(j, 0) += dz[j];
+
+    dx_seq[t] = matvec_transposed(wx_, dz);
+    dh_next = matvec_transposed(wh_, dz);
+  }
+  return dx_seq;
+}
+
+std::vector<ParamRef> LstmLayer::params() {
+  return {{&wx_, &dwx_}, {&wh_, &dwh_}, {&b_, &db_}};
+}
+
+void LstmLayer::zero_grads() {
+  dwx_.fill(0.0);
+  dwh_.fill(0.0);
+  db_.fill(0.0);
+}
+
+}  // namespace fifer::nn

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+#include "predict/nn/layer.hpp"
+#include "predict/nn/matrix.hpp"
+
+namespace fifer::nn {
+
+/// One LSTM layer (Hochreiter & Schmidhuber 1997 — the paper's reference
+/// [51]) processing a full sequence with truncated-BPTT-free exact
+/// backpropagation over that sequence.
+///
+/// Gate layout in the stacked weight matrices is [input, forget, cell,
+/// output], i.e. rows [0,H), [H,2H), [2H,3H), [3H,4H).
+class LstmLayer {
+ public:
+  LstmLayer(std::size_t input_dim, std::size_t hidden_dim, Rng& rng);
+
+  std::size_t input_dim() const { return wx_.cols(); }
+  std::size_t hidden_dim() const { return hidden_; }
+
+  /// Runs the layer over `xs` from a zero initial state; returns the hidden
+  /// state at every timestep. Caches everything needed by backward().
+  std::vector<Vec> forward(const std::vector<Vec>& xs);
+
+  /// Backpropagates gradients w.r.t. every timestep's hidden output
+  /// (callers that only use the final hidden state pass zeros elsewhere).
+  /// Accumulates weight gradients; returns gradients w.r.t. the inputs.
+  std::vector<Vec> backward(const std::vector<Vec>& dh_seq);
+
+  std::vector<ParamRef> params();
+  void zero_grads();
+
+ private:
+  struct StepCache {
+    Vec x, h_prev, c_prev;
+    Vec i, f, g, o;  ///< Post-activation gate values.
+    Vec c, tanh_c, h;
+  };
+
+  std::size_t hidden_;
+  Matrix wx_, wh_, b_;     // (4H x I), (4H x H), (4H x 1)
+  Matrix dwx_, dwh_, db_;
+  std::vector<StepCache> cache_;
+};
+
+}  // namespace fifer::nn

@@ -1,0 +1,159 @@
+#include "predict/nn/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace fifer::nn {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::zeros(std::size_t rows, std::size_t cols) { return Matrix(rows, cols); }
+
+Matrix Matrix::xavier(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  const double bound = std::sqrt(6.0 / static_cast<double>(rows + cols));
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = rng.uniform(-bound, bound);
+  }
+  return m;
+}
+
+void Matrix::fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+Matrix& Matrix::operator+=(const Matrix& o) {
+  if (!same_shape(o)) throw std::invalid_argument("Matrix += shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& o) {
+  if (!same_shape(o)) throw std::invalid_argument("Matrix -= shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+Vec matvec(const Matrix& m, const Vec& x) {
+  if (x.size() != m.cols()) throw std::invalid_argument("matvec: shape mismatch");
+  Vec y(m.rows(), 0.0);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    double acc = 0.0;
+    const double* row = m.data() + r * m.cols();
+    for (std::size_t c = 0; c < m.cols(); ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+Vec matvec_transposed(const Matrix& m, const Vec& x) {
+  if (x.size() != m.rows()) {
+    throw std::invalid_argument("matvec_transposed: shape mismatch");
+  }
+  Vec y(m.cols(), 0.0);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const double* row = m.data() + r * m.cols();
+    const double xr = x[r];
+    for (std::size_t c = 0; c < m.cols(); ++c) y[c] += row[c] * xr;
+  }
+  return y;
+}
+
+void add_outer(Matrix& g, const Vec& a, const Vec& b) {
+  if (g.rows() != a.size() || g.cols() != b.size()) {
+    throw std::invalid_argument("add_outer: shape mismatch");
+  }
+  for (std::size_t r = 0; r < a.size(); ++r) {
+    double* row = g.data() + r * g.cols();
+    for (std::size_t c = 0; c < b.size(); ++c) row[c] += a[r] * b[c];
+  }
+}
+
+namespace {
+void check_sizes(const Vec& a, const Vec& b, const char* what) {
+  if (a.size() != b.size()) throw std::invalid_argument(std::string(what) + ": size mismatch");
+}
+}  // namespace
+
+Vec operator+(const Vec& a, const Vec& b) {
+  check_sizes(a, b, "Vec+");
+  Vec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Vec operator-(const Vec& a, const Vec& b) {
+  check_sizes(a, b, "Vec-");
+  Vec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Vec hadamard(const Vec& a, const Vec& b) {
+  check_sizes(a, b, "hadamard");
+  Vec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+  return out;
+}
+
+Vec scaled(const Vec& a, double s) {
+  Vec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * s;
+  return out;
+}
+
+void add_in_place(Vec& a, const Vec& b) {
+  check_sizes(a, b, "add_in_place");
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] += b[i];
+}
+
+double dot(const Vec& a, const Vec& b) {
+  check_sizes(a, b, "dot");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+Vec tanh_vec(const Vec& x) {
+  Vec y(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = std::tanh(x[i]);
+  return y;
+}
+
+Vec sigmoid_vec(const Vec& x) {
+  Vec y(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = 1.0 / (1.0 + std::exp(-x[i]));
+  return y;
+}
+
+Vec relu_vec(const Vec& x) {
+  Vec y(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i] > 0.0 ? x[i] : 0.0;
+  return y;
+}
+
+Vec dtanh_from_y(const Vec& y) {
+  Vec d(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) d[i] = 1.0 - y[i] * y[i];
+  return d;
+}
+
+Vec dsigmoid_from_y(const Vec& y) {
+  Vec d(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) d[i] = y[i] * (1.0 - y[i]);
+  return d;
+}
+
+Vec drelu_from_y(const Vec& y) {
+  Vec d(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) d[i] = y[i] > 0.0 ? 1.0 : 0.0;
+  return d;
+}
+
+}  // namespace fifer::nn

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace fifer::nn {
+
+/// Dense row-major matrix of doubles. Deliberately minimal: just the
+/// operations the NN layers need, no expression templates, no BLAS — the
+/// models here are tiny (32-unit layers trained with batch size 1, per the
+/// paper §5.1), so clarity beats throughput.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  static Matrix zeros(std::size_t rows, std::size_t cols);
+  /// Xavier/Glorot uniform initialization, the standard for tanh/sigmoid nets.
+  static Matrix xavier(std::size_t rows, std::size_t cols, Rng& rng);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  void fill(double v);
+
+  Matrix& operator+=(const Matrix& o);
+  Matrix& operator-=(const Matrix& o);
+  Matrix& operator*=(double s);
+
+  bool same_shape(const Matrix& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// A plain vector of activations.
+using Vec = std::vector<double>;
+
+/// y = M x  (matrix-vector product). Requires x.size() == M.cols().
+Vec matvec(const Matrix& m, const Vec& x);
+
+/// y = M^T x (transposed product). Requires x.size() == M.rows().
+Vec matvec_transposed(const Matrix& m, const Vec& x);
+
+/// G += a b^T (rank-1 update; the weight-gradient pattern of dense layers).
+void add_outer(Matrix& g, const Vec& a, const Vec& b);
+
+Vec operator+(const Vec& a, const Vec& b);
+Vec operator-(const Vec& a, const Vec& b);
+/// Element-wise product.
+Vec hadamard(const Vec& a, const Vec& b);
+Vec scaled(const Vec& a, double s);
+void add_in_place(Vec& a, const Vec& b);
+
+double dot(const Vec& a, const Vec& b);
+
+/// Element-wise activations and their derivatives expressed in terms of the
+/// *activated* value (the form backprop wants).
+Vec tanh_vec(const Vec& x);
+Vec sigmoid_vec(const Vec& x);
+Vec relu_vec(const Vec& x);
+/// d tanh = 1 - y^2, with y = tanh(x).
+Vec dtanh_from_y(const Vec& y);
+/// d sigmoid = y (1 - y), with y = sigmoid(x).
+Vec dsigmoid_from_y(const Vec& y);
+/// d relu = 1 if y > 0 else 0, with y = relu(x).
+Vec drelu_from_y(const Vec& y);
+
+}  // namespace fifer::nn

@@ -1,0 +1,80 @@
+#include "predict/nn/optimizer.hpp"
+
+#include <cmath>
+
+namespace fifer::nn {
+
+void Optimizer::clip_gradients(double max_norm) {
+  double sq = 0.0;
+  for (const ParamRef& p : params_) {
+    for (std::size_t i = 0; i < p.grad->size(); ++i) {
+      const double g = p.grad->data()[i];
+      sq += g * g;
+    }
+  }
+  const double norm = std::sqrt(sq);
+  if (norm <= max_norm || norm == 0.0) return;
+  const double scale = max_norm / norm;
+  for (const ParamRef& p : params_) {
+    for (std::size_t i = 0; i < p.grad->size(); ++i) {
+      p.grad->data()[i] *= scale;
+    }
+  }
+}
+
+Sgd::Sgd(std::vector<ParamRef> params, double lr, double momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  velocity_.reserve(params_.size());
+  for (const ParamRef& p : params_) {
+    velocity_.emplace_back(p.value->size(), 0.0);
+  }
+}
+
+void Sgd::step() {
+  for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+    const ParamRef& p = params_[pi];
+    auto& vel = velocity_[pi];
+    for (std::size_t i = 0; i < p.value->size(); ++i) {
+      vel[i] = momentum_ * vel[i] - lr_ * p.grad->data()[i];
+      p.value->data()[i] += vel[i];
+    }
+    p.grad->fill(0.0);
+  }
+}
+
+Adam::Adam(std::vector<ParamRef> params, double lr, double beta1, double beta2,
+           double epsilon)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const ParamRef& p : params_) {
+    m_.emplace_back(p.value->size(), 0.0);
+    v_.emplace_back(p.value->size(), 0.0);
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+    const ParamRef& p = params_[pi];
+    auto& m = m_[pi];
+    auto& v = v_[pi];
+    for (std::size_t i = 0; i < p.value->size(); ++i) {
+      const double g = p.grad->data()[i];
+      m[i] = beta1_ * m[i] + (1.0 - beta1_) * g;
+      v[i] = beta2_ * v[i] + (1.0 - beta2_) * g * g;
+      const double mhat = m[i] / bc1;
+      const double vhat = v[i] / bc2;
+      p.value->data()[i] -= lr_ * mhat / (std::sqrt(vhat) + epsilon_);
+    }
+    p.grad->fill(0.0);
+  }
+}
+
+}  // namespace fifer::nn

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <vector>
+
+#include "predict/nn/layer.hpp"
+
+namespace fifer::nn {
+
+/// Optimizer interface over a fixed set of parameter/gradient pairs.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<ParamRef> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update from the accumulated gradients, then zeroes them.
+  virtual void step() = 0;
+
+  /// Clips the global gradient norm to `max_norm` (recurrent nets need
+  /// this; exploding gradients otherwise derail batch-size-1 training).
+  void clip_gradients(double max_norm);
+
+ protected:
+  std::vector<ParamRef> params_;
+};
+
+/// Plain SGD with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<ParamRef> params, double lr, double momentum = 0.0);
+  void step() override;
+
+ private:
+  double lr_;
+  double momentum_;
+  std::vector<std::vector<double>> velocity_;
+};
+
+/// Adam (Kingma & Ba) — the default for the ML predictors.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<ParamRef> params, double lr = 1e-3, double beta1 = 0.9,
+       double beta2 = 0.999, double epsilon = 1e-8);
+  void step() override;
+
+ private:
+  double lr_, beta1_, beta2_, epsilon_;
+  std::vector<std::vector<double>> m_, v_;
+  long t_ = 0;
+};
+
+}  // namespace fifer::nn

@@ -1,0 +1,47 @@
+#include "predict/nn/serialize.hpp"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace fifer::nn {
+
+void save_weights(std::ostream& os, const std::vector<ParamRef>& params,
+                  double scale) {
+  os.precision(17);
+  os << "fifer-nn 1\n" << params.size() << ' ' << scale << '\n';
+  for (const ParamRef& p : params) {
+    os << p.value->rows() << ' ' << p.value->cols();
+    for (std::size_t i = 0; i < p.value->size(); ++i) {
+      os << ' ' << p.value->data()[i];
+    }
+    os << '\n';
+  }
+}
+
+double load_weights(std::istream& is, const std::vector<ParamRef>& params) {
+  std::string magic;
+  int version = 0;
+  if (!(is >> magic >> version) || magic != "fifer-nn" || version != 1) {
+    throw std::runtime_error("load_weights: bad header");
+  }
+  std::size_t count = 0;
+  double scale = 1.0;
+  if (!(is >> count >> scale) || count != params.size()) {
+    throw std::runtime_error("load_weights: parameter count mismatch");
+  }
+  for (const ParamRef& p : params) {
+    std::size_t rows = 0, cols = 0;
+    if (!(is >> rows >> cols) || rows != p.value->rows() || cols != p.value->cols()) {
+      throw std::runtime_error("load_weights: tensor shape mismatch");
+    }
+    for (std::size_t i = 0; i < p.value->size(); ++i) {
+      if (!(is >> p.value->data()[i])) {
+        throw std::runtime_error("load_weights: truncated tensor data");
+      }
+    }
+  }
+  return scale;
+}
+
+}  // namespace fifer::nn

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "predict/nn/layer.hpp"
+
+namespace fifer::nn {
+
+/// Text-based weight (de)serialization for the NN predictors: the paper's
+/// models are trained offline (§4.1/§5.1), so shipping pre-trained weights
+/// to the scheduler is part of the deployment story.
+///
+/// Format (line-oriented, platform-independent):
+///   fifer-nn 1
+///   <param_count> <scale>
+///   <rows> <cols> v v v ...        (one line per parameter tensor)
+
+/// Writes `params` (values only) plus the caller's normalization scale.
+void save_weights(std::ostream& os, const std::vector<ParamRef>& params,
+                  double scale);
+
+/// Restores previously saved weights into `params` (shapes must match) and
+/// returns the stored scale. Throws std::runtime_error on format or shape
+/// mismatch.
+double load_weights(std::istream& is, const std::vector<ParamRef>& params);
+
+}  // namespace fifer::nn

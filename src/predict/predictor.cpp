@@ -1,0 +1,57 @@
+#include "predict/predictor.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+#include "predict/classic.hpp"
+#include "predict/neural.hpp"
+#include "predict/seasonal.hpp"
+
+namespace fifer {
+
+namespace {
+std::string to_lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+}  // namespace
+
+std::unique_ptr<LoadPredictor> make_predictor(const std::string& name,
+                                              const TrainConfig& cfg) {
+  const std::string key = to_lower(name);
+  if (key == "mwa") return std::make_unique<MovingWindowAverage>();
+  if (key == "ewma") return std::make_unique<Ewma>();
+  if (key == "linreg" || key == "linearr") {
+    return std::make_unique<LinearRegressionPredictor>(cfg.horizon);
+  }
+  if (key == "logreg" || key == "logisticr") {
+    return std::make_unique<LogisticRegressionPredictor>(cfg.horizon);
+  }
+  if (key == "ff" || key == "simpleff") return std::make_unique<SimpleFfPredictor>(cfg);
+  if (key == "wavenet" || key == "weavenet") {
+    return std::make_unique<WaveNetPredictor>(cfg);
+  }
+  if (key == "deepar" || key == "deeparest") return std::make_unique<DeepArPredictor>(cfg);
+  if (key == "lstm") return std::make_unique<LstmPredictor>(cfg);
+  if (key == "oracle") return std::make_unique<OraclePredictor>();
+  // Extension baselines (not among the paper's eight): seasonal models
+  // keyed to the prediction horizon's natural period.
+  if (key == "seasonal" || key == "seasonalnaive") {
+    return std::make_unique<SeasonalNaivePredictor>(
+        std::max<std::size_t>(2, cfg.seasonal_period), cfg.horizon);
+  }
+  if (key == "hw" || key == "holtwinters") {
+    return std::make_unique<HoltWintersPredictor>(
+        std::max<std::size_t>(2, cfg.seasonal_period), cfg.horizon);
+  }
+  throw std::invalid_argument("unknown predictor: " + name);
+}
+
+std::vector<std::string> paper_predictor_names() {
+  // Figure 6a's x-axis order.
+  return {"MWA", "EWMA", "LinReg", "LogReg", "SimpleFF", "WaveNet", "DeepAR", "LSTM"};
+}
+
+}  // namespace fifer

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace fifer {
+
+/// Load-prediction interface shared by the eight models the paper compares
+/// (§4.5.1, Figure 6a).
+///
+/// Inputs are windowed arrival rates (req/s, oldest first; window size Ws as
+/// produced by WindowSampler). The forecast answers: what is the maximum
+/// arrival rate expected over the *prediction window* Wp that follows?
+///
+/// Non-ML models (MWA, EWMA, linear/logistic regression) re-fit on the given
+/// history at every call — the paper "continuously fits them over requests
+/// in the last t-100 seconds for every T". ML models (SimpleFF, WaveNet-
+/// style, DeepAR-style, LSTM) are pre-trained once via train() on 60% of the
+/// arrival trace and then queried.
+class LoadPredictor {
+ public:
+  virtual ~LoadPredictor() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Offline pre-training on a windowed rate history (no-op for the
+  /// continuously-fitted classic models).
+  virtual void train(const std::vector<double>& rate_history) { (void)rate_history; }
+
+  /// Forecasts the max req/s over the upcoming prediction window given the
+  /// recent window rates. Must return a finite value >= 0.
+  virtual double forecast(const std::vector<double>& recent_rates) = 0;
+
+  /// True for models requiring train() before forecast().
+  virtual bool needs_training() const { return false; }
+};
+
+/// Configuration shared by the trainable predictors.
+struct TrainConfig {
+  std::size_t input_window = 20;  ///< #history windows fed to the model.
+  std::size_t horizon = 2;  ///< #future windows whose max is the target.
+  std::size_t epochs = 30;
+  double learning_rate = 1e-3;
+  double grad_clip = 1.0;
+  std::uint64_t seed = 42;
+  /// Season length in windows for the seasonal baselines ("seasonal",
+  /// "hw"); e.g. a 600 s day at Ws = 5 s is 120 windows.
+  std::size_t seasonal_period = 120;
+};
+
+/// Factory by model name (case-insensitive): "mwa", "ewma", "linreg",
+/// "logreg", "ff", "wavenet", "deepar", "lstm", plus "oracle" (perfect
+/// hindsight upper bound used in ablations) and "none".
+/// Throws std::invalid_argument for unknown names.
+std::unique_ptr<LoadPredictor> make_predictor(const std::string& name,
+                                              const TrainConfig& cfg = {});
+
+/// All eight paper model names in Figure 6a's order.
+std::vector<std::string> paper_predictor_names();
+
+}  // namespace fifer

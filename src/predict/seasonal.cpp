@@ -1,0 +1,143 @@
+#include "predict/seasonal.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fifer {
+
+std::size_t count_new_values(const std::vector<double>& previous,
+                             const std::vector<double>& current) {
+  if (previous.empty()) return current.size();
+  // Try the smallest shift first: shift k means the last (n - k) values of
+  // `previous` equal the first (n - k) values of `current`, so k trailing
+  // values are new.
+  const std::size_t n = current.size();
+  for (std::size_t k = 0; k <= n; ++k) {
+    const std::size_t overlap = n - k;
+    if (overlap > previous.size()) continue;
+    bool match = true;
+    for (std::size_t i = 0; i < overlap; ++i) {
+      if (previous[previous.size() - overlap + i] != current[i]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return k;
+  }
+  return n;
+}
+
+SeasonalNaivePredictor::SeasonalNaivePredictor(std::size_t period,
+                                               std::size_t horizon)
+    : period_(period), horizon_(std::max<std::size_t>(1, horizon)) {
+  if (period == 0) {
+    throw std::invalid_argument("SeasonalNaivePredictor: period must be >= 1");
+  }
+}
+
+void SeasonalNaivePredictor::train(const std::vector<double>& rate_history) {
+  if (rate_history.size() < period_) {
+    throw std::invalid_argument(
+        "SeasonalNaivePredictor: history shorter than one season");
+  }
+  history_ = rate_history;
+  // Seed the overlap detector with the training tail: the first inference
+  // window usually overlaps it.
+  last_window_ = rate_history;
+  trained_ = true;
+}
+
+double SeasonalNaivePredictor::forecast(const std::vector<double>& recent) {
+  if (!trained_) {
+    throw std::logic_error("SeasonalNaivePredictor: train() first");
+  }
+  // Fold only the genuinely new observations into the anchored history so
+  // overlapping windows across calls do not duplicate (and de-phase) it.
+  const std::size_t fresh = count_new_values(last_window_, recent);
+  history_.insert(history_.end(), recent.end() - static_cast<std::ptrdiff_t>(fresh),
+                  recent.end());
+  last_window_ = recent;
+
+  double best = 0.0;
+  for (std::size_t h = 1; h <= horizon_; ++h) {
+    // The forecast for "now + h" is the value one season earlier.
+    const std::size_t idx = history_.size() + h - 1 - period_;
+    if (idx < history_.size()) best = std::max(best, history_[idx]);
+  }
+  return std::max(0.0, best);
+}
+
+HoltWintersPredictor::HoltWintersPredictor(std::size_t period, std::size_t horizon)
+    : HoltWintersPredictor(period, horizon, Params{}) {}
+
+HoltWintersPredictor::HoltWintersPredictor(std::size_t period, std::size_t horizon,
+                                           Params params)
+    : period_(period), horizon_(std::max<std::size_t>(1, horizon)), params_(params) {
+  if (period == 0) {
+    throw std::invalid_argument("HoltWintersPredictor: period must be >= 1");
+  }
+}
+
+void HoltWintersPredictor::step(double observed, double& level, double& trend,
+                                std::vector<double>& season,
+                                std::size_t& phase) const {
+  const double s = season[phase];
+  const double prev_level = level;
+  level = params_.alpha * (observed - s) + (1.0 - params_.alpha) * (level + trend);
+  trend = params_.beta * (level - prev_level) + (1.0 - params_.beta) * trend;
+  season[phase] = params_.gamma * (observed - level) + (1.0 - params_.gamma) * s;
+  phase = (phase + 1) % season.size();
+}
+
+void HoltWintersPredictor::train(const std::vector<double>& rate_history) {
+  if (rate_history.size() < 2 * period_) {
+    throw std::invalid_argument(
+        "HoltWintersPredictor: need at least two seasons of history");
+  }
+  // Initialize: level = first-season mean, trend from season-over-season
+  // drift, seasonal indices as deviations from the first-season mean.
+  double first_mean = 0.0, second_mean = 0.0;
+  for (std::size_t i = 0; i < period_; ++i) {
+    first_mean += rate_history[i];
+    second_mean += rate_history[period_ + i];
+  }
+  first_mean /= static_cast<double>(period_);
+  second_mean /= static_cast<double>(period_);
+
+  level_ = first_mean;
+  trend_ = (second_mean - first_mean) / static_cast<double>(period_);
+  season_.assign(period_, 0.0);
+  for (std::size_t i = 0; i < period_; ++i) {
+    season_[i] = rate_history[i] - first_mean;
+  }
+  phase_ = 0;
+
+  for (const double observed : rate_history) {
+    step(observed, level_, trend_, season_, phase_);
+  }
+  // Seed the overlap detector with the training tail: the first inference
+  // window usually overlaps it.
+  last_window_ = rate_history;
+  trained_ = true;
+}
+
+double HoltWintersPredictor::forecast(const std::vector<double>& recent) {
+  if (!trained_) throw std::logic_error("HoltWintersPredictor: train() first");
+  // Advance the persistent state by only the genuinely new observations —
+  // the seasonal phase must march in lockstep with real time even though
+  // successive calls hand us overlapping windows.
+  const std::size_t fresh = count_new_values(last_window_, recent);
+  for (std::size_t i = recent.size() - fresh; i < recent.size(); ++i) {
+    step(recent[i], level_, trend_, season_, phase_);
+  }
+  last_window_ = recent;
+
+  double best = 0.0;
+  for (std::size_t h = 1; h <= horizon_; ++h) {
+    const double s = season_[(phase_ + h - 1) % season_.size()];
+    best = std::max(best, level_ + static_cast<double>(h) * trend_ + s);
+  }
+  return std::max(0.0, best);
+}
+
+}  // namespace fifer

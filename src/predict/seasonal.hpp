@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "predict/predictor.hpp"
+
+namespace fifer {
+
+/// Seasonal-naive forecaster (extension beyond the paper's eight models):
+/// the forecast for window t is the observed rate one season earlier,
+/// maxed over the prediction horizon. The textbook baseline for strongly
+/// periodic load such as the diurnal Wiki trace. train() anchors the
+/// seasonal history; forecast() aligns the recent window against it.
+class SeasonalNaivePredictor : public LoadPredictor {
+ public:
+  /// `period` in windows (e.g. a 600 s "day" at Ws = 5 s -> 120);
+  /// `horizon` windows are forecast and maxed.
+  explicit SeasonalNaivePredictor(std::size_t period, std::size_t horizon = 2);
+
+  std::string name() const override { return "SeasonalNaive"; }
+  bool needs_training() const override { return true; }
+  void train(const std::vector<double>& rate_history) override;
+  double forecast(const std::vector<double>& recent_rates) override;
+
+ private:
+  std::size_t period_;
+  std::size_t horizon_;
+  std::vector<double> history_;
+  std::vector<double> last_window_;
+  bool trained_ = false;
+};
+
+/// Additive Holt-Winters (triple exponential smoothing) forecaster —
+/// level + trend + seasonal components updated by simple recursions; the
+/// classical statistical answer to periodic load, included as a stronger
+/// non-neural baseline. train() fits the state through the history;
+/// forecast() advances a copy of the state through the recent window and
+/// extrapolates, returning the max over the horizon.
+class HoltWintersPredictor : public LoadPredictor {
+ public:
+  struct Params {
+    double alpha = 0.30;  ///< Level smoothing.
+    double beta = 0.05;   ///< Trend smoothing.
+    double gamma = 0.30;  ///< Seasonal smoothing.
+  };
+
+  explicit HoltWintersPredictor(std::size_t period, std::size_t horizon = 2);
+  HoltWintersPredictor(std::size_t period, std::size_t horizon, Params params);
+
+  std::string name() const override { return "HoltWinters"; }
+  bool needs_training() const override { return true; }
+  void train(const std::vector<double>& rate_history) override;
+  double forecast(const std::vector<double>& recent_rates) override;
+
+  double level() const { return level_; }
+  double trend() const { return trend_; }
+
+ private:
+  void step(double observed, double& level, double& trend,
+            std::vector<double>& season, std::size_t& phase) const;
+
+  std::size_t period_;
+  std::size_t horizon_;
+  Params params_;
+  double level_ = 0.0;
+  double trend_ = 0.0;
+  std::vector<double> season_;
+  std::size_t phase_ = 0;  ///< Next seasonal index to consume.
+  std::vector<double> last_window_;
+  bool trained_ = false;
+};
+
+/// Both seasonal models receive sliding windows that overlap between calls
+/// (the load balancer re-sends most of the same history every tick). This
+/// helper counts how many trailing values of `current` are genuinely new
+/// relative to `previous` by finding the longest suffix-of-previous /
+/// prefix-of-current match. All of `current` is new when nothing matches.
+std::size_t count_new_values(const std::vector<double>& previous,
+                             const std::vector<double>& current);
+
+}  // namespace fifer

@@ -1,0 +1,76 @@
+#include "predict/window.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fifer {
+
+WindowSampler::WindowSampler(SimDuration window_ms, std::size_t history_windows)
+    : window_ms_(window_ms), history_(history_windows) {
+  if (window_ms <= 0.0 || history_windows == 0) {
+    throw std::invalid_argument("WindowSampler: bad parameters");
+  }
+  counts_.assign(history_, 0);
+}
+
+std::int64_t WindowSampler::window_index(SimTime t) const {
+  return static_cast<std::int64_t>(std::floor(t / window_ms_));
+}
+
+void WindowSampler::roll_to(std::int64_t idx) {
+  while (newest_index_ < idx) {
+    counts_.push_back(0);
+    if (counts_.size() > history_) counts_.pop_front();
+    ++newest_index_;
+  }
+}
+
+void WindowSampler::record_arrival(SimTime t) {
+  const std::int64_t idx = window_index(t);
+  if (idx < newest_index_ - static_cast<std::int64_t>(history_) + 1) {
+    throw std::logic_error("WindowSampler: arrival older than retained history");
+  }
+  roll_to(idx);
+  const auto offset = static_cast<std::size_t>(
+      static_cast<std::int64_t>(counts_.size()) - 1 - (newest_index_ - idx));
+  ++counts_[offset];
+  ++total_;
+}
+
+std::vector<double> WindowSampler::window_rates(SimTime now) const {
+  const std::int64_t now_idx = window_index(now);
+  const double per_window_s = to_seconds(window_ms_);
+  std::vector<double> rates(history_, 0.0);
+  // Map retained counts onto the window frame ending at now_idx.
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::int64_t idx =
+        newest_index_ - static_cast<std::int64_t>(counts_.size() - 1 - i);
+    const std::int64_t age = now_idx - idx;  // 0 = current window
+    if (age < 0 || age >= static_cast<std::int64_t>(history_)) continue;
+    const auto pos = history_ - 1 - static_cast<std::size_t>(age);
+    rates[pos] = static_cast<double>(counts_[i]) / per_window_s;
+  }
+  return rates;
+}
+
+double WindowSampler::global_max_rate(SimTime now) const {
+  const auto rates = window_rates(now);
+  return rates.empty() ? 0.0 : *std::max_element(rates.begin(), rates.end());
+}
+
+std::vector<double> windowed_max(const std::vector<double>& rates, std::size_t group) {
+  if (group == 0) throw std::invalid_argument("windowed_max: group must be >= 1");
+  std::vector<double> out;
+  out.reserve(rates.size() / group + 1);
+  for (std::size_t i = 0; i < rates.size(); i += group) {
+    double m = 0.0;
+    for (std::size_t j = i; j < std::min(rates.size(), i + group); ++j) {
+      m = std::max(m, rates[j]);
+    }
+    out.push_back(m);
+  }
+  return out;
+}
+
+}  // namespace fifer

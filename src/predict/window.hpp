@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fifer {
+
+/// Arrival-rate window sampler implementing the paper's §4.5 feature scheme:
+/// for a monitoring interval T (10 s), sample the arrival rate in adjacent
+/// windows of size Ws (5 s) over the past 100 s, tracking the maximum rate
+/// seen in each window. The resulting 20-value vector is what the load
+/// predictors consume.
+class WindowSampler {
+ public:
+  /// `window_ms` = Ws; `history_windows` = how many windows to retain
+  /// (100 s / 5 s = 20 by default).
+  explicit WindowSampler(SimDuration window_ms = seconds(5.0),
+                         std::size_t history_windows = 20);
+
+  SimDuration window_ms() const { return window_ms_; }
+  std::size_t history_windows() const { return history_; }
+
+  /// Records one request arrival at simulated time `t` (monotone
+  /// non-decreasing across calls).
+  void record_arrival(SimTime t);
+
+  /// Rates (req/s) for the most recent `history_windows` *completed plus
+  /// current* windows as of `now`, oldest first. Windows with no arrivals
+  /// report 0. Always returns exactly `history_windows` values (zero-padded
+  /// at the old end early in a run).
+  std::vector<double> window_rates(SimTime now) const;
+
+  /// Highest window rate in the current history — the paper's "global
+  /// maximum arrival rate".
+  double global_max_rate(SimTime now) const;
+
+  /// Total arrivals recorded.
+  std::uint64_t total_arrivals() const { return total_; }
+
+ private:
+  std::int64_t window_index(SimTime t) const;
+  void roll_to(std::int64_t idx);
+
+  SimDuration window_ms_;
+  std::size_t history_;
+  std::int64_t newest_index_ = 0;
+  std::deque<std::uint64_t> counts_;  ///< counts_[i]: window newest_index_-(n-1-i).
+  std::uint64_t total_ = 0;
+};
+
+/// Aggregates a fine-grained rate series (e.g. 1-s trace windows) into
+/// coarser windows by taking the *maximum* within each group — matching the
+/// sampler's max-tracking semantics. The tail group may be partial.
+std::vector<double> windowed_max(const std::vector<double>& rates, std::size_t group);
+
+}  // namespace fifer

@@ -1,0 +1,54 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace fifer {
+
+EventId EventQueue::schedule(SimTime at, Callback cb) {
+  if (at < watermark_) {
+    throw std::logic_error("EventQueue: scheduling into the past");
+  }
+  const std::uint64_t seq = next_seq_++;
+  const auto id = static_cast<EventId>(seq);
+  heap_.push(Entry{at, seq, id});
+  callbacks_.emplace(seq, std::move(cb));
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  const auto erased = callbacks_.erase(static_cast<std::uint64_t>(id));
+  if (erased > 0) {
+    --live_count_;
+    return true;
+  }
+  return false;
+}
+
+void EventQueue::drop_cancelled() const {
+  while (!heap_.empty() &&
+         callbacks_.find(static_cast<std::uint64_t>(heap_.top().id)) == callbacks_.end()) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() const {
+  drop_cancelled();
+  return heap_.empty() ? kNeverTime : heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_cancelled();
+  if (heap_.empty()) {
+    throw std::logic_error("EventQueue: pop on empty queue");
+  }
+  const Entry top = heap_.top();
+  heap_.pop();
+  auto node = callbacks_.extract(static_cast<std::uint64_t>(top.id));
+  --live_count_;
+  watermark_ = top.time;
+  return Fired{top.time, std::move(node.mapped())};
+}
+
+}  // namespace fifer

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fifer {
+
+/// Handle returned by EventQueue::schedule, usable to cancel the event.
+enum class EventId : std::uint64_t {};
+
+/// Time-ordered event queue at the heart of the discrete-event simulator.
+///
+/// Ordering is (time, sequence): events at equal simulated times fire in the
+/// order they were scheduled, making runs deterministic regardless of heap
+/// internals. Cancellation is lazy — cancelled ids are skipped at pop time —
+/// which keeps schedule/cancel O(log n) without heap surgery.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `cb` to fire at absolute simulated time `at`.
+  /// `at` must be >= the time of the last popped event (no scheduling into
+  /// the past); violations throw std::logic_error.
+  EventId schedule(SimTime at, Callback cb);
+
+  /// Cancels a pending event. Returns false if it already fired or was
+  /// already cancelled.
+  bool cancel(EventId id);
+
+  bool empty() const { return live_count_ == 0; }
+  std::size_t size() const { return live_count_; }
+
+  /// Time of the earliest pending event; kNeverTime when empty.
+  SimTime next_time() const;
+
+  /// Pops and returns the earliest event. Precondition: !empty().
+  struct Fired {
+    SimTime time;
+    Callback callback;
+  };
+  Fired pop();
+
+  /// Time of the most recently popped event (the "now" watermark).
+  SimTime watermark() const { return watermark_; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    EventId id;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_map<std::uint64_t, Callback> callbacks_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_count_ = 0;
+  SimTime watermark_ = 0.0;
+};
+
+}  // namespace fifer

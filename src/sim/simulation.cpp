@@ -1,0 +1,64 @@
+#include "sim/simulation.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+namespace fifer {
+
+EventId Simulation::at(SimTime when, EventQueue::Callback cb) {
+  if (when < now_) {
+    throw std::logic_error("Simulation::at: time is in the past");
+  }
+  return queue_.schedule(when, std::move(cb));
+}
+
+EventId Simulation::after(SimDuration delay, EventQueue::Callback cb) {
+  return at(now_ + std::max(0.0, delay), std::move(cb));
+}
+
+void Simulation::every(SimDuration period, std::function<void(SimTime)> cb) {
+  if (period <= 0.0) {
+    throw std::invalid_argument("Simulation::every: period must be positive");
+  }
+  // The tick re-schedules itself; copies of `tick` share state via
+  // shared_ptr-free recursion: each occurrence captures by value.
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, period, cb = std::move(cb), tick]() {
+    cb(now_);
+    if (!stopped_) {
+      after(period, [tick] { (*tick)(); });
+    }
+  };
+  after(period, [tick] { (*tick)(); });
+}
+
+std::uint64_t Simulation::run_until(SimTime deadline) {
+  std::uint64_t executed = 0;
+  while (!stopped_ && !queue_.empty() && queue_.next_time() <= deadline) {
+    auto fired = queue_.pop();
+    now_ = fired.time;
+    fired.callback();
+    ++executed;
+  }
+  // Advance the clock to the deadline so back-to-back run_until calls
+  // observe contiguous time even across idle gaps.
+  if (!stopped_ && deadline != kNeverTime && deadline > now_) now_ = deadline;
+  events_executed_ += executed;
+  return executed;
+}
+
+std::uint64_t Simulation::run_to_completion() {
+  std::uint64_t executed = 0;
+  while (!stopped_ && !queue_.empty()) {
+    auto fired = queue_.pop();
+    now_ = fired.time;
+    fired.callback();
+    ++executed;
+  }
+  events_executed_ += executed;
+  return executed;
+}
+
+}  // namespace fifer

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.hpp"
+#include "sim/event_queue.hpp"
+
+namespace fifer {
+
+/// Discrete-event simulation driver: owns the clock and the event queue.
+///
+/// Components schedule work with `at()` / `after()`; `run_until()` drains
+/// events in time order, advancing the clock to each event's timestamp. This
+/// is the substrate standing in for the paper's real Kubernetes cluster and
+/// mirrors the event-driven simulator the authors built for their own
+/// large-scale evaluation (paper §5.2).
+class Simulation {
+ public:
+  Simulation() = default;
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current simulated time in ms.
+  SimTime now() const { return now_; }
+
+  /// Schedules `cb` at an absolute simulated time (must be >= now()).
+  EventId at(SimTime when, EventQueue::Callback cb);
+
+  /// Schedules `cb` after a relative delay (clamped at >= 0).
+  EventId after(SimDuration delay, EventQueue::Callback cb);
+
+  /// Schedules `cb` every `period` ms starting at now() + period, until
+  /// `run_until`'s deadline or `stop()`. Returns the id of the *first*
+  /// occurrence (subsequent occurrences self-reschedule).
+  void every(SimDuration period, std::function<void(SimTime)> cb);
+
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Runs events until the queue empties or the next event lies beyond
+  /// `deadline`; the clock finishes at min(deadline, last event time).
+  /// Returns the number of events executed.
+  std::uint64_t run_until(SimTime deadline);
+
+  /// Runs until the queue is fully drained.
+  std::uint64_t run_to_completion();
+
+  /// Requests that the run loop exits after the current event.
+  void stop() { stopped_ = true; }
+
+  bool stopped() const { return stopped_; }
+
+  std::uint64_t events_executed() const { return events_executed_; }
+  std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0.0;
+  bool stopped_ = false;
+  std::uint64_t events_executed_ = 0;
+};
+
+}  // namespace fifer

@@ -1,0 +1,112 @@
+#include "workload/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+
+namespace fifer {
+
+double autocorrelation(const std::vector<double>& series, std::size_t lag) {
+  if (lag >= series.size()) {
+    throw std::invalid_argument("autocorrelation: lag exceeds series length");
+  }
+  const std::size_t n = series.size();
+  double mean = 0.0;
+  for (const double v : series) mean += v;
+  mean /= static_cast<double>(n);
+
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = series[i] - mean;
+    den += d * d;
+    if (i + lag < n) num += d * (series[i + lag] - mean);
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+std::vector<double> rolling_max(const std::vector<double>& series,
+                                std::size_t window) {
+  if (window == 0) throw std::invalid_argument("rolling_max: window must be >= 1");
+  std::vector<double> out(series.size(), 0.0);
+  std::deque<std::size_t> deq;  // indices of decreasing candidates
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    while (!deq.empty() && series[deq.back()] <= series[i]) deq.pop_back();
+    deq.push_back(i);
+    if (deq.front() + window <= i) deq.pop_front();
+    out[i] = series[deq.front()];
+  }
+  return out;
+}
+
+TraceProfile profile_trace(const RateTrace& trace, std::size_t max_lag) {
+  TraceProfile p;
+  const auto& rates = trace.rates();
+  if (rates.empty()) return p;
+
+  RunningStats rs;
+  Percentiles pct;
+  for (const double r : rates) {
+    rs.add(r);
+    pct.add(r);
+  }
+  p.mean_rps = rs.mean();
+  p.median_rps = pct.median();
+  p.peak_rps = rs.max();
+  p.stddev_rps = rs.stddev();
+  p.peak_to_median = p.median_rps > 0.0 ? p.peak_rps / p.median_rps : 0.0;
+  p.index_of_dispersion = p.mean_rps > 0.0 ? rs.variance() / p.mean_rps : 0.0;
+
+  double jump = 0.0;
+  for (std::size_t i = 1; i < rates.size(); ++i) {
+    jump += std::abs(rates[i] - rates[i - 1]);
+  }
+  p.roughness = p.mean_rps > 0.0 && rates.size() > 1
+                    ? jump / (p.mean_rps * static_cast<double>(rates.size() - 1))
+                    : 0.0;
+
+  // Periodicity: every smooth signal has a high-correlation shoulder at
+  // small lags, so first walk out to the autocorrelation's first minimum,
+  // then take the strongest peak beyond it (the standard ACF period pick).
+  if (max_lag == 0) max_lag = rates.size() / 2;
+  max_lag = std::min(max_lag, rates.size() - 1);
+  if (max_lag < 4) return p;
+
+  std::vector<double> raw(max_lag, 0.0);
+  raw[0] = 1.0;  // ACF(0) by definition
+  for (std::size_t lag = 1; lag < max_lag; ++lag) {
+    raw[lag] = autocorrelation(rates, lag);
+  }
+  // Light smoothing so measurement noise cannot fake an early minimum or a
+  // spurious local peak.
+  std::vector<double> acf(max_lag, 0.0);
+  for (std::size_t lag = 1; lag < max_lag; ++lag) {
+    double acc = 0.0;
+    std::size_t n = 0;
+    for (std::size_t k = lag >= 2 ? lag - 2 : 1; k <= lag + 2 && k < max_lag; ++k) {
+      acc += raw[k];
+      ++n;
+    }
+    acf[lag] = acc / static_cast<double>(n);
+  }
+  // A periodic signal's ACF dips negative (anti-phase) before its first
+  // true repeat peak; searching only past the first zero crossing is the
+  // robust way to exclude the lag-0 shoulder, however slowly it decays.
+  std::size_t first_neg = 1;
+  while (first_neg < max_lag && acf[first_neg] >= 0.0) ++first_neg;
+  if (first_neg >= max_lag) return p;  // never decorrelates: no clear period
+
+  double best = 0.25;  // require a meaningful correlation to call it periodic
+  for (std::size_t lag = first_neg + 1; lag + 1 < max_lag; ++lag) {
+    if (acf[lag] > best && acf[lag] >= acf[lag - 1] && acf[lag] >= acf[lag + 1]) {
+      best = acf[lag];
+      p.dominant_period = lag;
+      p.period_strength = acf[lag];
+    }
+  }
+  return p;
+}
+
+}  // namespace fifer

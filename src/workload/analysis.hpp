@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "workload/trace.hpp"
+
+namespace fifer {
+
+/// Summary statistics characterizing an arrival trace — the quantities the
+/// paper uses to contrast WITS and Wiki (Figure 7): overall level, spread,
+/// peak-to-median ratio, burstiness, and periodicity.
+struct TraceProfile {
+  double mean_rps = 0.0;
+  double median_rps = 0.0;
+  double peak_rps = 0.0;
+  double stddev_rps = 0.0;
+  /// Peak over median: ~5x for WITS per the paper.
+  double peak_to_median = 0.0;
+  /// Index of dispersion (variance/mean): >1 means burstier than Poisson.
+  double index_of_dispersion = 0.0;
+  /// Mean absolute window-to-window change, normalized by the mean —
+  /// high for spiky traces, low for smooth diurnal ones.
+  double roughness = 0.0;
+  /// Lag (in windows) of the strongest autocorrelation peak beyond lag 0;
+  /// 0 when no periodic structure stands out. Diurnal traces report their
+  /// day period here.
+  std::size_t dominant_period = 0;
+  /// Autocorrelation at that lag (0 when dominant_period == 0).
+  double period_strength = 0.0;
+};
+
+/// Computes the profile. `max_lag` bounds the autocorrelation scan
+/// (default: half the trace).
+TraceProfile profile_trace(const RateTrace& trace, std::size_t max_lag = 0);
+
+/// Autocorrelation of the rate series at a given lag (Pearson, mean-removed).
+double autocorrelation(const std::vector<double>& series, std::size_t lag);
+
+/// Rolling maximum over `window` trailing entries — the conservative load
+/// envelope Fifer's Wp-max forecasting effectively tracks.
+std::vector<double> rolling_max(const std::vector<double>& series,
+                                std::size_t window);
+
+}  // namespace fifer

@@ -1,0 +1,36 @@
+#include "workload/arrival.hpp"
+
+#include <algorithm>
+
+namespace fifer {
+
+std::vector<Arrival> generate_arrivals(const RateTrace& trace, const WorkloadMix& mix,
+                                       Rng& rng, double input_scale_jitter) {
+  std::vector<Arrival> plan;
+  const double window_s = trace.window_seconds();
+  plan.reserve(static_cast<std::size_t>(trace.average_rate() * window_s *
+                                        static_cast<double>(trace.windows())) +
+               16);
+
+  for (std::size_t w = 0; w < trace.windows(); ++w) {
+    const double expected = trace.rate(w) * window_s;
+    if (expected <= 0.0) continue;
+    const std::int64_t count = rng.poisson(expected);
+    const SimTime window_start = seconds(static_cast<double>(w) * window_s);
+    for (std::int64_t i = 0; i < count; ++i) {
+      Arrival a;
+      a.time = window_start + rng.uniform(0.0, seconds(window_s));
+      a.app = mix.sample(rng);
+      a.input_scale =
+          input_scale_jitter > 0.0
+              ? std::max(0.25, rng.normal(1.0, input_scale_jitter))
+              : 1.0;
+      plan.push_back(std::move(a));
+    }
+  }
+  std::sort(plan.begin(), plan.end(),
+            [](const Arrival& a, const Arrival& b) { return a.time < b.time; });
+  return plan;
+}
+
+}  // namespace fifer

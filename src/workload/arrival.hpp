@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "workload/mix.hpp"
+#include "workload/trace.hpp"
+
+namespace fifer {
+
+/// One planned request arrival.
+struct Arrival {
+  SimTime time = 0.0;
+  std::string app;
+  double input_scale = 1.0;
+};
+
+/// Turns a rate trace plus a workload mix into a concrete, time-ordered
+/// arrival plan via a non-homogeneous Poisson process: within each trace
+/// window the count is Poisson(rate * window) and arrival instants are
+/// uniform in the window. Deterministic given the Rng state.
+std::vector<Arrival> generate_arrivals(const RateTrace& trace, const WorkloadMix& mix,
+                                       Rng& rng, double input_scale_jitter = 0.0);
+
+}  // namespace fifer

@@ -1,0 +1,48 @@
+#include "workload/exec_estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fifer {
+
+void ExecTimeEstimator::fit(const std::vector<double>& xs, const std::vector<double>& ys) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("ExecTimeEstimator: size mismatch");
+  }
+  if (xs.size() < 2) {
+    throw std::invalid_argument("ExecTimeEstimator: need at least two samples");
+  }
+  const double n = static_cast<double>(xs.size());
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (std::abs(denom) < 1e-12) {
+    throw std::invalid_argument("ExecTimeEstimator: degenerate inputs (constant x)");
+  }
+  slope_ = (n * sxy - sx * sy) / denom;
+  intercept_ = (sy - slope_ * sx) / n;
+
+  const double mean_y = sy / n;
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double pred = slope_ * xs[i] + intercept_;
+    ss_res += (ys[i] - pred) * (ys[i] - pred);
+    ss_tot += (ys[i] - mean_y) * (ys[i] - mean_y);
+  }
+  r2_ = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  fitted_ = true;
+}
+
+double ExecTimeEstimator::predict(double input_size) const {
+  if (!fitted_) throw std::logic_error("ExecTimeEstimator: not fitted");
+  return std::max(0.0, slope_ * input_size + intercept_);
+}
+
+}  // namespace fifer

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fifer {
+
+/// Offline execution-time estimation model (paper §4.1): a simple linear
+/// regression fitted on profiled (input_size, exec_time) pairs that yields
+/// the Mean Execution Time (MET) for a given input size. The paper finds a
+/// linear relationship between input size and execution time for all the
+/// Djinn&Tonic services (§2.2.2), which is why ordinary least squares is
+/// sufficient.
+class ExecTimeEstimator {
+ public:
+  /// Fits y = slope * x + intercept by ordinary least squares.
+  /// Requires at least two distinct x values.
+  void fit(const std::vector<double>& input_sizes,
+           const std::vector<double>& exec_times_ms);
+
+  bool fitted() const { return fitted_; }
+
+  /// Predicted MET (ms) for one input size. Clamped at >= 0.
+  double predict(double input_size) const;
+
+  double slope() const { return slope_; }
+  double intercept() const { return intercept_; }
+
+  /// Coefficient of determination on the training data.
+  double r_squared() const { return r2_; }
+
+ private:
+  double slope_ = 0.0;
+  double intercept_ = 0.0;
+  double r2_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace fifer

@@ -1,0 +1,116 @@
+#include "workload/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+namespace fifer {
+
+RateTrace poisson_trace(double duration_s, double lambda_rps) {
+  const auto n = static_cast<std::size_t>(std::max(0.0, duration_s));
+  return RateTrace(std::vector<double>(n, lambda_rps));
+}
+
+RateTrace wits_trace(const WitsParams& p, Rng& rng) {
+  const auto n = static_cast<std::size_t>(std::max(0.0, p.duration_s));
+  std::vector<double> rates;
+  rates.reserve(n);
+
+  double base = p.base_rps;
+  // Burst state machine: ramp up over spike_ramp_s, hold the plateau, ramp
+  // back down. Flash crowds build over tens of seconds — fast enough to
+  // punish reactive scaling (cold starts are 2-9 s), slow enough that a
+  // load signal exists at all.
+  double plateau_remaining_s = 0.0;
+  double ramp_position_s = 0.0;  // >0 while ramping up or down
+  bool ramping_up = false;
+  double spike_level = 0.0;
+  const double ramp_s = std::max(1.0, p.spike_ramp_s);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    // Mean-reverting random walk keeps the base near base_rps long-term.
+    base += rng.normal(0.0, p.walk_sigma) + 0.02 * (p.base_rps - base);
+    base = std::max(20.0, base);
+
+    const bool burst_active =
+        plateau_remaining_s > 0.0 || ramp_position_s > 0.0;
+    if (!burst_active && rng.bernoulli(p.spike_probability)) {
+      spike_level = rng.uniform(0.6, 1.0) * (p.spike_peak_rps - base);
+      ramping_up = true;
+      ramp_position_s = 1.0;
+      plateau_remaining_s = std::max(
+          2.0, rng.normal(p.spike_duration_s, p.spike_duration_s * 0.3));
+    }
+
+    double spike_now = 0.0;
+    if (ramp_position_s > 0.0) {
+      const double frac = std::min(1.0, ramp_position_s / ramp_s);
+      spike_now = spike_level * (ramping_up ? frac : 1.0 - frac);
+      ramp_position_s += 1.0;
+      if (ramp_position_s > ramp_s) {
+        ramp_position_s = 0.0;
+        if (!ramping_up) plateau_remaining_s = 0.0;  // burst fully over
+      }
+    } else if (plateau_remaining_s > 0.0) {
+      spike_now = spike_level;
+      plateau_remaining_s -= 1.0;
+      if (plateau_remaining_s <= 0.0) {
+        ramping_up = false;
+        ramp_position_s = 1.0;  // begin ramp-down
+      }
+    }
+
+    const double rate = base + spike_now + rng.normal(0.0, p.noise_sigma);
+    rates.push_back(std::max(0.0, rate));
+  }
+  return RateTrace(std::move(rates));
+}
+
+RateTrace wiki_trace(const WikiParams& p, Rng& rng) {
+  const auto n = static_cast<std::size_t>(std::max(0.0, p.duration_s));
+  std::vector<double> rates;
+  rates.reserve(n);
+
+  const double week_period_s = p.day_period_s * 7.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i);
+    const double day = std::sin(2.0 * std::numbers::pi * t / p.day_period_s);
+    const double week = std::sin(2.0 * std::numbers::pi * t / week_period_s);
+    double rate = p.average_rps *
+                  (1.0 + p.diurnal_amplitude * day + p.weekly_amplitude * week);
+    rate += rng.normal(0.0, p.noise_sigma_frac * p.average_rps);
+    rates.push_back(std::max(0.0, rate));
+  }
+  return RateTrace(std::move(rates));
+}
+
+RateTrace modulated_poisson_trace(double duration_s, double lambda_rps,
+                                  double drift_frac, Rng& rng) {
+  const auto n = static_cast<std::size_t>(std::max(0.0, duration_s));
+  std::vector<double> rates;
+  rates.reserve(n);
+  double level = lambda_rps;
+  // Step size tuned so excursions reach ~drift_frac of lambda over minutes
+  // while mean-reverting toward the nominal rate.
+  const double sigma = lambda_rps * drift_frac / 12.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    level += rng.normal(0.0, sigma) + 0.01 * (lambda_rps - level);
+    level = std::clamp(level, lambda_rps * (1.0 - 2.0 * drift_frac),
+                       lambda_rps * (1.0 + 2.0 * drift_frac));
+    rates.push_back(std::max(0.0, level));
+  }
+  return RateTrace(std::move(rates));
+}
+
+RateTrace step_trace(double duration_s, double low_rps, double high_rps,
+                     double step_at_s) {
+  const auto n = static_cast<std::size_t>(std::max(0.0, duration_s));
+  std::vector<double> rates(n, low_rps);
+  for (std::size_t i = static_cast<std::size_t>(std::max(0.0, step_at_s)); i < n; ++i) {
+    rates[i] = high_rps;
+  }
+  return RateTrace(std::move(rates));
+}
+
+}  // namespace fifer

@@ -1,0 +1,65 @@
+#pragma once
+
+#include "common/rng.hpp"
+#include "workload/trace.hpp"
+
+namespace fifer {
+
+/// Synthetic trace generators reproducing the *shape* of the paper's inputs
+/// (Figure 7). Absolute magnitudes are parameters so experiments can run
+/// laptop-scale while preserving ratios.
+
+/// Constant-rate trace for the prototype experiments (§6.1): the paper uses
+/// a Poisson arrival process with lambda = 50 req/s. The trace itself is a
+/// flat rate; Poisson-ness comes from the arrival process sampling.
+RateTrace poisson_trace(double duration_s, double lambda_rps);
+
+/// Parameters for the WITS-shaped generator (Figure 7a): a moderate base
+/// load with a slow random walk plus *unpredictable* sharp spikes
+/// ("black-Friday shopping"). Published stats: average ~300 req/s, peak
+/// ~1200 req/s, peak-to-median ~5x.
+struct WitsParams {
+  double duration_s = 800.0;
+  double base_rps = 235.0;       ///< Centre of the slow-moving base load.
+  double walk_sigma = 18.0;      ///< Random-walk step std-dev (req/s).
+  double spike_probability = 0.004;  ///< Per-window chance a burst begins.
+  double spike_peak_rps = 1200.0;    ///< Target peak during a burst.
+  double spike_duration_s = 20.0;    ///< Mean burst plateau length.
+  double spike_ramp_s = 15.0;    ///< Rise/fall time of a burst (flash crowds
+                                 ///< build over tens of seconds, not 1 s).
+  double noise_sigma = 12.0;     ///< White measurement noise.
+};
+
+/// WITS-shaped trace: unpredictable load spikes over a wandering base.
+RateTrace wits_trace(const WitsParams& params, Rng& rng);
+
+/// Parameters for the Wiki-shaped generator (Figure 7b): a high average
+/// load with *recurring* diurnal and weekly periodicity plus mild noise —
+/// the typical shape of ML inference traffic. Published stats: average
+/// ~1500 req/s.
+struct WikiParams {
+  double duration_s = 3600.0;
+  double average_rps = 1500.0;
+  double diurnal_amplitude = 0.45;  ///< Fraction of average swung by day cycle.
+  double weekly_amplitude = 0.12;   ///< Fraction swung by the week cycle.
+  double day_period_s = 600.0;  ///< Compressed "day" so short runs see cycles.
+  double noise_sigma_frac = 0.05;  ///< White noise as a fraction of average.
+};
+
+/// Wiki-shaped trace: smooth diurnal + weekly periodic load.
+RateTrace wiki_trace(const WikiParams& params, Rng& rng);
+
+/// Step trace: `low_rps` then jumps to `high_rps` at `step_at_s` — the
+/// worst case for reactive scaling, used in tests and ablations.
+RateTrace step_trace(double duration_s, double low_rps, double high_rps,
+                     double step_at_s);
+
+/// Poisson-based trace with slow mean drift: the base rate follows a
+/// mean-reverting random walk within roughly +/- `drift_frac` of `lambda`.
+/// This models what a long-running load generator against a real cluster
+/// produces (minute-scale load swings on top of Poisson arrivals) and is
+/// the default driver for the prototype experiments.
+RateTrace modulated_poisson_trace(double duration_s, double lambda_rps,
+                                  double drift_frac, Rng& rng);
+
+}  // namespace fifer

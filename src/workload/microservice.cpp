@@ -1,0 +1,70 @@
+#include "workload/microservice.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fifer {
+
+SimDuration MicroserviceSpec::sample_exec_ms(Rng& rng, double input_scale) const {
+  const double mean = exec_ms_for_scale(input_scale);
+  if (exec_distribution == ExecDistribution::kExponential) {
+    return mean > 0.0 ? rng.exponential(1.0 / mean) : 0.0;
+  }
+  const double sigma = exec_stddev_ms * input_scale;
+  const double floor = std::max(0.0, 0.05 * mean);
+  return rng.truncated_normal(mean, sigma, floor);
+}
+
+MicroserviceRegistry MicroserviceRegistry::djinn_tonic() {
+  MicroserviceRegistry reg;
+  // Paper Table 3: name, model, avg exec time (ms). Standard deviations are
+  // set well inside the <=20 ms bound the paper measures (§2.2.2), scaled
+  // with service size. Image/model sizes follow the published sizes of the
+  // underlying models and put cold starts in the paper's 2-9 s spawn range.
+  //                name     model       domain    exec   sd    mem  cpu  img   model
+  reg.add({"IMC",   "Alexnet",  "image",  43.5,  4.0, 512, 0.5, 420, 233});
+  reg.add({"AP",    "DeepPose", "image",  30.3,  3.0, 512, 0.5, 380, 100});
+  reg.add({"HS",    "VGG16",    "image", 151.2, 12.0, 896, 0.5, 640, 528});
+  reg.add({"FACER", "VGGNET",   "image",   5.5,  0.8, 640, 0.5, 520, 290});
+  reg.add({"FACED", "Xception", "image",   6.1,  0.9, 512, 0.5, 400,  88});
+  reg.add({"ASR",   "NNet3",    "speech", 46.1,  5.0, 768, 0.5, 540, 120});
+  reg.add({"POS",   "SENNA",    "nlp",     0.100, 0.02, 256, 0.5, 180, 50});
+  reg.add({"NER",   "SENNA",    "nlp",     0.09,  0.02, 256, 0.5, 180, 50});
+  reg.add({"QA",    "seq2seq",  "nlp",    56.1,  5.5, 640, 0.5, 460, 150});
+  // Composite NLP stage (POS followed by NER on the same SENNA runtime);
+  // Table 4's IMG and IPA chains use "NLP" as a single stage.
+  reg.add({"NLP",   "SENNA",    "nlp",     0.19,  0.03, 256, 0.5, 180, 50});
+  return reg;
+}
+
+void MicroserviceRegistry::add(MicroserviceSpec spec) {
+  const auto it = std::find_if(specs_.begin(), specs_.end(),
+                               [&](const auto& s) { return s.name == spec.name; });
+  if (it != specs_.end()) {
+    *it = std::move(spec);
+  } else {
+    specs_.push_back(std::move(spec));
+  }
+}
+
+std::optional<MicroserviceSpec> MicroserviceRegistry::find(const std::string& name) const {
+  const auto it = std::find_if(specs_.begin(), specs_.end(),
+                               [&](const auto& s) { return s.name == name; });
+  if (it == specs_.end()) return std::nullopt;
+  return *it;
+}
+
+const MicroserviceSpec& MicroserviceRegistry::at(const std::string& name) const {
+  const auto it = std::find_if(specs_.begin(), specs_.end(),
+                               [&](const auto& s) { return s.name == name; });
+  if (it == specs_.end()) {
+    throw std::out_of_range("unknown microservice: " + name);
+  }
+  return *it;
+}
+
+bool MicroserviceRegistry::contains(const std::string& name) const {
+  return find(name).has_value();
+}
+
+}  // namespace fifer

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace fifer {
+
+/// Service-time distribution family for a microservice.
+///  - kTruncatedNormal: the Djinn&Tonic reality (paper §2.2.2 — tight,
+///    input-size-linear execution times).
+///  - kExponential: memoryless service with the same mean; used by the
+///    simulator-fidelity tests to validate queueing behaviour against
+///    closed-form M/M/c results.
+enum class ExecDistribution { kTruncatedNormal, kExponential };
+
+/// Static profile of one microservice (one serverless function), mirroring
+/// the paper's Table 3 plus the container-image / model-artifact sizes that
+/// drive the cold-start model.
+///
+/// Execution times are modelled as a truncated normal around the profiled
+/// mean: the paper (§2.2.2) measures <20 ms standard deviation across 100
+/// runs for every Djinn&Tonic service, with a *linear* relationship between
+/// input size and execution time.
+struct MicroserviceSpec {
+  std::string name;         ///< Short service name, e.g. "ASR".
+  std::string model;        ///< Underlying ML model, e.g. "NNet3".
+  std::string domain;       ///< "image", "speech", or "nlp".
+  double mean_exec_ms = 0;  ///< Mean execution time at reference input size.
+  double exec_stddev_ms = 0;  ///< Std-dev of execution time.
+  double memory_mb = 0;       ///< Container memory requirement (<= 1 GB).
+  double cpu_cores = 0.5;     ///< CPU request per container (paper fixes 0.5).
+  double image_mb = 0;        ///< Container image size (drives docker pull).
+  double model_artifact_mb = 0;  ///< Pre-trained model fetched from storage.
+  ExecDistribution exec_distribution = ExecDistribution::kTruncatedNormal;
+
+  /// Mean execution time for a given input scale (1.0 = reference input).
+  /// Linear per the paper's characterization.
+  double exec_ms_for_scale(double input_scale) const {
+    return mean_exec_ms * input_scale;
+  }
+
+  /// Draws one execution-time sample (>= 5% of the mean, never negative).
+  SimDuration sample_exec_ms(Rng& rng, double input_scale = 1.0) const;
+};
+
+/// Registry of microservice profiles. Seeded with the paper's Table 3; user
+/// code can register additional services for custom applications.
+class MicroserviceRegistry {
+ public:
+  /// Builds a registry pre-populated with the nine Djinn&Tonic services of
+  /// Table 3 plus the composite "NLP" stage (POS + NER SENNA taggers) used
+  /// by the IMG and IPA chains in Table 4.
+  static MicroserviceRegistry djinn_tonic();
+
+  /// Empty registry for fully custom setups.
+  static MicroserviceRegistry empty() { return MicroserviceRegistry{}; }
+
+  /// Registers (or replaces) a service profile.
+  void add(MicroserviceSpec spec);
+
+  /// Looks up by name; nullopt when unknown.
+  std::optional<MicroserviceSpec> find(const std::string& name) const;
+
+  /// Looks up by name; throws std::out_of_range when unknown.
+  const MicroserviceSpec& at(const std::string& name) const;
+
+  bool contains(const std::string& name) const;
+
+  const std::vector<MicroserviceSpec>& all() const { return specs_; }
+
+ private:
+  std::vector<MicroserviceSpec> specs_;
+};
+
+}  // namespace fifer

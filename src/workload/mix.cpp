@@ -1,0 +1,65 @@
+#include "workload/mix.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+namespace fifer {
+
+WorkloadMix::WorkloadMix(std::string name, std::vector<Entry> entries)
+    : name_(std::move(name)), entries_(std::move(entries)) {
+  if (entries_.empty()) {
+    throw std::invalid_argument("WorkloadMix: needs at least one application");
+  }
+  double total = 0.0;
+  for (const auto& e : entries_) {
+    if (e.weight <= 0.0) {
+      throw std::invalid_argument("WorkloadMix: weights must be positive");
+    }
+    total += e.weight;
+    cumulative_.push_back(total);
+  }
+  for (double& c : cumulative_) c /= total;
+}
+
+WorkloadMix WorkloadMix::heavy() {
+  return WorkloadMix("heavy", {{"IPA", 1.0}, {"DetectFatigue", 1.0}});
+}
+
+WorkloadMix WorkloadMix::medium() {
+  return WorkloadMix("medium", {{"IPA", 1.0}, {"IMG", 1.0}});
+}
+
+WorkloadMix WorkloadMix::light() {
+  return WorkloadMix("light", {{"IMG", 1.0}, {"FaceSecurity", 1.0}});
+}
+
+WorkloadMix WorkloadMix::by_name(const std::string& name) {
+  std::string lower = name;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "heavy") return heavy();
+  if (lower == "medium") return medium();
+  if (lower == "light") return light();
+  throw std::invalid_argument("unknown workload mix: " + name);
+}
+
+const std::string& WorkloadMix::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  const auto idx = static_cast<std::size_t>(
+      std::min<std::ptrdiff_t>(it - cumulative_.begin(),
+                               static_cast<std::ptrdiff_t>(entries_.size()) - 1));
+  return entries_[idx].app;
+}
+
+double WorkloadMix::average_slack_ms(const ApplicationRegistry& apps,
+                                     const MicroserviceRegistry& services) const {
+  double total = 0.0;
+  for (const auto& e : entries_) {
+    total += apps.at(e.app).total_slack_ms(services);
+  }
+  return total / static_cast<double>(entries_.size());
+}
+
+}  // namespace fifer

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "workload/application.hpp"
+
+namespace fifer {
+
+/// A weighted mix of applications generated side by side — the paper's
+/// Table 5 workload mixes.
+class WorkloadMix {
+ public:
+  struct Entry {
+    std::string app;
+    double weight = 1.0;
+  };
+
+  WorkloadMix(std::string name, std::vector<Entry> entries);
+
+  /// Table 5 presets (equal proportions of the two applications):
+  ///   Heavy  = IPA + DetectFatigue   (least total slack)
+  ///   Medium = IPA + IMG
+  ///   Light  = IMG + FaceSecurity    (most total slack)
+  static WorkloadMix heavy();
+  static WorkloadMix medium();
+  static WorkloadMix light();
+
+  /// Lookup by name ("heavy" / "medium" / "light", case-insensitive).
+  static WorkloadMix by_name(const std::string& name);
+
+  const std::string& name() const { return name_; }
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Draws an application name according to the weights.
+  const std::string& sample(Rng& rng) const;
+
+  /// Average of the member applications' total slack (the quantity Table 5
+  /// orders the mixes by).
+  double average_slack_ms(const ApplicationRegistry& apps,
+                          const MicroserviceRegistry& services) const;
+
+ private:
+  std::string name_;
+  std::vector<Entry> entries_;
+  std::vector<double> cumulative_;
+};
+
+}  // namespace fifer

@@ -1,0 +1,128 @@
+#include "workload/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <numeric>
+#include <stdexcept>
+
+namespace fifer {
+
+RateTrace::RateTrace(std::vector<double> rates, double window_s)
+    : rates_(std::move(rates)), window_s_(window_s) {
+  if (window_s_ <= 0.0) {
+    throw std::invalid_argument("RateTrace: window must be positive");
+  }
+  for (const double r : rates_) {
+    if (r < 0.0) throw std::invalid_argument("RateTrace: negative rate");
+  }
+}
+
+RateTrace RateTrace::from_file(const std::string& path, double window_s) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("RateTrace: cannot open " + path);
+  std::vector<double> rates;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    rates.push_back(std::stod(line));
+  }
+  return RateTrace(std::move(rates), window_s);
+}
+
+void RateTrace::to_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("RateTrace: cannot write " + path);
+  out.precision(15);  // round-trip doubles faithfully
+  out << "# fifer rate trace: " << rates_.size() << " windows of " << window_s_
+      << " s (req/s per line)\n";
+  for (const double r : rates_) out << r << '\n';
+}
+
+double RateTrace::rate_at(SimTime t) const {
+  if (t < 0.0 || rates_.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(to_seconds(t) / window_s_);
+  if (idx >= rates_.size()) return 0.0;
+  return rates_[idx];
+}
+
+double RateTrace::average_rate() const {
+  if (rates_.empty()) return 0.0;
+  return std::accumulate(rates_.begin(), rates_.end(), 0.0) /
+         static_cast<double>(rates_.size());
+}
+
+double RateTrace::peak_rate() const {
+  if (rates_.empty()) return 0.0;
+  return *std::max_element(rates_.begin(), rates_.end());
+}
+
+RateTrace RateTrace::scaled(double factor) const {
+  if (factor < 0.0) throw std::invalid_argument("RateTrace: negative scale");
+  std::vector<double> out = rates_;
+  for (double& r : out) r *= factor;
+  return RateTrace(std::move(out), window_s_);
+}
+
+RateTrace RateTrace::slice(std::size_t begin, std::size_t end) const {
+  if (begin > end || end > rates_.size()) {
+    throw std::out_of_range("RateTrace::slice: bad range");
+  }
+  return RateTrace(std::vector<double>(rates_.begin() + static_cast<std::ptrdiff_t>(begin),
+                                       rates_.begin() + static_cast<std::ptrdiff_t>(end)),
+                   window_s_);
+}
+
+RateTrace RateTrace::resampled(double new_window_s) const {
+  if (new_window_s <= 0.0) {
+    throw std::invalid_argument("RateTrace::resampled: window must be positive");
+  }
+  const double total_s = window_s_ * static_cast<double>(rates_.size());
+  const auto out_n = static_cast<std::size_t>(std::ceil(total_s / new_window_s - 1e-9));
+  std::vector<double> out(out_n, 0.0);
+  for (std::size_t o = 0; o < out_n; ++o) {
+    const double lo = static_cast<double>(o) * new_window_s;
+    const double hi = std::min(total_s, lo + new_window_s);
+    // Average the source intensity over [lo, hi), weighting by overlap.
+    double acc = 0.0;
+    const auto first = static_cast<std::size_t>(lo / window_s_);
+    for (std::size_t i = first; i < rates_.size(); ++i) {
+      const double src_lo = static_cast<double>(i) * window_s_;
+      const double src_hi = src_lo + window_s_;
+      if (src_lo >= hi) break;
+      const double overlap = std::min(hi, src_hi) - std::max(lo, src_lo);
+      if (overlap > 0.0) acc += rates_[i] * overlap;
+    }
+    out[o] = acc / (hi - lo);
+  }
+  return RateTrace(std::move(out), new_window_s);
+}
+
+RateTrace RateTrace::concatenated(const RateTrace& other) const {
+  if (std::abs(other.window_s_ - window_s_) > 1e-12) {
+    throw std::invalid_argument("RateTrace::concatenated: window mismatch");
+  }
+  std::vector<double> out = rates_;
+  out.insert(out.end(), other.rates_.begin(), other.rates_.end());
+  return RateTrace(std::move(out), window_s_);
+}
+
+RateTrace RateTrace::repeated(std::size_t times) const {
+  std::vector<double> out;
+  out.reserve(rates_.size() * times);
+  for (std::size_t t = 0; t < times; ++t) {
+    out.insert(out.end(), rates_.begin(), rates_.end());
+  }
+  return RateTrace(std::move(out), window_s_);
+}
+
+std::pair<RateTrace, RateTrace> RateTrace::split(double fraction) const {
+  if (fraction < 0.0 || fraction > 1.0) {
+    throw std::invalid_argument("RateTrace::split: fraction outside [0,1]");
+  }
+  const auto cut = static_cast<std::size_t>(fraction * static_cast<double>(rates_.size()));
+  return {slice(0, cut), slice(cut, rates_.size())};
+}
+
+}  // namespace fifer

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fifer {
+
+/// A request-arrival-rate trace: requests/second sampled in fixed windows.
+///
+/// This is the common currency between the trace generators (Poisson,
+/// WITS-shaped, Wiki-shaped), the load predictors (which consume windowed
+/// rates), and the arrival process (which turns rates into request events).
+class RateTrace {
+ public:
+  RateTrace() = default;
+
+  /// `rates[i]` is the arrival rate (req/s) during window i; each window
+  /// spans `window_s` seconds of simulated time.
+  RateTrace(std::vector<double> rates, double window_s = 1.0);
+
+  /// Loads a one-rate-per-line text file (comments start with '#').
+  static RateTrace from_file(const std::string& path, double window_s = 1.0);
+
+  /// Writes the trace in from_file's format (with a header comment).
+  void to_file(const std::string& path) const;
+
+  std::size_t windows() const { return rates_.size(); }
+  double window_seconds() const { return window_s_; }
+  SimDuration duration_ms() const {
+    return seconds(window_s_ * static_cast<double>(rates_.size()));
+  }
+
+  /// Rate (req/s) in effect at simulated time `t`; 0 beyond the trace end.
+  double rate_at(SimTime t) const;
+
+  /// Rate of window `i`.
+  double rate(std::size_t i) const { return rates_.at(i); }
+
+  const std::vector<double>& rates() const { return rates_; }
+
+  double average_rate() const;
+  double peak_rate() const;
+
+  /// Returns a copy with every rate multiplied by `factor` — used to scale
+  /// the paper's cluster-sized traces down to laptop-sized runs while
+  /// preserving the shape (peak-to-median ratio, periodicity).
+  RateTrace scaled(double factor) const;
+
+  /// Returns the sub-trace covering windows [begin, end).
+  RateTrace slice(std::size_t begin, std::size_t end) const;
+
+  /// Splits at `fraction` into (head, tail) — e.g. the 60/40 train/test
+  /// split the paper uses for the ML predictors (§4.5.1).
+  std::pair<RateTrace, RateTrace> split(double fraction) const;
+
+  /// Re-bins onto windows of `new_window_s` seconds, averaging intensities
+  /// (which conserves expected arrival counts). No multiple relationship is
+  /// required between old and new windows — fractional overlaps are
+  /// weighted proportionally.
+  RateTrace resampled(double new_window_s) const;
+
+  /// This trace followed by `other` (window sizes must match).
+  RateTrace concatenated(const RateTrace& other) const;
+
+  /// This trace repeated `times` times back to back.
+  RateTrace repeated(std::size_t times) const;
+
+ private:
+  std::vector<double> rates_;
+  double window_s_ = 1.0;
+};
+
+}  // namespace fifer

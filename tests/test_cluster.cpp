@@ -1,0 +1,312 @@
+// Unit tests for src/cluster: cold-start model, containers, nodes, cluster
+// placement, power, and energy accounting.
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "cluster/coldstart.hpp"
+#include "cluster/container.hpp"
+#include "cluster/node.hpp"
+#include "common/stats.hpp"
+#include "workload/microservice.hpp"
+
+namespace fifer {
+namespace {
+
+// ------------------------------------------------------------- cold start
+
+TEST(ColdStart, MeanInPaperRange) {
+  const ColdStartModel model;
+  const auto reg = MicroserviceRegistry::djinn_tonic();
+  for (const auto& spec : reg.all()) {
+    const double cold = model.mean_cold_start_ms(spec);
+    // Paper §6.1.5: container spawn incl. remote image fetch takes 2-9 s.
+    EXPECT_GE(cold, 1500.0) << spec.name;
+    EXPECT_LE(cold, 9000.0) << spec.name;
+  }
+}
+
+TEST(ColdStart, LargerArtifactsColdStartSlower) {
+  const ColdStartModel model;
+  const auto reg = MicroserviceRegistry::djinn_tonic();
+  // HS (VGG16, 528 MB model) is the heavyweight; NLP (SENNA) the lightest.
+  EXPECT_GT(model.mean_cold_start_ms(reg.at("HS")),
+            model.mean_cold_start_ms(reg.at("NLP")));
+  EXPECT_GT(model.mean_cold_start_ms(reg.at("FACER")),
+            model.mean_cold_start_ms(reg.at("FACED")));
+}
+
+TEST(ColdStart, SampleCentersOnMean) {
+  const ColdStartModel model;
+  const auto reg = MicroserviceRegistry::djinn_tonic();
+  Rng rng(5);
+  RunningStats s;
+  for (int i = 0; i < 5000; ++i) {
+    s.add(model.sample_cold_start_ms(reg.at("ASR"), rng));
+  }
+  EXPECT_NEAR(s.mean(), model.mean_cold_start_ms(reg.at("ASR")),
+              0.05 * model.mean_cold_start_ms(reg.at("ASR")));
+  EXPECT_GT(s.min(), 0.0);
+}
+
+TEST(ColdStart, ModelFetchScalesWithArtifact) {
+  const ColdStartModel model;
+  const auto reg = MicroserviceRegistry::djinn_tonic();
+  EXPECT_NEAR(model.mean_model_fetch_ms(reg.at("HS")),
+              528.0 / model.storage_mbps * 1000.0, 1e-9);
+}
+
+// -------------------------------------------------------------- container
+
+Container make_container(int batch = 4, SimTime spawn = 0.0, double cold = 1000.0) {
+  return Container(static_cast<ContainerId>(1), "ASR", static_cast<NodeId>(0), batch,
+                   spawn, cold);
+}
+
+TEST(Container, LifecycleHappyPath) {
+  Container c = make_container();
+  EXPECT_EQ(c.state(), ContainerState::kProvisioning);
+  EXPECT_FALSE(c.warm());
+  EXPECT_DOUBLE_EQ(c.ready_at(), 1000.0);
+  c.mark_warm(1000.0);
+  EXPECT_EQ(c.state(), ContainerState::kIdle);
+  EXPECT_TRUE(c.warm());
+
+  Job job;
+  TaskRef t{&job, 0};
+  c.enqueue(t);
+  EXPECT_EQ(c.queued(), 1u);
+  EXPECT_EQ(c.free_slots(), 3);
+  (void)c.pop();
+  c.begin_execution(1000.0);
+  EXPECT_EQ(c.state(), ContainerState::kBusy);
+  EXPECT_EQ(c.free_slots(), 3);  // in-flight task occupies a slot
+  c.end_execution(1050.0);
+  EXPECT_EQ(c.state(), ContainerState::kIdle);
+  EXPECT_EQ(c.jobs_executed(), 1u);
+  EXPECT_DOUBLE_EQ(c.busy_ms(), 50.0);
+  EXPECT_EQ(c.free_slots(), 4);
+}
+
+TEST(Container, FreeSlotsNeverNegativeAndEnforced) {
+  Container c = make_container(2);
+  c.mark_warm(0.0);
+  Job job;
+  c.enqueue({&job, 0});
+  c.enqueue({&job, 1});
+  EXPECT_EQ(c.free_slots(), 0);
+  EXPECT_THROW(c.enqueue({&job, 2}), std::logic_error);
+}
+
+TEST(Container, BatchSizeFloorsAtOne) {
+  Container c = make_container(0);
+  EXPECT_EQ(c.batch_size(), 1);
+  c.set_batch_size(-5);
+  EXPECT_EQ(c.batch_size(), 1);
+  c.set_batch_size(8);
+  EXPECT_EQ(c.batch_size(), 8);
+}
+
+TEST(Container, StateGuards) {
+  Container c = make_container();
+  EXPECT_THROW(c.begin_execution(0.0), std::logic_error);  // not warm yet
+  c.mark_warm(1000.0);
+  EXPECT_THROW(c.mark_warm(1000.0), std::logic_error);  // double warm
+  EXPECT_THROW(c.pop(), std::logic_error);              // empty local queue
+  c.begin_execution(1000.0);
+  EXPECT_THROW(c.begin_execution(1000.0), std::logic_error);  // already busy
+  EXPECT_THROW(c.terminate(1000.0), std::logic_error);        // busy
+  c.end_execution(1100.0);
+  EXPECT_THROW(c.end_execution(1100.0), std::logic_error);  // not busy
+  c.terminate(1200.0);
+  EXPECT_TRUE(c.terminated());
+  Job job;
+  EXPECT_THROW(c.enqueue({&job, 0}), std::logic_error);
+  EXPECT_EQ(c.free_slots(), 0);
+}
+
+TEST(Container, IdleExpiry) {
+  Container c = make_container(4, 0.0, 500.0);
+  c.mark_warm(500.0);
+  EXPECT_FALSE(c.idle_expired(500.0, 1000.0));
+  EXPECT_TRUE(c.idle_expired(1500.0, 1000.0));
+  c.begin_execution(1500.0);
+  EXPECT_FALSE(c.idle_expired(99999.0, 1000.0));  // busy never expires
+  c.end_execution(1600.0);
+  EXPECT_FALSE(c.idle_expired(2000.0, 1000.0));  // timer restarts at last use
+  EXPECT_TRUE(c.idle_expired(2600.0, 1000.0));
+}
+
+TEST(Container, LocalQueueIsFifo) {
+  Container c = make_container(3);
+  c.mark_warm(0.0);
+  Job j1, j2;
+  c.enqueue({&j1, 0});
+  c.enqueue({&j2, 0});
+  EXPECT_EQ(c.pop().job, &j1);
+  EXPECT_EQ(c.pop().job, &j2);
+}
+
+// ------------------------------------------------------------------ node
+
+TEST(Node, AllocateReleaseAccounting) {
+  Node n(static_cast<NodeId>(0), 16.0, 192.0 * 1024.0);
+  EXPECT_TRUE(n.fits(0.5, 512.0));
+  EXPECT_TRUE(n.allocate(0.5, 512.0, 10.0));
+  EXPECT_DOUBLE_EQ(n.allocated_cores(), 0.5);
+  EXPECT_DOUBLE_EQ(n.free_cores(), 15.5);
+  EXPECT_EQ(n.container_count(), 1u);
+  n.release(0.5, 512.0, 20.0);
+  EXPECT_DOUBLE_EQ(n.allocated_cores(), 0.0);
+  EXPECT_EQ(n.container_count(), 0u);
+  EXPECT_DOUBLE_EQ(n.empty_since(), 20.0);
+  EXPECT_THROW(n.release(0.5, 512.0, 30.0), std::logic_error);
+}
+
+TEST(Node, AllocateFailsWhenFull) {
+  Node n(static_cast<NodeId>(0), 1.0, 1024.0);
+  EXPECT_TRUE(n.allocate(0.5, 100.0, 0.0));
+  EXPECT_TRUE(n.allocate(0.5, 100.0, 0.0));
+  EXPECT_FALSE(n.allocate(0.5, 100.0, 0.0));
+  EXPECT_FALSE(n.fits(0.5, 100.0));
+}
+
+TEST(Node, MemoryAlsoBinds) {
+  Node n(static_cast<NodeId>(0), 16.0, 1000.0);
+  EXPECT_FALSE(n.fits(0.5, 2000.0));
+  EXPECT_TRUE(n.allocate(0.5, 900.0, 0.0));
+  EXPECT_FALSE(n.allocate(0.5, 200.0, 0.0));
+}
+
+TEST(Node, PowerModelAndPowerDown) {
+  NodePowerModel pm;
+  pm.base_watts = 100.0;
+  pm.per_core_active_watts = 10.0;
+  pm.power_down_after_ms = 1000.0;
+  Node n(static_cast<NodeId>(0), 16.0, 1024.0);
+  EXPECT_DOUBLE_EQ(n.power_watts(pm), 100.0);
+  n.allocate(2.0, 100.0, 0.0);
+  EXPECT_DOUBLE_EQ(n.power_watts(pm), 120.0);
+  n.release(2.0, 100.0, 50.0);
+  EXPECT_FALSE(n.eligible_for_power_down(pm, 500.0));
+  EXPECT_TRUE(n.eligible_for_power_down(pm, 1050.0));
+  n.power_down(1050.0);
+  EXPECT_FALSE(n.powered_on());
+  EXPECT_DOUBLE_EQ(n.power_watts(pm), pm.off_watts);
+  // Allocation wakes the node.
+  EXPECT_TRUE(n.allocate(0.5, 100.0, 2000.0));
+  EXPECT_TRUE(n.powered_on());
+}
+
+TEST(Node, RejectsBadConstruction) {
+  EXPECT_THROW(Node(static_cast<NodeId>(0), 0.0, 100.0), std::invalid_argument);
+  EXPECT_THROW(Node(static_cast<NodeId>(0), 4.0, -1.0), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- cluster
+
+ClusterSpec small_cluster(std::uint32_t nodes = 3, double cores = 4.0) {
+  ClusterSpec spec;
+  spec.node_count = nodes;
+  spec.cores_per_node = cores;
+  spec.memory_per_node_mb = 64.0 * 1024.0;
+  return spec;
+}
+
+TEST(Cluster, BinPackPrefersFullestFittingNode) {
+  Cluster c(small_cluster());
+  // Pre-load node 1 so it is the fullest that still fits.
+  auto first = c.allocate(2.0, 100.0, NodeSelection::kBinPack, 0.0);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(value_of(*first), 0u);  // lowest-numbered on tie
+  auto second = c.allocate(1.0, 100.0, NodeSelection::kBinPack, 0.0);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(value_of(*second), 0u);  // keeps packing node 0
+}
+
+TEST(Cluster, SpreadPrefersEmptiestNode) {
+  Cluster c(small_cluster());
+  auto a = c.allocate(1.0, 100.0, NodeSelection::kSpread, 0.0);
+  auto b = c.allocate(1.0, 100.0, NodeSelection::kSpread, 0.0);
+  auto d = c.allocate(1.0, 100.0, NodeSelection::kSpread, 0.0);
+  ASSERT_TRUE(a && b && d);
+  // Each allocation lands on a different node.
+  EXPECT_NE(value_of(*a), value_of(*b));
+  EXPECT_NE(value_of(*b), value_of(*d));
+}
+
+TEST(Cluster, BinPackSpillsWhenNodeFull) {
+  Cluster c(small_cluster(2, 1.0));
+  auto a = c.allocate(1.0, 10.0, NodeSelection::kBinPack, 0.0);
+  auto b = c.allocate(1.0, 10.0, NodeSelection::kBinPack, 0.0);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(value_of(*a), 0u);
+  EXPECT_EQ(value_of(*b), 1u);
+  EXPECT_FALSE(c.allocate(1.0, 10.0, NodeSelection::kBinPack, 0.0).has_value());
+}
+
+TEST(Cluster, ReleaseMakesRoomAgain) {
+  Cluster c(small_cluster(1, 1.0));
+  auto a = c.allocate(1.0, 10.0, NodeSelection::kBinPack, 0.0);
+  ASSERT_TRUE(a);
+  EXPECT_FALSE(c.allocate(1.0, 10.0, NodeSelection::kBinPack, 1.0).has_value());
+  c.release(*a, 1.0, 10.0, 2.0);
+  EXPECT_TRUE(c.allocate(1.0, 10.0, NodeSelection::kBinPack, 3.0).has_value());
+}
+
+TEST(Cluster, EnergyIntegration) {
+  ClusterSpec spec = small_cluster(2, 4.0);
+  spec.power.base_watts = 100.0;
+  spec.power.per_core_active_watts = 0.0;
+  Cluster c(spec);
+  // 2 nodes x 100 W for 10 s = 2000 J.
+  c.advance_energy(seconds(10.0));
+  EXPECT_NEAR(c.energy_joules(), 2000.0, 1e-6);
+  EXPECT_THROW(c.advance_energy(seconds(5.0)), std::logic_error);
+}
+
+TEST(Cluster, EnergyDropsWhenNodesPowerDown) {
+  ClusterSpec spec = small_cluster(2, 4.0);
+  spec.power.base_watts = 100.0;
+  spec.power.per_core_active_watts = 0.0;
+  spec.power.off_watts = 0.0;
+  spec.power.power_down_after_ms = seconds(30.0);
+  Cluster c(spec);
+  EXPECT_DOUBLE_EQ(c.power_watts(), 200.0);
+  // Nodes are empty since t=0; after 30 s both may power off.
+  EXPECT_EQ(c.power_down_idle_nodes(seconds(31.0)), 2u);
+  EXPECT_DOUBLE_EQ(c.power_watts(), 0.0);
+  c.advance_energy(seconds(61.0));
+  // 31 s at 200 W, then 30 s at 0 W.
+  EXPECT_NEAR(c.energy_joules(), 31.0 * 200.0, 1e-6);
+}
+
+TEST(Cluster, PowerDownSkipsBusyNodes) {
+  ClusterSpec spec = small_cluster(2, 4.0);
+  spec.power.power_down_after_ms = seconds(10.0);
+  Cluster c(spec);
+  auto a = c.allocate(0.5, 100.0, NodeSelection::kBinPack, 0.0);
+  ASSERT_TRUE(a);
+  const auto off = c.power_down_idle_nodes(seconds(20.0));
+  EXPECT_EQ(off, 1u);  // only the empty node powers down
+  EXPECT_EQ(c.powered_on_nodes(), 1u);
+}
+
+TEST(Cluster, AggregateCounters) {
+  Cluster c(small_cluster(3, 4.0));
+  (void)c.allocate(0.5, 100.0, NodeSelection::kBinPack, 0.0);
+  (void)c.allocate(0.5, 100.0, NodeSelection::kBinPack, 0.0);
+  EXPECT_DOUBLE_EQ(c.allocated_cores(), 1.0);
+  EXPECT_EQ(c.total_containers(), 2u);
+  EXPECT_EQ(c.node_count(), 3u);
+  EXPECT_DOUBLE_EQ(c.spec().total_cores(), 12.0);
+}
+
+TEST(Cluster, RejectsEmptySpec) {
+  ClusterSpec spec;
+  spec.node_count = 0;
+  EXPECT_THROW(Cluster{spec}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fifer

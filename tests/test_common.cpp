@@ -1,0 +1,351 @@
+// Unit tests for src/common: statistics, RNG, config, table, CSV, logging.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/config.hpp"
+#include "common/csv.hpp"
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/types.hpp"
+
+namespace fifer {
+namespace {
+
+// ---------------------------------------------------------------- types
+
+TEST(Types, TimeConversions) {
+  EXPECT_DOUBLE_EQ(seconds(1.0), 1000.0);
+  EXPECT_DOUBLE_EQ(minutes(2.0), 120'000.0);
+  EXPECT_DOUBLE_EQ(milliseconds(5.0), 5.0);
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(3.5)), 3.5);
+}
+
+TEST(Types, StrongIdsRoundTrip) {
+  const auto j = static_cast<JobId>(42u);
+  EXPECT_EQ(value_of(j), 42u);
+  const auto n = static_cast<NodeId>(7u);
+  EXPECT_EQ(value_of(n), 7u);
+}
+
+// ---------------------------------------------------------------- stats
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, MeanVarianceMinMax) {
+  RunningStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats a, b, all;
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.normal(10.0, 3.0);
+    (i % 2 == 0 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  const double mean = a.mean();
+  a.merge(b);  // no-op
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  b.merge(a);  // copy
+  EXPECT_DOUBLE_EQ(b.mean(), mean);
+}
+
+TEST(Percentiles, QuantileInterpolation) {
+  Percentiles p;
+  for (const double v : {10.0, 20.0, 30.0, 40.0}) p.add(v);
+  EXPECT_DOUBLE_EQ(p.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(p.quantile(1.0), 40.0);
+  EXPECT_DOUBLE_EQ(p.median(), 25.0);
+  EXPECT_DOUBLE_EQ(p.quantile(1.0 / 3.0), 20.0);
+}
+
+TEST(Percentiles, EmptyReturnsZero) {
+  Percentiles p;
+  EXPECT_DOUBLE_EQ(p.median(), 0.0);
+  EXPECT_DOUBLE_EQ(p.p99(), 0.0);
+  EXPECT_TRUE(p.cdf().empty());
+}
+
+TEST(Percentiles, CdfIsMonotone) {
+  Percentiles p;
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) p.add(rng.exponential(0.01));
+  const auto cdf = p.cdf(50);
+  ASSERT_EQ(cdf.size(), 50u);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].first, cdf[i - 1].first);
+    EXPECT_GT(cdf[i].second, cdf[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(Percentiles, AddAllAndMean) {
+  Percentiles p;
+  p.add_all({1.0, 2.0, 3.0});
+  EXPECT_EQ(p.count(), 3u);
+  EXPECT_DOUBLE_EQ(p.mean(), 2.0);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 100.0, 10);
+  h.add(5.0);    // bin 0
+  h.add(95.0);   // bin 9
+  h.add(-20.0);  // clamps to bin 0
+  h.add(500.0);  // clamps to bin 9
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 5.0);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 10.0);
+}
+
+TEST(Histogram, RejectsBadArguments) {
+  EXPECT_THROW(Histogram(0.0, 0.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 10.0, 0), std::invalid_argument);
+}
+
+TEST(ErrorMetrics, RmseAndMae) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{1.0, 4.0, 1.0};
+  EXPECT_NEAR(rmse(a, b), std::sqrt((0.0 + 4.0 + 4.0) / 3.0), 1e-12);
+  EXPECT_NEAR(mae(a, b), (0.0 + 2.0 + 2.0) / 3.0, 1e-12);
+  EXPECT_THROW(rmse(a, {1.0}), std::invalid_argument);
+  EXPECT_THROW(mae(a, {1.0}), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(rmse({}, {}), 0.0);
+}
+
+// ------------------------------------------------------------------ rng
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndStable) {
+  Rng parent1(55), parent2(55);
+  Rng c1 = parent1.split(9);
+  Rng c2 = parent2.split(9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(c1.uniform(), c2.uniform());
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(5.0, 6.0);
+    EXPECT_GE(v, 5.0);
+    EXPECT_LT(v, 6.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(10);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(1, 4);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 4);
+    saw_lo |= v == 1;
+    saw_hi |= v == 4;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMomentsApproximatelyCorrect) {
+  Rng rng(11);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.normal(50.0, 5.0));
+  EXPECT_NEAR(s.mean(), 50.0, 0.25);
+  EXPECT_NEAR(s.stddev(), 5.0, 0.2);
+}
+
+TEST(Rng, TruncatedNormalNeverBelowFloor) {
+  Rng rng(12);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_GE(rng.truncated_normal(1.0, 5.0, 0.5), 0.5);
+  }
+}
+
+TEST(Rng, PoissonMeanApproximatelyCorrect) {
+  Rng rng(13);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(static_cast<double>(rng.poisson(7.0)));
+  EXPECT_NEAR(s.mean(), 7.0, 0.15);
+}
+
+// --------------------------------------------------------------- config
+
+TEST(Config, ParsesTypes) {
+  const char* argv[] = {"prog", "alpha=1.5", "count=42", "name=fifer", "on=true"};
+  const Config cfg = Config::from_args(5, argv);
+  EXPECT_DOUBLE_EQ(cfg.get_double("alpha", 0.0), 1.5);
+  EXPECT_EQ(cfg.get_int("count", 0), 42);
+  EXPECT_EQ(cfg.get_string("name", ""), "fifer");
+  EXPECT_TRUE(cfg.get_bool("on", false));
+}
+
+TEST(Config, FallbacksWhenMissing) {
+  const Config cfg = Config::from_string("");
+  EXPECT_DOUBLE_EQ(cfg.get_double("x", 2.5), 2.5);
+  EXPECT_EQ(cfg.get_int("y", -1), -1);
+  EXPECT_FALSE(cfg.get_bool("z", false));
+}
+
+TEST(Config, RejectsMalformedArguments) {
+  const char* argv1[] = {"prog", "novalue"};
+  EXPECT_THROW(Config::from_args(2, argv1), std::invalid_argument);
+  const char* argv2[] = {"prog", "=x"};
+  EXPECT_THROW(Config::from_args(2, argv2), std::invalid_argument);
+}
+
+TEST(Config, RejectsBadTypeValues) {
+  const Config cfg = Config::from_string("a=abc b=1.5x c=maybe");
+  EXPECT_THROW(cfg.get_double("a", 0.0), std::invalid_argument);
+  EXPECT_THROW(cfg.get_int("b", 0), std::invalid_argument);
+  EXPECT_THROW(cfg.get_bool("c", false), std::invalid_argument);
+}
+
+TEST(Config, TracksUnusedKeys) {
+  const Config cfg = Config::from_string("used=1 typo_key=2");
+  (void)cfg.get_int("used", 0);
+  const auto unused = cfg.unused_keys();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo_key");
+}
+
+TEST(Config, BoolSynonyms) {
+  const Config cfg = Config::from_string("a=YES b=off c=1 d=False");
+  EXPECT_TRUE(cfg.get_bool("a", false));
+  EXPECT_FALSE(cfg.get_bool("b", true));
+  EXPECT_TRUE(cfg.get_bool("c", false));
+  EXPECT_FALSE(cfg.get_bool("d", true));
+}
+
+// ---------------------------------------------------------------- table
+
+TEST(Table, RendersHeadersAndRows) {
+  Table t("demo");
+  t.set_columns({"policy", "value"});
+  t.add_row({"fifer", "1.00"});
+  t.add_row("bline", {2.5}, 1);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("policy"), std::string::npos);
+  EXPECT_NE(out.find("fifer"), std::string::npos);
+  EXPECT_NE(out.find("2.5"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, FmtPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+}
+
+TEST(Table, EmptyTablePrintsNothing) {
+  Table t;
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_TRUE(os.str().empty());
+}
+
+// ------------------------------------------------------------------ csv
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, WritesRowsAndValidatesWidth) {
+  const std::string path = testing::TempDir() + "/fifer_csv_test.csv";
+  {
+    CsvWriter w(path, {"a", "b"});
+    w.write_row(std::vector<std::string>{"1", "x,y"});
+    w.write_row(std::vector<double>{2.5, 3.0});
+    EXPECT_EQ(w.rows_written(), 2u);
+    EXPECT_THROW(w.write_row(std::vector<std::string>{"only-one"}),
+                 std::invalid_argument);
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,\"x,y\"");
+  std::remove(path.c_str());
+}
+
+// -------------------------------------------------------------- logging
+
+TEST(Logging, RespectsLevel) {
+  std::ostringstream sink;
+  Logging::set_sink(&sink);
+  Logging::set_level(LogLevel::kWarn);
+  FIFER_LOG(kInfo) << "hidden";
+  FIFER_LOG(kWarn) << "visible " << 42;
+  Logging::set_sink(nullptr);
+  Logging::set_level(LogLevel::kWarn);
+  const std::string out = sink.str();
+  EXPECT_EQ(out.find("hidden"), std::string::npos);
+  EXPECT_NE(out.find("visible 42"), std::string::npos);
+}
+
+TEST(Logging, OffSilencesEverything) {
+  std::ostringstream sink;
+  Logging::set_sink(&sink);
+  Logging::set_level(LogLevel::kOff);
+  FIFER_LOG(kError) << "nope";
+  Logging::set_sink(nullptr);
+  Logging::set_level(LogLevel::kWarn);
+  EXPECT_TRUE(sink.str().empty());
+}
+
+}  // namespace
+}  // namespace fifer

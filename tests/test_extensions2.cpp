@@ -1,0 +1,226 @@
+// Tests for the second extension wave: trace analytics, trace persistence,
+// the HPA utilization baseline, and multi-tenant workload namespacing.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/framework.hpp"
+#include "core/tenancy.hpp"
+#include "workload/analysis.hpp"
+#include "workload/generators.hpp"
+
+namespace fifer {
+namespace {
+
+// ---------------------------------------------------------- trace analysis
+
+TEST(Analysis, AutocorrelationBasics) {
+  // A perfect alternation correlates fully at even lags, negatively at odd.
+  std::vector<double> alt;
+  for (int i = 0; i < 200; ++i) alt.push_back(i % 2 == 0 ? 10.0 : 0.0);
+  EXPECT_NEAR(autocorrelation(alt, 2), 1.0, 0.05);
+  EXPECT_LT(autocorrelation(alt, 1), -0.9);
+  EXPECT_THROW(autocorrelation(alt, 200), std::invalid_argument);
+}
+
+TEST(Analysis, RollingMaxTracksEnvelope) {
+  const auto out = rolling_max({1.0, 5.0, 2.0, 1.0, 1.0, 7.0, 1.0}, 3);
+  EXPECT_EQ(out, (std::vector<double>{1.0, 5.0, 5.0, 5.0, 2.0, 7.0, 7.0}));
+  EXPECT_THROW(rolling_max({1.0}, 0), std::invalid_argument);
+}
+
+TEST(Analysis, PeriodicTraceReportsItsPeriod) {
+  std::vector<double> rates;
+  for (int i = 0; i < 600; ++i) {
+    rates.push_back(100.0 + 50.0 * std::sin(2.0 * M_PI * i / 50.0));
+  }
+  const auto p = profile_trace(RateTrace(std::move(rates)));
+  EXPECT_NEAR(static_cast<double>(p.dominant_period), 50.0, 2.0);
+  EXPECT_GT(p.period_strength, 0.8);
+  EXPECT_NEAR(p.mean_rps, 100.0, 2.0);
+}
+
+TEST(Analysis, WitsIsBurstierThanWiki) {
+  Rng r1(4), r2(4);
+  WitsParams wp;
+  wp.duration_s = 1500.0;
+  WikiParams kp;
+  kp.duration_s = 1500.0;
+  const auto wits = profile_trace(wits_trace(wp, r1));
+  const auto wiki = profile_trace(wiki_trace(kp, r2));
+  EXPECT_GT(wits.peak_to_median, wiki.peak_to_median);
+  EXPECT_GT(wits.index_of_dispersion, 1.0);  // burstier than Poisson
+  // The wiki generator's compressed "day" shows up as the dominant period.
+  EXPECT_GT(wiki.dominant_period, 0u);
+  EXPECT_NEAR(static_cast<double>(wiki.dominant_period), kp.day_period_s,
+              kp.day_period_s * 0.2);
+}
+
+TEST(Analysis, EmptyTraceIsAllZero) {
+  const auto p = profile_trace(RateTrace(std::vector<double>{}, 1.0));
+  EXPECT_DOUBLE_EQ(p.mean_rps, 0.0);
+  EXPECT_EQ(p.dominant_period, 0u);
+}
+
+// --------------------------------------------------------- trace round-trip
+
+TEST(TraceIo, RoundTripsThroughFile) {
+  Rng rng(9);
+  WitsParams p;
+  p.duration_s = 120.0;
+  const RateTrace original = wits_trace(p, rng);
+  const std::string path = testing::TempDir() + "/fifer_trace_roundtrip.txt";
+  original.to_file(path);
+  const RateTrace loaded = RateTrace::from_file(path, original.window_seconds());
+  ASSERT_EQ(loaded.windows(), original.windows());
+  for (std::size_t i = 0; i < loaded.windows(); ++i) {
+    EXPECT_NEAR(loaded.rate(i), original.rate(i), 1e-6);
+  }
+  std::remove(path.c_str());
+  EXPECT_THROW(original.to_file("/nonexistent/dir/x.txt"), std::runtime_error);
+}
+
+// ------------------------------------------------------------ HPA baseline
+
+TEST(Hpa, PresetShape) {
+  const auto hpa = RmConfig::hpa();
+  EXPECT_EQ(hpa.scaling, ScalingMode::kUtilization);
+  EXPECT_FALSE(hpa.batching);
+  EXPECT_EQ(hpa.scheduler, SchedulerPolicy::kFifo);
+  EXPECT_EQ(RmConfig::by_name("HPA").name, "HPA");
+}
+
+TEST(Hpa, CompletesAllJobsAndScalesWithLoad) {
+  ExperimentParams p;
+  p.rm = RmConfig::hpa();
+  p.mix = WorkloadMix::light();
+  p.trace = step_trace(400.0, 5.0, 20.0, 200.0);
+  p.seed = 11;
+  const auto r = run_experiment(std::move(p));
+  EXPECT_EQ(r.jobs_completed, r.jobs_submitted);
+  // Fleet grows after the step: compare averages before/after t=200 s.
+  double before = 0.0, after = 0.0;
+  std::size_t nb = 0, na = 0;
+  for (const auto& s : r.timeline) {
+    if (s.time < seconds(200.0)) {
+      before += s.active_containers;
+      ++nb;
+    } else if (s.time < seconds(400.0)) {
+      after += s.active_containers;
+      ++na;
+    }
+  }
+  ASSERT_GT(nb, 0u);
+  ASSERT_GT(na, 0u);
+  EXPECT_GT(after / static_cast<double>(na), before / static_cast<double>(nb));
+}
+
+TEST(Hpa, ScalesDownWhenLoadStops) {
+  ExperimentParams p;
+  p.rm = RmConfig::hpa();
+  p.mix = WorkloadMix::light();
+  p.trace = step_trace(400.0, 20.0, 0.0, 150.0);
+  p.seed = 12;
+  const auto r = run_experiment(std::move(p));
+  ASSERT_GT(r.timeline.size(), 20u);
+  const auto& mid = r.timeline[13];  // ~t=140, under load
+  const auto& last = r.timeline.back();
+  EXPECT_LT(last.active_containers, mid.active_containers);
+}
+
+TEST(Hpa, TradesLatencyForFewerContainersThanBline) {
+  auto make = [](const RmConfig& rm) {
+    ExperimentParams p;
+    p.rm = rm;
+    p.mix = WorkloadMix::heavy();
+    p.trace = poisson_trace(300.0, 15.0);
+    p.seed = 13;
+    p.warmup_ms = seconds(60.0);
+    p.train.epochs = 5;
+    return p;
+  };
+  const auto hpa = run_experiment(make(RmConfig::hpa()));
+  const auto bline = run_experiment(make(RmConfig::bline()));
+  // Utilization targeting runs a leaner fleet than spawn-per-request, but
+  // pays for it in queuing (it is blind to execution times and slack).
+  EXPECT_LT(hpa.avg_active_containers, bline.avg_active_containers);
+  EXPECT_GT(hpa.queuing_ms.p99(), bline.queuing_ms.p99());
+}
+
+// ------------------------------------------------------------ multi-tenant
+
+TEST(Tenancy, NamespacesServicesAndChains) {
+  const auto base_services = MicroserviceRegistry::djinn_tonic();
+  const auto base_apps = ApplicationRegistry::paper_chains();
+  const auto combined = combine_tenants(
+      {{"acme", WorkloadMix::heavy(), 2.0}, {"zeta", WorkloadMix::light(), 1.0}},
+      base_services, base_apps);
+
+  EXPECT_TRUE(combined.applications.contains("acme/IPA"));
+  EXPECT_TRUE(combined.applications.contains("zeta/FaceSecurity"));
+  EXPECT_FALSE(combined.applications.contains("IPA"));
+  EXPECT_TRUE(combined.services.contains("acme/ASR"));
+  EXPECT_TRUE(combined.services.contains("zeta/IMC"));
+  // Isolation: acme's and zeta's FACED are distinct services.
+  EXPECT_TRUE(combined.services.contains("acme/FACED"));
+  EXPECT_FALSE(combined.services.contains("zeta/ASR"));  // zeta runs no IPA
+
+  // Chains reference qualified stages and keep their SLO/overheads.
+  const auto& chain = combined.applications.at("acme/IPA");
+  EXPECT_EQ(chain.stages[0], "acme/ASR");
+  EXPECT_DOUBLE_EQ(chain.slo_ms, 1000.0);
+}
+
+TEST(Tenancy, MixWeightsFollowRateShares) {
+  const auto combined = combine_tenants(
+      {{"big", WorkloadMix::light(), 3.0}, {"small", WorkloadMix::light(), 1.0}},
+      MicroserviceRegistry::djinn_tonic(), ApplicationRegistry::paper_chains());
+  Rng rng(5);
+  int big = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (combined.mix.sample(rng).rfind("big/", 0) == 0) ++big;
+  }
+  EXPECT_NEAR(static_cast<double>(big) / n, 0.75, 0.02);
+}
+
+TEST(Tenancy, RejectsBadSpecs) {
+  const auto services = MicroserviceRegistry::djinn_tonic();
+  const auto apps = ApplicationRegistry::paper_chains();
+  EXPECT_THROW(combine_tenants({}, services, apps), std::invalid_argument);
+  EXPECT_THROW(combine_tenants({{"", WorkloadMix::heavy(), 1.0}}, services, apps),
+               std::invalid_argument);
+  EXPECT_THROW(combine_tenants({{"a", WorkloadMix::heavy(), 1.0},
+                                {"a", WorkloadMix::light(), 1.0}},
+                               services, apps),
+               std::invalid_argument);
+  EXPECT_THROW(combine_tenants({{"a", WorkloadMix::heavy(), 0.0}}, services, apps),
+               std::invalid_argument);
+}
+
+TEST(Tenancy, MultiTenantExperimentRunsIsolated) {
+  const auto combined = combine_tenants(
+      {{"acme", WorkloadMix::heavy(), 1.0}, {"zeta", WorkloadMix::light(), 1.0}},
+      MicroserviceRegistry::djinn_tonic(), ApplicationRegistry::paper_chains());
+
+  ExperimentParams p;
+  p.rm = RmConfig::fifer();
+  p.services = combined.services;
+  p.applications = combined.applications;
+  p.mix = combined.mix;
+  p.trace = poisson_trace(120.0, 12.0);
+  p.seed = 21;
+  p.train.epochs = 5;
+  const auto r = run_experiment(std::move(p));
+
+  EXPECT_EQ(r.jobs_completed, r.jobs_submitted);
+  // Both tenants' stages saw work, under their own names.
+  EXPECT_GT(r.stages.at("acme/ASR").tasks_executed, 0u);
+  EXPECT_GT(r.stages.at("zeta/IMC").tasks_executed, 0u);
+  EXPECT_EQ(r.stages.count("ASR"), 0u);  // nothing unqualified
+}
+
+}  // namespace
+}  // namespace fifer

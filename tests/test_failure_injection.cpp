@@ -1,0 +1,184 @@
+// Failure injection and edge cases: saturated clusters, degenerate traces,
+// congested transition fabric, pathological configurations — the system
+// must degrade gracefully (queue, retry, reclaim), never deadlock or drop
+// work.
+
+#include <gtest/gtest.h>
+
+#include "core/framework.hpp"
+#include "workload/generators.hpp"
+
+namespace fifer {
+namespace {
+
+ExperimentParams tiny_cluster_params(const RmConfig& rm, double lambda) {
+  ExperimentParams p;
+  p.rm = rm;
+  p.rm.idle_timeout_ms = seconds(30.0);
+  p.mix = WorkloadMix::heavy();
+  p.trace = poisson_trace(120.0, lambda);
+  p.seed = 17;
+  p.train.epochs = 3;
+  // One node, 4 cores: at most 8 containers for 7 stages of demand.
+  p.cluster.node_count = 1;
+  p.cluster.cores_per_node = 4.0;
+  return p;
+}
+
+class SaturatedClusterSweep : public testing::TestWithParam<const char*> {};
+
+TEST_P(SaturatedClusterSweep, NoJobIsEverLost) {
+  // Overloaded far beyond the paper's operating point: the cluster refuses
+  // spawns constantly. Everything must still finish eventually (queues
+  // drain after arrivals stop) and accounting must stay consistent.
+  auto p = tiny_cluster_params(RmConfig::by_name(GetParam()), 6.0);
+  const auto r = run_experiment(std::move(p));
+  EXPECT_EQ(r.jobs_completed, r.jobs_submitted);
+  EXPECT_GT(r.jobs_completed, 300u);
+  for (const auto& s : r.timeline) {
+    EXPECT_LE(s.active_containers + s.provisioning_containers, 8u) << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, SaturatedClusterSweep,
+                         testing::Values("bline", "sbatch", "rscale", "bpred",
+                                         "fifer", "hpa"));
+
+TEST(FailureInjection, SpawnFailuresAreCounted) {
+  auto p = tiny_cluster_params(RmConfig::bline(), 10.0);
+  const auto r = run_experiment(std::move(p));
+  std::uint64_t failures = 0;
+  for (const auto& [_, sm] : r.stages) failures += sm.spawn_failures;
+  EXPECT_GT(failures, 0u);  // per-request spawning must have hit the wall
+  EXPECT_EQ(r.jobs_completed, r.jobs_submitted);
+}
+
+TEST(FailureInjection, EmptyTraceProducesNoJobs) {
+  ExperimentParams p;
+  p.rm = RmConfig::rscale();
+  p.mix = WorkloadMix::light();
+  p.trace = RateTrace(std::vector<double>(30, 0.0));
+  p.seed = 1;
+  const auto r = run_experiment(std::move(p));
+  EXPECT_EQ(r.jobs_submitted, 0u);
+  EXPECT_EQ(r.jobs_completed, 0u);
+  EXPECT_EQ(r.containers_spawned, 0u);
+  EXPECT_GT(r.energy_joules, 0.0);  // idle cluster still burns power
+}
+
+TEST(FailureInjection, BurstIntoColdClusterClears) {
+  // A hard burst at t=0 with zero prior capacity: everything cold-starts,
+  // nothing deadlocks.
+  ExperimentParams p;
+  p.rm = RmConfig::fifer();
+  p.mix = WorkloadMix::medium();
+  p.trace = RateTrace({200.0, 0.0, 0.0});
+  p.seed = 19;
+  p.train.epochs = 2;
+  const auto r = run_experiment(std::move(p));
+  EXPECT_EQ(r.jobs_completed, r.jobs_submitted);
+  EXPECT_GT(r.jobs_submitted, 100u);
+  // With no warm pool at t=0, some cold wait is unavoidable.
+  EXPECT_GT(r.cold_wait_ms.max(), 0.0);
+}
+
+TEST(FailureInjection, CongestedBusStillDeliversEverything) {
+  ExperimentParams p;
+  p.rm = RmConfig::rscale();
+  p.mix = WorkloadMix::light();
+  p.trace = poisson_trace(90.0, 15.0);
+  p.seed = 23;
+  p.bus.capacity = 4;  // absurdly small fabric
+  p.bus.congestion_alpha = 2.0;
+  const auto r = run_experiment(std::move(p));
+  EXPECT_EQ(r.jobs_completed, r.jobs_submitted);
+  EXPECT_GT(r.bus_peak_congestion, 1.5);  // congestion actually happened
+  // The paper's §8 worry made concrete: a congested fabric inflates
+  // latency even when compute is plentiful.
+  EXPECT_GT(r.response_ms.p99(), 500.0);
+}
+
+TEST(FailureInjection, SingleContainerClusterServializes) {
+  ExperimentParams p;
+  p.rm = RmConfig::rscale();
+  p.mix = WorkloadMix("one", {{"FaceSecurity", 1.0}});
+  p.trace = poisson_trace(60.0, 2.0);
+  p.seed = 29;
+  p.cluster.node_count = 1;
+  p.cluster.cores_per_node = 1.0;  // two containers max; chain needs two stages
+  const auto r = run_experiment(std::move(p));
+  EXPECT_EQ(r.jobs_completed, r.jobs_submitted);
+}
+
+TEST(FailureInjection, ZeroJitterColdStartStillPositive) {
+  ColdStartModel m;
+  m.runtime_init_jitter_ms = 0.0;
+  m.bandwidth_jitter = 0.0;
+  Rng rng(1);
+  const auto reg = MicroserviceRegistry::djinn_tonic();
+  const double sample = m.sample_cold_start_ms(reg.at("QA"), rng);
+  EXPECT_NEAR(sample, m.mean_cold_start_ms(reg.at("QA")), 1e-6);
+}
+
+TEST(FailureInjection, HugeBatchCapDoesNotOverflow) {
+  ExperimentParams p;
+  p.rm = RmConfig::fifer();
+  p.rm.batch_cap = 1'000'000;
+  p.mix = WorkloadMix::light();
+  p.trace = poisson_trace(60.0, 10.0);
+  p.seed = 31;
+  p.train.epochs = 2;
+  const auto r = run_experiment(std::move(p));
+  EXPECT_EQ(r.jobs_completed, r.jobs_submitted);
+}
+
+TEST(FailureInjection, VeryTightSloStillCompletes) {
+  // SLO below the busy time: everything violates, but the system keeps
+  // flowing (violations are reported, not enforced by dropping).
+  auto apps = ApplicationRegistry::paper_chains();
+  ApplicationChain tight = apps.at("IPA");
+  tight.name = "TightIPA";
+  tight.slo_ms = 100.0;
+  apps.add(tight);
+
+  ExperimentParams p;
+  p.rm = RmConfig::rscale();
+  p.applications = apps;
+  p.mix = WorkloadMix("tight", {{"TightIPA", 1.0}});
+  p.trace = poisson_trace(60.0, 5.0);
+  p.seed = 37;
+  const auto r = run_experiment(std::move(p));
+  EXPECT_EQ(r.jobs_completed, r.jobs_submitted);
+  EXPECT_NEAR(r.slo_violation_pct(), 100.0, 0.5);
+}
+
+TEST(FailureInjection, ReclamationRebalancesStarvedStages) {
+  // Fill the cluster with one app's containers, then start a second app:
+  // LRU reclamation must free capacity for the newcomer's stages.
+  ExperimentParams p;
+  p.rm = RmConfig::bline();
+  p.rm.idle_timeout_ms = minutes(30.0);  // reaper won't help; reclaim must
+  p.mix = WorkloadMix::heavy();
+  p.cluster.node_count = 1;
+  p.cluster.cores_per_node = 6.0;  // 12 containers for 7 stages
+  p.trace = poisson_trace(180.0, 8.0);
+  p.seed = 41;
+  const auto r = run_experiment(std::move(p));
+  EXPECT_EQ(r.jobs_completed, r.jobs_submitted);
+  // Every stage of both chains got served.
+  for (const auto* stage : {"ASR", "NLP", "QA", "HS", "AP", "FACED", "FACER"}) {
+    EXPECT_GT(r.stages.at(stage).tasks_executed, 0u) << stage;
+  }
+}
+
+TEST(FailureInjection, NegativeAndZeroDurationTraces) {
+  EXPECT_EQ(poisson_trace(0.0, 50.0).windows(), 0u);
+  EXPECT_EQ(poisson_trace(-5.0, 50.0).windows(), 0u);
+  Rng rng(1);
+  WitsParams wp;
+  wp.duration_s = 0.0;
+  EXPECT_EQ(wits_trace(wp, rng).windows(), 0u);
+}
+
+}  // namespace
+}  // namespace fifer

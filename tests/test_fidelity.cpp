@@ -1,0 +1,120 @@
+// Simulator fidelity: the paper validates its event-driven simulator
+// against the real cluster (§5.2); with no cluster here, we validate the
+// queueing core against closed-form M/M/c theory instead. A single-stage
+// application with exponential service times, a fixed warm pool, zero cold
+// start, and zero transition overhead *is* an M/M/c queue, so the measured
+// mean queueing delay must match the Erlang-C prediction.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/framework.hpp"
+#include "workload/generators.hpp"
+
+namespace fifer {
+namespace {
+
+/// Erlang-C probability that an arrival waits, for c servers at offered
+/// load a = lambda/mu.
+double erlang_c(int c, double a) {
+  double term = 1.0;  // a^0/0!
+  double sum = term;
+  for (int k = 1; k < c; ++k) {
+    term *= a / k;
+    sum += term;
+  }
+  const double top = term * a / c * (c / (c - a));
+  return top / (sum + top);
+}
+
+/// Runs the single-stage M/M/c configuration and returns (mean wait ms,
+/// mean service ms, jobs).
+ExperimentResult run_mmc(int servers, double lambda_rps, double mean_service_ms,
+                         std::uint64_t seed, double duration_s = 3000.0) {
+  MicroserviceRegistry services = MicroserviceRegistry::empty();
+  MicroserviceSpec spec;
+  spec.name = "MM";
+  spec.model = "synthetic";
+  spec.domain = "test";
+  spec.mean_exec_ms = mean_service_ms;
+  spec.exec_distribution = ExecDistribution::kExponential;
+  spec.memory_mb = 64.0;
+  services.add(spec);
+
+  ApplicationRegistry apps = ApplicationRegistry::empty();
+  apps.add({"MMApp", {"MM"}, /*slo=*/1e9, /*overhead=*/0.0, {}});
+
+  ExperimentParams p;
+  p.rm = RmConfig::sbatch();
+  p.rm.batching = false;  // B = 1: one request in service per container
+  p.rm.scheduler = SchedulerPolicy::kFifo;
+  p.rm.static_containers_per_stage = servers;
+  p.services = services;
+  p.applications = apps;
+  p.mix = WorkloadMix("mm", {{"MMApp", 1.0}});
+  p.trace = poisson_trace(duration_s, lambda_rps);
+  p.seed = seed;
+  p.warmup_ms = seconds(30.0);
+  // Instant provisioning: the pool is warm from t ~ 0.
+  p.cold_start.runtime_init_ms = 0.0;
+  p.cold_start.runtime_init_jitter_ms = 0.0;
+  p.cold_start.bandwidth_jitter = 0.0;
+  return run_experiment(std::move(p));
+}
+
+TEST(QueueingFidelity, MM1MeanWaitMatchesTheory) {
+  // lambda = 5/s, mu = 10/s -> rho = 0.5, Wq = rho/(mu - lambda) = 100 ms.
+  const auto r = run_mmc(1, 5.0, 100.0, 11);
+  ASSERT_GT(r.jobs_completed, 10000u);
+  EXPECT_NEAR(r.queuing_ms.mean(), 100.0, 12.0);
+  // Service-time population mean is the configured 100 ms.
+  EXPECT_NEAR(r.exec_only_ms.mean(), 100.0, 3.0);
+}
+
+TEST(QueueingFidelity, MMCMeanWaitMatchesErlangC) {
+  // c = 4, lambda = 30/s, mu = 10/s -> a = 3, rho = 0.75.
+  const int c = 4;
+  const double lambda = 30.0, mu = 10.0;
+  const double a = lambda / mu;
+  const double wq_ms = erlang_c(c, a) / (c * mu - lambda) * 1000.0;
+  const auto r = run_mmc(c, lambda, 100.0, 12);
+  ASSERT_GT(r.jobs_completed, 50000u);
+  EXPECT_NEAR(r.queuing_ms.mean(), wq_ms, wq_ms * 0.12)
+      << "Erlang-C predicts " << wq_ms << " ms";
+}
+
+TEST(QueueingFidelity, HeavierLoadWaitsLonger) {
+  const auto light = run_mmc(2, 8.0, 100.0, 13, 1500.0);
+  const auto heavy = run_mmc(2, 16.0, 100.0, 13, 1500.0);
+  EXPECT_GT(heavy.queuing_ms.mean(), 3.0 * light.queuing_ms.mean());
+}
+
+TEST(QueueingFidelity, WaitDistributionIsExponentialTailed) {
+  // For M/M/1, P(W > t | W > 0) decays at rate mu - lambda: the conditional
+  // p90/p50 wait ratio equals ln(10)/ln(2) ~ 3.32.
+  const auto r = run_mmc(1, 5.0, 100.0, 14);
+  std::vector<double> waits;
+  for (const double w : r.queuing_ms.sorted_samples()) {
+    if (w > 1e-9) waits.push_back(w);
+  }
+  ASSERT_GT(waits.size(), 5000u);
+  const auto q = [&](double frac) {
+    return waits[static_cast<std::size_t>(frac * (waits.size() - 1))];
+  };
+  EXPECT_NEAR(q(0.9) / q(0.5), std::log(10.0) / std::log(2.0), 0.35);
+}
+
+TEST(QueueingFidelity, ExponentialSamplerMoments) {
+  MicroserviceSpec spec;
+  spec.mean_exec_ms = 40.0;
+  spec.exec_distribution = ExecDistribution::kExponential;
+  Rng rng(15);
+  RunningStats s;
+  for (int i = 0; i < 50000; ++i) s.add(spec.sample_exec_ms(rng));
+  EXPECT_NEAR(s.mean(), 40.0, 1.0);
+  EXPECT_NEAR(s.stddev(), 40.0, 1.5);  // exponential: stddev == mean
+}
+
+}  // namespace
+}  // namespace fifer

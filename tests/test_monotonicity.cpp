@@ -1,0 +1,107 @@
+// Monotonicity / dominance properties: coarse "more resources never hurt"
+// and "more pressure never helps" relations that any sane resource manager
+// must satisfy, checked end to end through the framework.
+
+#include <gtest/gtest.h>
+
+#include "core/framework.hpp"
+#include "predict/evaluation.hpp"
+#include "workload/generators.hpp"
+
+namespace fifer {
+namespace {
+
+ExperimentParams base(const RmConfig& rm, double lambda = 12.0,
+                      double duration_s = 200.0) {
+  ExperimentParams p;
+  p.rm = rm;
+  p.rm.idle_timeout_ms = minutes(1.0);
+  p.mix = WorkloadMix::heavy();
+  p.trace = poisson_trace(duration_s, lambda);
+  p.seed = 51;
+  p.warmup_ms = seconds(60.0);
+  p.train.epochs = 4;
+  return p;
+}
+
+TEST(Monotonicity, BiggerClusterNeverRaisesTailsUnderPressure) {
+  auto small = base(RmConfig::bline(), 20.0);
+  small.cluster.node_count = 2;  // 64 containers max: pressured
+  auto large = base(RmConfig::bline(), 20.0);
+  large.cluster.node_count = 10;
+  const auto rs = run_experiment(std::move(small));
+  const auto rl = run_experiment(std::move(large));
+  EXPECT_LE(rl.response_ms.p99(), rs.response_ms.p99() * 1.05);
+  EXPECT_LE(rl.slo_violation_pct(), rs.slo_violation_pct() + 0.5);
+}
+
+TEST(Monotonicity, HigherLoadNeverShrinksTheFleet) {
+  const auto lo = run_experiment(base(RmConfig::rscale(), 6.0));
+  const auto hi = run_experiment(base(RmConfig::rscale(), 24.0));
+  EXPECT_GT(hi.avg_active_containers, lo.avg_active_containers);
+  EXPECT_GT(hi.jobs_completed, 2 * lo.jobs_completed);
+}
+
+TEST(Monotonicity, SloerSlackMeansBiggerBatches) {
+  // Relaxing the SLO grows every stage's slack and therefore B_size.
+  const auto services = MicroserviceRegistry::djinn_tonic();
+  ApplicationChain tight = ApplicationRegistry::paper_chains().at("IPA");
+  ApplicationChain loose = tight;
+  tight.slo_ms = 600.0;
+  loose.slo_ms = 2000.0;
+  const auto bt = batch_sizes(tight, services, SlackPolicy::kProportional, 1024);
+  const auto bl = batch_sizes(loose, services, SlackPolicy::kProportional, 1024);
+  for (std::size_t i = 0; i < bt.size(); ++i) {
+    EXPECT_GE(bl[i], bt[i]) << "stage " << i;
+  }
+}
+
+TEST(Monotonicity, BusCongestionOnlyAddsLatency) {
+  auto free_bus = base(RmConfig::rscale(), 12.0);
+  free_bus.bus.capacity = 1 << 20;
+  auto tight_bus = base(RmConfig::rscale(), 12.0);
+  tight_bus.bus.capacity = 8;
+  tight_bus.bus.congestion_alpha = 2.0;
+  const auto rf = run_experiment(std::move(free_bus));
+  const auto rt = run_experiment(std::move(tight_bus));
+  EXPECT_GE(rt.response_ms.median(), rf.response_ms.median());
+  EXPECT_GE(rt.bus_peak_congestion, rf.bus_peak_congestion);
+}
+
+TEST(Monotonicity, LongerColdStartsHurtReactiveTails) {
+  auto fast = base(RmConfig::rscale(), 0.0, 300.0);
+  fast.trace = step_trace(300.0, 3.0, 25.0, 150.0);
+  fast.cold_start.pull_mbps = 2000.0;
+  fast.cold_start.storage_mbps = 2000.0;
+  auto slow = base(RmConfig::rscale(), 0.0, 300.0);
+  slow.trace = step_trace(300.0, 3.0, 25.0, 150.0);
+  slow.cold_start.pull_mbps = 60.0;
+  slow.cold_start.storage_mbps = 40.0;
+  const auto rfast = run_experiment(std::move(fast));
+  const auto rslow = run_experiment(std::move(slow));
+  EXPECT_GE(rslow.cold_wait_ms.p99(), rfast.cold_wait_ms.p99());
+  EXPECT_GE(rslow.response_ms.p99(), rfast.response_ms.p99());
+}
+
+TEST(Monotonicity, SeasonalModelsShineOnPeriodicTraces) {
+  // On the diurnal Wiki shape, Holt-Winters must beat the moving average
+  // (the reverse of the spiky-WITS ranking) — predictor quality is
+  // trace-shape-dependent, which is the premise of Figure 6.
+  Rng rng(8);
+  WikiParams p;
+  p.duration_s = 2400.0;
+  p.day_period_s = 400.0;
+  p.noise_sigma_frac = 0.03;
+  const RateTrace trace = wiki_trace(p, rng);
+
+  TrainConfig cfg;
+  cfg.seasonal_period = 80;  // 400 s day / 5 s windows
+  auto hw = make_predictor("hw", cfg);
+  auto mwa = make_predictor("mwa", cfg);
+  const auto hw_eval = evaluate_predictor(*hw, trace, 0.6, 5, 20, 2);
+  const auto mwa_eval = evaluate_predictor(*mwa, trace, 0.6, 5, 20, 2);
+  EXPECT_LT(hw_eval.rmse, mwa_eval.rmse);
+}
+
+}  // namespace
+}  // namespace fifer

@@ -1,0 +1,417 @@
+// Tests for the load predictors: window sampling (paper §4.5), classic
+// models, the trainable models, the dataset builder, and the evaluation
+// harness behind Figure 6.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "predict/classic.hpp"
+#include "predict/dataset.hpp"
+#include "predict/evaluation.hpp"
+#include "predict/neural.hpp"
+#include "predict/predictor.hpp"
+#include "predict/seasonal.hpp"
+#include "predict/window.hpp"
+#include "workload/generators.hpp"
+
+namespace fifer {
+namespace {
+
+// --------------------------------------------------------- window sampler
+
+TEST(WindowSampler, CountsArrivalsPerWindow) {
+  WindowSampler s(seconds(5.0), 4);
+  s.record_arrival(100.0);
+  s.record_arrival(4900.0);    // same 5 s window
+  s.record_arrival(5100.0);    // next window
+  const auto rates = s.window_rates(seconds(6.0));
+  ASSERT_EQ(rates.size(), 4u);
+  EXPECT_DOUBLE_EQ(rates[2], 2.0 / 5.0);  // first window: 2 arrivals / 5 s
+  EXPECT_DOUBLE_EQ(rates[3], 1.0 / 5.0);  // current window
+  EXPECT_DOUBLE_EQ(rates[0], 0.0);        // old history zero-padded
+}
+
+TEST(WindowSampler, GlobalMaxRate) {
+  WindowSampler s(seconds(1.0), 5);
+  for (int i = 0; i < 7; ++i) s.record_arrival(500.0);  // 7 in window 0
+  s.record_arrival(1500.0);
+  EXPECT_DOUBLE_EQ(s.global_max_rate(1800.0), 7.0);
+  EXPECT_EQ(s.total_arrivals(), 8u);
+}
+
+TEST(WindowSampler, OldWindowsRollOut) {
+  WindowSampler s(seconds(1.0), 3);
+  s.record_arrival(100.0);  // window 0
+  s.record_arrival(seconds(10.0));
+  const auto rates = s.window_rates(seconds(10.5));
+  // Window 0 is far outside the 3-window history: only the newest survives.
+  EXPECT_DOUBLE_EQ(rates[2], 1.0);
+  EXPECT_DOUBLE_EQ(rates[0] + rates[1], 0.0);
+}
+
+TEST(WindowSampler, PaperParameterDefaults) {
+  WindowSampler s;
+  EXPECT_DOUBLE_EQ(s.window_ms(), seconds(5.0));  // Ws = 5 s
+  EXPECT_EQ(s.history_windows(), 20u);            // 100 s of history
+}
+
+TEST(WindowSampler, RejectsBadConfigAndStaleArrivals) {
+  EXPECT_THROW(WindowSampler(0.0, 10), std::invalid_argument);
+  EXPECT_THROW(WindowSampler(1000.0, 0), std::invalid_argument);
+  WindowSampler s(seconds(1.0), 2);
+  s.record_arrival(seconds(10.0));
+  EXPECT_THROW(s.record_arrival(seconds(1.0)), std::logic_error);
+}
+
+TEST(WindowedMax, GroupsByMaximum) {
+  const auto out = windowed_max({1.0, 5.0, 2.0, 8.0, 3.0}, 2);
+  EXPECT_EQ(out, (std::vector<double>{5.0, 8.0, 3.0}));
+  EXPECT_THROW(windowed_max({1.0}, 0), std::invalid_argument);
+}
+
+// --------------------------------------------------------- classic models
+
+TEST(Classic, MwaIsMeanOfWindow) {
+  MovingWindowAverage m(3);
+  EXPECT_DOUBLE_EQ(m.forecast({1.0, 2.0, 3.0, 4.0, 5.0}), 4.0);
+  EXPECT_DOUBLE_EQ(m.forecast({7.0}), 7.0);
+  EXPECT_DOUBLE_EQ(m.forecast({}), 0.0);
+}
+
+TEST(Classic, EwmaWeightsRecentMore) {
+  Ewma e(0.5);
+  const double f = e.forecast({0.0, 0.0, 0.0, 100.0});
+  EXPECT_NEAR(f, 50.0, 1e-9);  // last observation dominates
+  // Constant series forecasts itself.
+  EXPECT_NEAR(e.forecast({42.0, 42.0, 42.0}), 42.0, 1e-9);
+}
+
+TEST(Classic, LinearExtrapolatesTrend) {
+  LinearRegressionPredictor lin(2);
+  // Perfect ramp 10, 20, 30, ... -> two steps ahead of 40 is 60.
+  EXPECT_NEAR(lin.forecast({10.0, 20.0, 30.0, 40.0}), 60.0, 1e-9);
+  // Downward ramps clamp at zero instead of going negative.
+  EXPECT_DOUBLE_EQ(lin.forecast({30.0, 20.0, 10.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(lin.forecast({}), 0.0);
+  EXPECT_DOUBLE_EQ(lin.forecast({5.0}), 5.0);
+}
+
+TEST(Classic, LinearConstantSeries) {
+  LinearRegressionPredictor lin(3);
+  EXPECT_NEAR(lin.forecast({25.0, 25.0, 25.0, 25.0}), 25.0, 1e-9);
+}
+
+TEST(Classic, LogisticSaturatesOnRamps) {
+  LogisticRegressionPredictor logit(2, 1.5);
+  // A saturating ramp: forecasts stay below the 1.5x ceiling.
+  const double f = logit.forecast({10.0, 40.0, 70.0, 90.0, 98.0, 100.0});
+  EXPECT_GT(f, 90.0);
+  EXPECT_LE(f, 150.0);
+  EXPECT_DOUBLE_EQ(logit.forecast({}), 0.0);
+  EXPECT_DOUBLE_EQ(logit.forecast({0.0, 0.0}), 0.0);
+}
+
+TEST(Classic, OracleEchoesInjectedTruth) {
+  OraclePredictor o;
+  o.set_truth(123.0);
+  EXPECT_DOUBLE_EQ(o.forecast({1.0, 2.0}), 123.0);
+}
+
+// ----------------------------------------------------------------- dataset
+
+TEST(Dataset, BuildsWindowsAndTargets) {
+  const auto ds = SequenceDataset::build({1, 2, 3, 4, 5, 6}, 3, 2);
+  ASSERT_EQ(ds.size(), 2u);
+  EXPECT_DOUBLE_EQ(ds.scale, 6.0);
+  // First example: inputs {1,2,3}/6, target max(4,5)/6.
+  EXPECT_DOUBLE_EQ(ds.inputs[0][0], 1.0 / 6.0);
+  EXPECT_DOUBLE_EQ(ds.targets[0], 5.0 / 6.0);
+  EXPECT_DOUBLE_EQ(ds.targets[1], 1.0);
+}
+
+TEST(Dataset, EmptyWhenTooShort) {
+  EXPECT_TRUE(SequenceDataset::build({1, 2}, 3, 2).empty());
+  EXPECT_THROW(SequenceDataset::build({1, 2, 3}, 0, 1), std::invalid_argument);
+}
+
+TEST(Dataset, NormalizeUsesScale) {
+  const auto ds = SequenceDataset::build({0, 10, 0, 10, 0, 10}, 2, 1);
+  const auto norm = ds.normalize({5.0, 10.0});
+  EXPECT_DOUBLE_EQ(norm[0], 0.5);
+  EXPECT_DOUBLE_EQ(norm[1], 1.0);
+}
+
+// ------------------------------------------------------------ factory/API
+
+TEST(Factory, BuildsAllPaperModels) {
+  TrainConfig cfg;
+  for (const auto& name : paper_predictor_names()) {
+    const auto model = make_predictor(name, cfg);
+    ASSERT_NE(model, nullptr) << name;
+  }
+  EXPECT_EQ(paper_predictor_names().size(), 8u);
+  EXPECT_THROW(make_predictor("nope"), std::invalid_argument);
+}
+
+TEST(Factory, TrainingRequirementFlag) {
+  EXPECT_FALSE(make_predictor("ewma")->needs_training());
+  EXPECT_FALSE(make_predictor("mwa")->needs_training());
+  EXPECT_TRUE(make_predictor("lstm")->needs_training());
+  EXPECT_TRUE(make_predictor("deepar")->needs_training());
+}
+
+TEST(NeuralApi, ForecastBeforeTrainThrows) {
+  TrainConfig cfg;
+  auto lstm = make_predictor("lstm", cfg);
+  EXPECT_THROW(lstm->forecast({1.0, 2.0}), std::logic_error);
+}
+
+TEST(NeuralApi, TrainRejectsTooShortHistory) {
+  TrainConfig cfg;
+  cfg.input_window = 10;
+  auto ff = make_predictor("ff", cfg);
+  EXPECT_THROW(ff->train({1.0, 2.0, 3.0}), std::invalid_argument);
+}
+
+// ------------------------------------------------- learning sanity checks
+
+std::vector<double> sine_rates(std::size_t n, double base = 100.0,
+                               double amp = 60.0, double period = 24.0) {
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = base + amp * std::sin(2.0 * M_PI * static_cast<double>(i) / period);
+  }
+  return out;
+}
+
+class NeuralLearning : public testing::TestWithParam<const char*> {};
+
+TEST_P(NeuralLearning, BeatsGrandMeanOnPeriodicLoad) {
+  TrainConfig cfg;
+  cfg.input_window = 12;
+  cfg.horizon = 2;
+  cfg.epochs = 60;
+  cfg.seed = 7;
+  auto model = make_predictor(GetParam(), cfg);
+
+  const auto rates = sine_rates(400);
+  const std::vector<double> train(rates.begin(), rates.begin() + 240);
+  model->train(train);
+
+  // Walk the test region and compare against predicting the training mean.
+  double model_se = 0.0, mean_se = 0.0;
+  const double train_mean = 100.0;
+  int steps = 0;
+  for (std::size_t t = 240; t + cfg.horizon < rates.size(); ++t) {
+    const std::vector<double> window(rates.begin() + static_cast<long>(t) - 12,
+                                     rates.begin() + static_cast<long>(t));
+    const double pred = model->forecast(window);
+    double truth = 0.0;
+    for (std::size_t h = 0; h < cfg.horizon; ++h) {
+      truth = std::max(truth, rates[t + h]);
+    }
+    model_se += (pred - truth) * (pred - truth);
+    mean_se += (train_mean - truth) * (train_mean - truth);
+    ++steps;
+  }
+  ASSERT_GT(steps, 50);
+  EXPECT_LT(model_se, mean_se) << GetParam()
+                               << " failed to beat the grand-mean baseline";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTrainable, NeuralLearning,
+                         testing::Values("ff", "lstm", "deepar", "wavenet"));
+
+TEST(NeuralApi, ForecastsAreFiniteAndNonNegative) {
+  TrainConfig cfg;
+  cfg.input_window = 8;
+  cfg.epochs = 10;
+  auto model = make_predictor("lstm", cfg);
+  model->train(sine_rates(120));
+  for (double level : {0.0, 10.0, 500.0, 1e6}) {
+    const double f = model->forecast(std::vector<double>(8, level));
+    EXPECT_TRUE(std::isfinite(f));
+    EXPECT_GE(f, 0.0);
+  }
+}
+
+TEST(NeuralApi, ShortWindowIsPadded) {
+  TrainConfig cfg;
+  cfg.input_window = 10;
+  cfg.epochs = 5;
+  auto model = make_predictor("ff", cfg);
+  model->train(sine_rates(100));
+  // Fewer values than the input window must still work (left-padded).
+  EXPECT_NO_THROW(model->forecast({50.0, 60.0}));
+}
+
+TEST(NeuralApi, DeterministicTrainingGivenSeed) {
+  TrainConfig cfg;
+  cfg.input_window = 8;
+  cfg.epochs = 5;
+  cfg.seed = 99;
+  auto a = make_predictor("lstm", cfg);
+  auto b = make_predictor("lstm", cfg);
+  const auto rates = sine_rates(120);
+  a->train(rates);
+  b->train(rates);
+  const std::vector<double> window(rates.end() - 8, rates.end());
+  EXPECT_DOUBLE_EQ(a->forecast(window), b->forecast(window));
+}
+
+TEST(DeepAr, ExposesDistribution) {
+  TrainConfig cfg;
+  cfg.input_window = 8;
+  cfg.epochs = 20;
+  DeepArPredictor model(cfg);
+  model.train(sine_rates(150));
+  (void)model.forecast(std::vector<double>(8, 100.0));
+  const auto [mu, sigma] = model.last_distribution();
+  EXPECT_TRUE(std::isfinite(mu));
+  EXPECT_GT(sigma, 0.0);
+}
+
+// ------------------------------------------------- seasonal baselines (ext)
+
+std::vector<double> seasonal_rates(std::size_t n, std::size_t period,
+                                   double base = 100.0, double amp = 60.0) {
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = base + amp * std::sin(2.0 * M_PI * static_cast<double>(i % period) /
+                                   static_cast<double>(period));
+  }
+  return out;
+}
+
+TEST(Seasonal, NaiveRepeatsLastSeason) {
+  TrainConfig cfg;
+  cfg.seasonal_period = 10;
+  cfg.horizon = 1;
+  auto model = make_predictor("seasonal", cfg);
+  EXPECT_TRUE(model->needs_training());
+  const auto rates = seasonal_rates(40, 10);
+  model->train(rates);
+  // With no fresh observations, the next window repeats rates[40 - 10].
+  EXPECT_NEAR(model->forecast({}), rates[30], 1e-9);
+}
+
+TEST(Seasonal, NaiveUsesRecentObservations) {
+  TrainConfig cfg;
+  cfg.seasonal_period = 4;
+  cfg.horizon = 1;
+  auto model = make_predictor("seasonal", cfg);
+  model->train({1.0, 2.0, 3.0, 4.0, 1.0, 2.0, 3.0, 4.0});
+  // Two fresh observations shift the alignment: now+1 is one period back
+  // from the end of (history + recent).
+  EXPECT_NEAR(model->forecast({9.0, 9.0}), 3.0, 1e-9);
+}
+
+TEST(Seasonal, HoltWintersTracksSeasonalSignal) {
+  TrainConfig cfg;
+  cfg.seasonal_period = 24;
+  cfg.horizon = 2;
+  auto hw = make_predictor("hw", cfg);
+  const auto rates = seasonal_rates(24 * 8, 24);
+  const std::vector<double> train(rates.begin(), rates.begin() + 24 * 6);
+  hw->train(train);
+
+  // Walk the last two seasons; HW should beat EWMA comfortably on a clean
+  // periodic signal.
+  auto ewma = make_predictor("ewma");
+  double hw_se = 0.0, ewma_se = 0.0;
+  for (std::size_t t = 24 * 6; t + cfg.horizon < rates.size(); ++t) {
+    const std::vector<double> window(rates.begin() + static_cast<long>(t) - 12,
+                                     rates.begin() + static_cast<long>(t));
+    double truth = 0.0;
+    for (std::size_t h = 0; h < cfg.horizon; ++h) {
+      truth = std::max(truth, rates[t + h]);
+    }
+    const double hw_err = hw->forecast(window) - truth;
+    const double ewma_err = ewma->forecast(window) - truth;
+    hw_se += hw_err * hw_err;
+    ewma_se += ewma_err * ewma_err;
+  }
+  EXPECT_LT(hw_se, 0.5 * ewma_se);
+}
+
+TEST(Seasonal, GuardsAndErrors) {
+  TrainConfig cfg;
+  cfg.seasonal_period = 8;
+  auto naive = make_predictor("seasonal", cfg);
+  EXPECT_THROW(naive->forecast({1.0}), std::logic_error);      // untrained
+  EXPECT_THROW(naive->train({1.0, 2.0}), std::invalid_argument);  // < 1 season
+  auto hw = make_predictor("holtwinters", cfg);
+  EXPECT_THROW(hw->train(std::vector<double>(10, 1.0)), std::invalid_argument);
+  EXPECT_THROW(SeasonalNaivePredictor(0), std::invalid_argument);
+  EXPECT_THROW(HoltWintersPredictor(0), std::invalid_argument);
+}
+
+TEST(Seasonal, HoltWintersLearnsTrend) {
+  // Pure upward ramp, tiny season: the trend component must extrapolate.
+  std::vector<double> ramp;
+  for (int i = 0; i < 80; ++i) ramp.push_back(10.0 + 2.0 * i);
+  HoltWintersPredictor hw(4, 1);
+  hw.train(ramp);
+  EXPECT_NEAR(hw.trend(), 2.0, 0.3);
+  EXPECT_GT(hw.forecast({}), ramp.back());
+}
+
+// -------------------------------------------------------------- evaluation
+
+TEST(Evaluation, WalkForwardProducesAlignedSeries) {
+  Rng rng(3);
+  WitsParams p;
+  p.duration_s = 700.0;
+  const RateTrace trace = wits_trace(p, rng);
+  auto model = make_predictor("ewma");
+  const auto eval = evaluate_predictor(*model, trace, 0.6, 5, 20, 2);
+  EXPECT_EQ(eval.model, "EWMA");
+  EXPECT_EQ(eval.actual.size(), eval.predicted.size());
+  EXPECT_GT(eval.actual.size(), 10u);
+  EXPECT_GT(eval.rmse, 0.0);
+  EXPECT_GE(eval.rmse, eval.mae);  // RMSE >= MAE always
+  EXPECT_GT(eval.mean_forecast_latency_ms, 0.0);
+}
+
+TEST(Evaluation, RejectsShortTraces) {
+  auto model = make_predictor("mwa");
+  const RateTrace tiny({1.0, 2.0, 3.0}, 1.0);
+  EXPECT_THROW(evaluate_predictor(*model, tiny), std::invalid_argument);
+}
+
+TEST(Evaluation, SmartModelsBeatNaiveOnPeriodicTrace) {
+  // On a predictable periodic trace the trained LSTM should not lose badly
+  // to the naive moving average (paper Figure 6a ranks LSTM best overall).
+  Rng rng(4);
+  WikiParams p;
+  p.duration_s = 1500.0;
+  p.noise_sigma_frac = 0.02;
+  const RateTrace trace = wiki_trace(p, rng);
+
+  TrainConfig cfg;
+  cfg.epochs = 40;
+  cfg.input_window = 20;
+  auto lstm = make_predictor("lstm", cfg);
+  auto mwa = make_predictor("mwa", cfg);
+  const auto lstm_eval = evaluate_predictor(*lstm, trace, 0.6, 5, 20, 2);
+  const auto mwa_eval = evaluate_predictor(*mwa, trace, 0.6, 5, 20, 2);
+  EXPECT_LT(lstm_eval.rmse, mwa_eval.rmse * 1.1);
+}
+
+TEST(Evaluation, BatchHelperCoversAllNames) {
+  Rng rng(5);
+  WitsParams p;
+  p.duration_s = 600.0;
+  const RateTrace trace = wits_trace(p, rng);
+  TrainConfig cfg;
+  cfg.epochs = 3;  // smoke-speed
+  const auto evals =
+      evaluate_predictors({"MWA", "EWMA", "LinReg"}, trace, cfg, 0.6, 5);
+  ASSERT_EQ(evals.size(), 3u);
+  EXPECT_EQ(evals[0].model, "MWA");
+  EXPECT_EQ(evals[2].model, "LinearR");
+}
+
+}  // namespace
+}  // namespace fifer

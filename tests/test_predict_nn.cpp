@@ -1,0 +1,354 @@
+// Unit tests for the from-scratch NN library: matrix ops, layer forward
+// passes, numeric gradient checks for every layer type, and optimizers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "predict/nn/conv1d.hpp"
+#include "predict/nn/gru.hpp"
+#include "predict/nn/layer.hpp"
+#include "predict/nn/lstm.hpp"
+#include "predict/nn/matrix.hpp"
+#include "predict/nn/optimizer.hpp"
+
+namespace fifer::nn {
+namespace {
+
+// ---------------------------------------------------------------- matrix
+
+TEST(Matrix, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  m(1, 2) = 7.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 7.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.5);
+}
+
+TEST(Matrix, XavierBoundsAndDeterminism) {
+  Rng r1(3), r2(3);
+  const Matrix a = Matrix::xavier(8, 8, r1);
+  const Matrix b = Matrix::xavier(8, 8, r2);
+  const double bound = std::sqrt(6.0 / 16.0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_LE(std::abs(a.data()[i]), bound);
+    EXPECT_DOUBLE_EQ(a.data()[i], b.data()[i]);
+  }
+}
+
+TEST(Matrix, ArithmeticAndShapeChecks) {
+  Matrix a(2, 2, 1.0), b(2, 2, 2.0);
+  a += b;
+  EXPECT_DOUBLE_EQ(a(0, 0), 3.0);
+  a -= b;
+  EXPECT_DOUBLE_EQ(a(1, 1), 1.0);
+  a *= 4.0;
+  EXPECT_DOUBLE_EQ(a(0, 1), 4.0);
+  Matrix c(3, 2, 0.0);
+  EXPECT_THROW(a += c, std::invalid_argument);
+}
+
+TEST(Matrix, MatvecAndTranspose) {
+  Matrix m(2, 3);
+  // [1 2 3; 4 5 6]
+  int v = 1;
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) m(r, c) = v++;
+  }
+  const Vec y = matvec(m, {1.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 15.0);
+  const Vec yt = matvec_transposed(m, {1.0, 1.0});
+  EXPECT_DOUBLE_EQ(yt[0], 5.0);
+  EXPECT_DOUBLE_EQ(yt[2], 9.0);
+  EXPECT_THROW(matvec(m, {1.0}), std::invalid_argument);
+  EXPECT_THROW(matvec_transposed(m, {1.0}), std::invalid_argument);
+}
+
+TEST(Matrix, OuterProductAccumulates) {
+  Matrix g(2, 2, 1.0);
+  add_outer(g, {1.0, 2.0}, {3.0, 4.0});
+  EXPECT_DOUBLE_EQ(g(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(g(1, 1), 9.0);
+}
+
+TEST(Matrix, VecHelpers) {
+  const Vec a{1.0, 2.0}, b{3.0, 5.0};
+  EXPECT_EQ((a + b), (Vec{4.0, 7.0}));
+  EXPECT_EQ((b - a), (Vec{2.0, 3.0}));
+  EXPECT_EQ(hadamard(a, b), (Vec{3.0, 10.0}));
+  EXPECT_EQ(scaled(a, 2.0), (Vec{2.0, 4.0}));
+  EXPECT_DOUBLE_EQ(dot(a, b), 13.0);
+}
+
+TEST(Matrix, ActivationsAndDerivatives) {
+  const Vec x{-1.0, 0.0, 2.0};
+  const Vec t = tanh_vec(x);
+  EXPECT_NEAR(t[0], std::tanh(-1.0), 1e-12);
+  const Vec s = sigmoid_vec(x);
+  EXPECT_NEAR(s[1], 0.5, 1e-12);
+  const Vec r = relu_vec(x);
+  EXPECT_EQ(r, (Vec{0.0, 0.0, 2.0}));
+  EXPECT_NEAR(dtanh_from_y(t)[2], 1.0 - t[2] * t[2], 1e-12);
+  EXPECT_NEAR(dsigmoid_from_y(s)[1], 0.25, 1e-12);
+  EXPECT_EQ(drelu_from_y(r)[0], 0.0);
+  EXPECT_EQ(drelu_from_y(r)[2], 1.0);
+}
+
+// -------------------------------------------------------- gradient checks
+
+/// Central-difference check of dLoss/dparam against the analytic gradient
+/// accumulated by backward(). `loss_fn` must run forward+backward with
+/// gradients freshly zeroed and return the loss.
+void check_param_gradients(std::vector<ParamRef> params,
+                           const std::function<double()>& loss_with_backward,
+                           double tol = 1e-5) {
+  // Populate analytic gradients once.
+  for (auto& p : params) p.grad->fill(0.0);
+  (void)loss_with_backward();
+
+  constexpr double kEps = 1e-5;
+  for (auto& p : params) {
+    for (std::size_t i = 0; i < p.value->size(); i += std::max<std::size_t>(
+             1, p.value->size() / 17)) {  // sample parameters for speed
+      const double analytic = p.grad->data()[i];
+      const double saved = p.value->data()[i];
+      std::vector<Matrix> grad_backup;
+
+      p.value->data()[i] = saved + kEps;
+      for (auto& q : params) q.grad->fill(0.0);
+      const double up = loss_with_backward();
+      p.value->data()[i] = saved - kEps;
+      for (auto& q : params) q.grad->fill(0.0);
+      const double down = loss_with_backward();
+      p.value->data()[i] = saved;
+
+      const double numeric = (up - down) / (2.0 * kEps);
+      EXPECT_NEAR(analytic, numeric, tol * std::max(1.0, std::abs(numeric)))
+          << "param element " << i;
+      // Restore analytic gradients for the next sampled element.
+      for (auto& q : params) q.grad->fill(0.0);
+      (void)loss_with_backward();
+    }
+  }
+}
+
+TEST(GradCheck, DenseTanh) {
+  Rng rng(11);
+  Dense layer(3, 4, Dense::Activation::kTanh, rng);
+  Dense head(4, 1, Dense::Activation::kLinear, rng);
+  const Vec x{0.3, -0.7, 1.1};
+  const Vec target{0.5};
+
+  auto params = layer.params();
+  for (auto& p : head.params()) params.push_back(p);
+
+  auto loss_fn = [&]() {
+    const Vec pred = head.forward(layer.forward(x));
+    Vec dpred;
+    const double loss = mse_loss(pred, target, dpred);
+    layer.backward(head.backward(dpred));
+    return loss;
+  };
+  check_param_gradients(params, loss_fn);
+}
+
+TEST(GradCheck, DenseReluAndSigmoid) {
+  Rng rng(12);
+  Dense l1(3, 5, Dense::Activation::kRelu, rng);
+  Dense l2(5, 2, Dense::Activation::kSigmoid, rng);
+  const Vec x{0.9, 0.2, -0.4};
+  const Vec target{0.3, 0.8};
+
+  auto params = l1.params();
+  for (auto& p : l2.params()) params.push_back(p);
+  auto loss_fn = [&]() {
+    const Vec pred = l2.forward(l1.forward(x));
+    Vec dpred;
+    const double loss = mse_loss(pred, target, dpred);
+    l1.backward(l2.backward(dpred));
+    return loss;
+  };
+  check_param_gradients(params, loss_fn);
+}
+
+TEST(GradCheck, LstmLayer) {
+  Rng rng(13);
+  LstmLayer lstm(2, 4, rng);
+  Dense head(4, 1, Dense::Activation::kLinear, rng);
+  const std::vector<Vec> xs{{0.2, -0.1}, {0.5, 0.4}, {-0.3, 0.9}, {0.1, 0.1}};
+  const Vec target{0.7};
+
+  auto params = lstm.params();
+  for (auto& p : head.params()) params.push_back(p);
+  auto loss_fn = [&]() {
+    const auto hs = lstm.forward(xs);
+    const Vec pred = head.forward(hs.back());
+    Vec dpred;
+    const double loss = mse_loss(pred, target, dpred);
+    std::vector<Vec> dh(xs.size(), Vec(4, 0.0));
+    dh.back() = head.backward(dpred);
+    lstm.backward(dh);
+    return loss;
+  };
+  check_param_gradients(params, loss_fn, 1e-4);
+}
+
+TEST(GradCheck, GruLayer) {
+  Rng rng(14);
+  GruLayer gru(2, 3, rng);
+  Dense head(3, 1, Dense::Activation::kLinear, rng);
+  const std::vector<Vec> xs{{0.3, 0.8}, {-0.2, 0.1}, {0.6, -0.5}};
+  const Vec target{-0.2};
+
+  auto params = gru.params();
+  for (auto& p : head.params()) params.push_back(p);
+  auto loss_fn = [&]() {
+    const auto hs = gru.forward(xs);
+    const Vec pred = head.forward(hs.back());
+    Vec dpred;
+    const double loss = mse_loss(pred, target, dpred);
+    std::vector<Vec> dh(xs.size(), Vec(3, 0.0));
+    dh.back() = head.backward(dpred);
+    gru.backward(dh);
+    return loss;
+  };
+  check_param_gradients(params, loss_fn, 1e-4);
+}
+
+TEST(GradCheck, CausalConv1d) {
+  Rng rng(15);
+  CausalConv1d conv(1, 3, 2, 2, CausalConv1d::Activation::kTanh, rng);
+  Dense head(3, 1, Dense::Activation::kLinear, rng);
+  const std::vector<Vec> xs{{0.1}, {0.5}, {-0.4}, {0.8}, {0.2}};
+  const Vec target{0.3};
+
+  auto params = conv.params();
+  for (auto& p : head.params()) params.push_back(p);
+  auto loss_fn = [&]() {
+    const auto ys = conv.forward(xs);
+    const Vec pred = head.forward(ys.back());
+    Vec dpred;
+    const double loss = mse_loss(pred, target, dpred);
+    std::vector<Vec> dy(xs.size(), Vec(3, 0.0));
+    dy.back() = head.backward(dpred);
+    conv.backward(dy);
+    return loss;
+  };
+  check_param_gradients(params, loss_fn, 1e-4);
+}
+
+TEST(GradCheck, GaussianNllGradients) {
+  // Analytic vs numeric on the loss itself.
+  const double target = 0.8;
+  const Vec pred{0.2, -0.3};
+  Vec dpred;
+  const double loss = gaussian_nll_loss(pred, target, dpred);
+  EXPECT_TRUE(std::isfinite(loss));
+  constexpr double kEps = 1e-6;
+  for (std::size_t i = 0; i < 2; ++i) {
+    Vec up = pred, down = pred, tmp;
+    up[i] += kEps;
+    down[i] -= kEps;
+    const double numeric =
+        (gaussian_nll_loss(up, target, tmp) - gaussian_nll_loss(down, target, tmp)) /
+        (2.0 * kEps);
+    EXPECT_NEAR(dpred[i], numeric, 1e-5);
+  }
+}
+
+// --------------------------------------------------------- causality check
+
+TEST(CausalConv1d, OutputIgnoresTheFuture) {
+  Rng rng(16);
+  CausalConv1d conv(1, 2, 2, 1, CausalConv1d::Activation::kLinear, rng);
+  std::vector<Vec> xs{{1.0}, {2.0}, {3.0}, {4.0}};
+  const auto y1 = conv.forward(xs);
+  xs[3][0] = 99.0;  // mutate the future
+  const auto y2 = conv.forward(xs);
+  for (std::size_t t = 0; t < 3; ++t) {
+    for (std::size_t o = 0; o < 2; ++o) {
+      EXPECT_DOUBLE_EQ(y1[t][o], y2[t][o]) << "t=" << t;
+    }
+  }
+}
+
+TEST(LstmLayer, SequenceLengthMismatchThrows) {
+  Rng rng(17);
+  LstmLayer lstm(1, 2, rng);
+  lstm.forward({{1.0}, {2.0}});
+  EXPECT_THROW(lstm.backward({{0.0, 0.0}}), std::invalid_argument);
+}
+
+TEST(LstmLayer, RejectsWrongInputDim) {
+  Rng rng(18);
+  LstmLayer lstm(2, 3, rng);
+  EXPECT_THROW(lstm.forward({{1.0}}), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- optimizers
+
+TEST(Optimizers, SgdConvergesOnQuadratic) {
+  // Minimize (w - 3)^2 via the ParamRef interface.
+  Matrix w(1, 1, 0.0), g(1, 1, 0.0);
+  Sgd opt({{&w, &g}}, 0.1);
+  for (int i = 0; i < 200; ++i) {
+    g(0, 0) = 2.0 * (w(0, 0) - 3.0);
+    opt.step();
+  }
+  EXPECT_NEAR(w(0, 0), 3.0, 1e-6);
+}
+
+TEST(Optimizers, AdamConvergesOnQuadratic) {
+  Matrix w(1, 1, -4.0), g(1, 1, 0.0);
+  Adam opt({{&w, &g}}, 0.1);
+  for (int i = 0; i < 500; ++i) {
+    g(0, 0) = 2.0 * (w(0, 0) - 3.0);
+    opt.step();
+  }
+  EXPECT_NEAR(w(0, 0), 3.0, 1e-3);
+}
+
+TEST(Optimizers, StepZeroesGradients) {
+  Matrix w(2, 2, 1.0), g(2, 2, 0.5);
+  Adam opt(std::vector<ParamRef>{{&w, &g}});
+  opt.step();
+  for (std::size_t i = 0; i < g.size(); ++i) EXPECT_DOUBLE_EQ(g.data()[i], 0.0);
+}
+
+TEST(Optimizers, ClipScalesDownLargeGradients) {
+  Matrix w(1, 2, 0.0), g(1, 2, 0.0);
+  g(0, 0) = 3.0;
+  g(0, 1) = 4.0;  // norm 5
+  Sgd opt({{&w, &g}}, 1.0);
+  opt.clip_gradients(1.0);
+  EXPECT_NEAR(std::hypot(g(0, 0), g(0, 1)), 1.0, 1e-12);
+  // Direction preserved.
+  EXPECT_NEAR(g(0, 1) / g(0, 0), 4.0 / 3.0, 1e-12);
+}
+
+TEST(Optimizers, ClipLeavesSmallGradientsAlone) {
+  Matrix w(1, 1, 0.0), g(1, 1, 0.3);
+  Adam opt(std::vector<ParamRef>{{&w, &g}});
+  opt.clip_gradients(1.0);
+  EXPECT_DOUBLE_EQ(g(0, 0), 0.3);
+}
+
+TEST(Optimizers, MomentumAcceleratesSgd) {
+  auto run = [](double momentum) {
+    Matrix w(1, 1, 10.0), g(1, 1, 0.0);
+    Sgd opt({{&w, &g}}, 0.01, momentum);
+    for (int i = 0; i < 50; ++i) {
+      g(0, 0) = 2.0 * w(0, 0);
+      opt.step();
+    }
+    return std::abs(w(0, 0));
+  };
+  EXPECT_LT(run(0.9), run(0.0));
+}
+
+}  // namespace
+}  // namespace fifer::nn

@@ -1,0 +1,176 @@
+// Unit tests for the discrete-event engine (src/sim).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/simulation.hpp"
+
+namespace fifer {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(30.0, [&] { order.push_back(3); });
+  q.schedule(10.0, [&] { order.push_back(1); });
+  q.schedule(20.0, [&] { order.push_back(2); });
+  while (!q.empty()) {
+    auto f = q.pop();
+    f.callback();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesFireInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(5.0, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().callback();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.schedule(1.0, [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));  // double-cancel reports false
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventId early = q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  q.cancel(early);
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, EmptyBehaviour) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.next_time(), kNeverTime);
+  EXPECT_THROW(q.pop(), std::logic_error);
+}
+
+TEST(EventQueue, RejectsSchedulingIntoThePast) {
+  EventQueue q;
+  q.schedule(10.0, [] {});
+  q.pop().callback();
+  EXPECT_DOUBLE_EQ(q.watermark(), 10.0);
+  EXPECT_THROW(q.schedule(5.0, [] {}), std::logic_error);
+  EXPECT_NO_THROW(q.schedule(10.0, [] {}));  // same time is fine
+}
+
+TEST(Simulation, AtAndAfterAdvanceClock) {
+  Simulation sim;
+  std::vector<double> times;
+  sim.at(100.0, [&] { times.push_back(sim.now()); });
+  sim.after(50.0, [&] { times.push_back(sim.now()); });
+  sim.run_to_completion();
+  EXPECT_EQ(times, (std::vector<double>{50.0, 100.0}));
+  EXPECT_DOUBLE_EQ(sim.now(), 100.0);
+  EXPECT_EQ(sim.events_executed(), 2u);
+}
+
+TEST(Simulation, NestedSchedulingWorks) {
+  Simulation sim;
+  std::vector<double> times;
+  sim.after(10.0, [&] {
+    times.push_back(sim.now());
+    sim.after(5.0, [&] { times.push_back(sim.now()); });
+  });
+  sim.run_to_completion();
+  EXPECT_EQ(times, (std::vector<double>{10.0, 15.0}));
+}
+
+TEST(Simulation, RunUntilStopsAtDeadlineAndAdvancesClock) {
+  Simulation sim;
+  int fired = 0;
+  sim.at(10.0, [&] { ++fired; });
+  sim.at(100.0, [&] { ++fired; });
+  sim.run_until(50.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 50.0);  // clock moves to the deadline
+  sim.run_until(200.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, EventAtDeadlineBoundaryFires) {
+  Simulation sim;
+  bool fired = false;
+  sim.at(50.0, [&] { fired = true; });
+  sim.run_until(50.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulation, EveryRepeats) {
+  Simulation sim;
+  int ticks = 0;
+  sim.every(10.0, [&](SimTime) { ++ticks; });
+  sim.run_until(55.0);
+  EXPECT_EQ(ticks, 5);  // t = 10, 20, 30, 40, 50
+}
+
+TEST(Simulation, EveryRejectsNonPositivePeriod) {
+  Simulation sim;
+  EXPECT_THROW(sim.every(0.0, [](SimTime) {}), std::invalid_argument);
+  EXPECT_THROW(sim.every(-5.0, [](SimTime) {}), std::invalid_argument);
+}
+
+TEST(Simulation, StopHaltsTheLoop) {
+  Simulation sim;
+  int fired = 0;
+  sim.at(1.0, [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.at(2.0, [&] { ++fired; });
+  sim.run_to_completion();
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.stopped());
+}
+
+TEST(Simulation, CancelScheduledEvent) {
+  Simulation sim;
+  bool fired = false;
+  const EventId id = sim.at(5.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run_to_completion();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulation, AfterClampsNegativeDelay) {
+  Simulation sim;
+  bool fired = false;
+  sim.after(-10.0, [&] { fired = true; });
+  sim.run_to_completion();
+  EXPECT_TRUE(fired);
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+}
+
+TEST(Simulation, RejectsPastAbsoluteTime) {
+  Simulation sim;
+  sim.at(10.0, [] {});
+  sim.run_to_completion();
+  EXPECT_THROW(sim.at(5.0, [] {}), std::logic_error);
+}
+
+TEST(Simulation, ManyEventsExecuteExactlyOnce) {
+  Simulation sim;
+  int count = 0;
+  for (int i = 0; i < 10000; ++i) {
+    sim.at(static_cast<double>(i % 100), [&] { ++count; });
+  }
+  sim.run_to_completion();
+  EXPECT_EQ(count, 10000);
+}
+
+}  // namespace
+}  // namespace fifer

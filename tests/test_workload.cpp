@@ -1,0 +1,415 @@
+// Unit tests for src/workload: Table-3 services, Table-4 chains, traces,
+// generators, arrival process, workload mixes, and the MET estimator.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/stats.hpp"
+#include "workload/application.hpp"
+#include "workload/arrival.hpp"
+#include "workload/exec_estimator.hpp"
+#include "workload/generators.hpp"
+#include "workload/microservice.hpp"
+#include "workload/mix.hpp"
+#include "workload/request.hpp"
+#include "workload/trace.hpp"
+
+namespace fifer {
+namespace {
+
+// ---------------------------------------------------------- microservices
+
+TEST(Microservice, Table3ContentsPresent) {
+  const auto reg = MicroserviceRegistry::djinn_tonic();
+  // The paper's Table 3 mean execution times.
+  EXPECT_DOUBLE_EQ(reg.at("IMC").mean_exec_ms, 43.5);
+  EXPECT_DOUBLE_EQ(reg.at("AP").mean_exec_ms, 30.3);
+  EXPECT_DOUBLE_EQ(reg.at("HS").mean_exec_ms, 151.2);
+  EXPECT_DOUBLE_EQ(reg.at("FACER").mean_exec_ms, 5.5);
+  EXPECT_DOUBLE_EQ(reg.at("FACED").mean_exec_ms, 6.1);
+  EXPECT_DOUBLE_EQ(reg.at("ASR").mean_exec_ms, 46.1);
+  EXPECT_DOUBLE_EQ(reg.at("POS").mean_exec_ms, 0.100);
+  EXPECT_DOUBLE_EQ(reg.at("NER").mean_exec_ms, 0.09);
+  EXPECT_DOUBLE_EQ(reg.at("QA").mean_exec_ms, 56.1);
+  EXPECT_EQ(reg.at("ASR").model, "NNet3");
+  EXPECT_EQ(reg.at("HS").model, "VGG16");
+}
+
+TEST(Microservice, LookupBehaviour) {
+  const auto reg = MicroserviceRegistry::djinn_tonic();
+  EXPECT_TRUE(reg.contains("QA"));
+  EXPECT_FALSE(reg.contains("NOPE"));
+  EXPECT_FALSE(reg.find("NOPE").has_value());
+  EXPECT_THROW(reg.at("NOPE"), std::out_of_range);
+}
+
+TEST(Microservice, AddReplacesByName) {
+  auto reg = MicroserviceRegistry::empty();
+  reg.add({"X", "m", "image", 10.0, 1.0, 256, 0.5, 100, 50});
+  reg.add({"X", "m2", "image", 20.0, 1.0, 256, 0.5, 100, 50});
+  EXPECT_EQ(reg.all().size(), 1u);
+  EXPECT_DOUBLE_EQ(reg.at("X").mean_exec_ms, 20.0);
+}
+
+TEST(Microservice, ExecSamplingMomentsMatchSpec) {
+  const auto reg = MicroserviceRegistry::djinn_tonic();
+  Rng rng(77);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(reg.at("ASR").sample_exec_ms(rng));
+  EXPECT_NEAR(s.mean(), 46.1, 0.5);
+  EXPECT_NEAR(s.stddev(), 5.0, 0.3);
+  // Paper constraint: stddev within 20 ms for every service.
+  for (const auto& spec : reg.all()) EXPECT_LE(spec.exec_stddev_ms, 20.0);
+}
+
+TEST(Microservice, ExecScalesLinearlyWithInput) {
+  const auto reg = MicroserviceRegistry::djinn_tonic();
+  const auto& imc = reg.at("IMC");
+  EXPECT_DOUBLE_EQ(imc.exec_ms_for_scale(2.0), 87.0);
+  EXPECT_DOUBLE_EQ(imc.exec_ms_for_scale(0.5), 21.75);
+}
+
+TEST(Microservice, SamplesArePositive) {
+  const auto reg = MicroserviceRegistry::djinn_tonic();
+  Rng rng(78);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_GT(reg.at("NER").sample_exec_ms(rng), 0.0);
+  }
+}
+
+// ----------------------------------------------------------- applications
+
+TEST(Application, Table4SlackReproduced) {
+  const auto services = MicroserviceRegistry::djinn_tonic();
+  const auto apps = ApplicationRegistry::paper_chains();
+  // Published Table 4 values at SLO = 1000 ms.
+  EXPECT_NEAR(apps.at("FaceSecurity").total_slack_ms(services), 788.0, 0.5);
+  EXPECT_NEAR(apps.at("IMG").total_slack_ms(services), 700.0, 0.5);
+  EXPECT_NEAR(apps.at("IPA").total_slack_ms(services), 697.0, 0.5);
+  EXPECT_NEAR(apps.at("DetectFatigue").total_slack_ms(services), 572.0, 0.5);
+}
+
+TEST(Application, Table4ChainsAndOrdering) {
+  const auto apps = ApplicationRegistry::paper_chains();
+  EXPECT_EQ(apps.at("FaceSecurity").stages,
+            (std::vector<std::string>{"FACED", "FACER"}));
+  EXPECT_EQ(apps.at("IMG").stages, (std::vector<std::string>{"IMC", "NLP", "QA"}));
+  EXPECT_EQ(apps.at("IPA").stages, (std::vector<std::string>{"ASR", "NLP", "QA"}));
+  EXPECT_EQ(apps.at("DetectFatigue").stages,
+            (std::vector<std::string>{"HS", "AP", "FACED", "FACER"}));
+}
+
+TEST(Application, BusyTimeDecomposition) {
+  const auto services = MicroserviceRegistry::djinn_tonic();
+  const auto apps = ApplicationRegistry::paper_chains();
+  const auto& ipa = apps.at("IPA");
+  const double exec = 46.1 + 0.19 + 56.1;
+  EXPECT_NEAR(ipa.total_exec_ms(services), exec, 1e-9);
+  EXPECT_NEAR(ipa.total_busy_ms(services), exec + 3 * ipa.stage_overhead_ms, 1e-9);
+}
+
+TEST(Application, SlackClampsAtZero) {
+  const auto services = MicroserviceRegistry::djinn_tonic();
+  ApplicationChain tight{"tight", {"HS", "HS", "HS", "HS", "HS", "HS", "HS"}, 500.0,
+                         0.0, {}};
+  EXPECT_DOUBLE_EQ(tight.total_slack_ms(services), 0.0);
+}
+
+TEST(Application, RegistryLookup) {
+  const auto apps = ApplicationRegistry::paper_chains();
+  EXPECT_TRUE(apps.contains("IPA"));
+  EXPECT_FALSE(apps.contains("Nope"));
+  EXPECT_THROW(apps.at("Nope"), std::out_of_range);
+  EXPECT_EQ(apps.all().size(), 4u);
+}
+
+// ------------------------------------------------------------------ jobs
+
+TEST(Job, SlackAndSloAccounting) {
+  const auto apps = ApplicationRegistry::paper_chains();
+  Job job;
+  job.app = &apps.at("IPA");
+  job.arrival = 1000.0;
+  job.records.resize(3);
+  EXPECT_DOUBLE_EQ(job.deadline(), 2000.0);
+  EXPECT_FALSE(job.done());
+  job.completion = 2100.0;
+  EXPECT_TRUE(job.done());
+  EXPECT_DOUBLE_EQ(job.response_ms(), 1100.0);
+  EXPECT_TRUE(job.violated_slo());
+  // Remaining slack shrinks as time passes (LSF's anti-starvation lever).
+  EXPECT_GT(job.remaining_slack_ms(1100.0, 100.0),
+            job.remaining_slack_ms(1500.0, 100.0));
+}
+
+TEST(Job, WaitBreakdown) {
+  StageRecord rec;
+  rec.enqueued = 100.0;
+  rec.dispatched = 100.0;
+  rec.exec_start = 400.0;
+  rec.exec_end = 450.0;
+  rec.cold_start_wait_ms = 120.0;
+  EXPECT_DOUBLE_EQ(rec.wait_ms(), 300.0);
+  EXPECT_DOUBLE_EQ(rec.queue_wait_ms(), 180.0);
+}
+
+// ---------------------------------------------------------------- traces
+
+TEST(Trace, RateAtAndDuration) {
+  RateTrace t({10.0, 20.0, 30.0}, 1.0);
+  EXPECT_EQ(t.windows(), 3u);
+  EXPECT_DOUBLE_EQ(t.duration_ms(), 3000.0);
+  EXPECT_DOUBLE_EQ(t.rate_at(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(t.rate_at(1500.0), 20.0);
+  EXPECT_DOUBLE_EQ(t.rate_at(99999.0), 0.0);   // past the end
+  EXPECT_DOUBLE_EQ(t.rate_at(-5.0), 0.0);      // before the start
+  EXPECT_DOUBLE_EQ(t.average_rate(), 20.0);
+  EXPECT_DOUBLE_EQ(t.peak_rate(), 30.0);
+}
+
+TEST(Trace, RejectsBadInput) {
+  EXPECT_THROW(RateTrace({1.0}, 0.0), std::invalid_argument);
+  EXPECT_THROW(RateTrace({-1.0}, 1.0), std::invalid_argument);
+}
+
+TEST(Trace, ScaledPreservesShape) {
+  RateTrace t({10.0, 40.0}, 1.0);
+  const RateTrace s = t.scaled(0.5);
+  EXPECT_DOUBLE_EQ(s.rate(0), 5.0);
+  EXPECT_DOUBLE_EQ(s.rate(1), 20.0);
+  EXPECT_DOUBLE_EQ(s.peak_rate() / s.average_rate(), t.peak_rate() / t.average_rate());
+  EXPECT_THROW(t.scaled(-1.0), std::invalid_argument);
+}
+
+TEST(Trace, SliceAndSplit) {
+  RateTrace t({1.0, 2.0, 3.0, 4.0, 5.0}, 1.0);
+  const RateTrace mid = t.slice(1, 3);
+  EXPECT_EQ(mid.windows(), 2u);
+  EXPECT_DOUBLE_EQ(mid.rate(0), 2.0);
+  const auto [train, test] = t.split(0.6);
+  EXPECT_EQ(train.windows(), 3u);
+  EXPECT_EQ(test.windows(), 2u);
+  EXPECT_DOUBLE_EQ(test.rate(0), 4.0);
+  EXPECT_THROW(t.slice(3, 2), std::out_of_range);
+  EXPECT_THROW(t.split(1.5), std::invalid_argument);
+}
+
+TEST(Trace, FromFileSkipsComments) {
+  const std::string path = testing::TempDir() + "/fifer_trace_test.txt";
+  {
+    std::ofstream out(path);
+    out << "# comment\n10\n  # indented comment\n20.5\n\n30\n";
+  }
+  const RateTrace t = RateTrace::from_file(path, 2.0);
+  EXPECT_EQ(t.windows(), 3u);
+  EXPECT_DOUBLE_EQ(t.rate(1), 20.5);
+  EXPECT_DOUBLE_EQ(t.window_seconds(), 2.0);
+  std::remove(path.c_str());
+  EXPECT_THROW(RateTrace::from_file("/nonexistent/file.txt"), std::runtime_error);
+}
+
+// ------------------------------------------------------------ generators
+
+TEST(Generators, PoissonTraceIsFlat) {
+  const RateTrace t = poisson_trace(100.0, 50.0);
+  EXPECT_EQ(t.windows(), 100u);
+  EXPECT_DOUBLE_EQ(t.average_rate(), 50.0);
+  EXPECT_DOUBLE_EQ(t.peak_rate(), 50.0);
+}
+
+TEST(Generators, WitsShapeHasSpikes) {
+  Rng rng(5);
+  WitsParams p;
+  p.duration_s = 2000.0;
+  const RateTrace t = wits_trace(p, rng);
+  EXPECT_EQ(t.windows(), 2000u);
+  // Published shape: average ~300, peak ~1200, peak well above median.
+  EXPECT_NEAR(t.average_rate(), 300.0, 130.0);
+  EXPECT_GT(t.peak_rate(), 700.0);
+  EXPECT_GT(t.peak_rate() / t.average_rate(), 2.0);
+}
+
+TEST(Generators, WikiShapeIsPeriodicAndHighVolume) {
+  Rng rng(6);
+  WikiParams p;
+  p.duration_s = 1800.0;
+  const RateTrace t = wiki_trace(p, rng);
+  // Partial weekly cycles bias the mean slightly above the nominal average.
+  EXPECT_NEAR(t.average_rate(), 1500.0, 200.0);
+  // Diurnal swing: peak meaningfully above average, but no WITS-like spikes.
+  EXPECT_GT(t.peak_rate(), 1800.0);
+  EXPECT_LT(t.peak_rate() / t.average_rate(), 2.0);
+}
+
+TEST(Generators, WikiIsSmootherThanWits) {
+  Rng r1(7), r2(7);
+  WitsParams wp;
+  wp.duration_s = 1500.0;
+  WikiParams kp;
+  kp.duration_s = 1500.0;
+  const RateTrace wits = wits_trace(wp, r1);
+  const RateTrace wiki = wiki_trace(kp, r2);
+  // Normalized step-to-step jumps are larger for the spiky WITS trace.
+  auto roughness = [](const RateTrace& t) {
+    double acc = 0.0;
+    for (std::size_t i = 1; i < t.windows(); ++i) {
+      acc += std::abs(t.rate(i) - t.rate(i - 1));
+    }
+    return acc / (t.average_rate() * static_cast<double>(t.windows()));
+  };
+  EXPECT_GT(roughness(wits), roughness(wiki));
+}
+
+TEST(Generators, StepTrace) {
+  const RateTrace t = step_trace(10.0, 5.0, 50.0, 6.0);
+  EXPECT_DOUBLE_EQ(t.rate(5), 5.0);
+  EXPECT_DOUBLE_EQ(t.rate(6), 50.0);
+  EXPECT_DOUBLE_EQ(t.rate(9), 50.0);
+}
+
+TEST(Generators, DeterministicGivenSeed) {
+  Rng a(9), b(9);
+  WitsParams p;
+  p.duration_s = 300.0;
+  const RateTrace t1 = wits_trace(p, a);
+  const RateTrace t2 = wits_trace(p, b);
+  ASSERT_EQ(t1.windows(), t2.windows());
+  for (std::size_t i = 0; i < t1.windows(); ++i) {
+    EXPECT_DOUBLE_EQ(t1.rate(i), t2.rate(i));
+  }
+}
+
+// ----------------------------------------------------------------- mixes
+
+TEST(Mix, Table5Presets) {
+  EXPECT_EQ(WorkloadMix::heavy().entries()[0].app, "IPA");
+  EXPECT_EQ(WorkloadMix::heavy().entries()[1].app, "DetectFatigue");
+  EXPECT_EQ(WorkloadMix::medium().entries()[1].app, "IMG");
+  EXPECT_EQ(WorkloadMix::light().entries()[1].app, "FaceSecurity");
+  EXPECT_EQ(WorkloadMix::by_name("HEAVY").name(), "heavy");
+  EXPECT_THROW(WorkloadMix::by_name("nope"), std::invalid_argument);
+}
+
+TEST(Mix, Table5SlackOrdering) {
+  const auto services = MicroserviceRegistry::djinn_tonic();
+  const auto apps = ApplicationRegistry::paper_chains();
+  const double heavy = WorkloadMix::heavy().average_slack_ms(apps, services);
+  const double medium = WorkloadMix::medium().average_slack_ms(apps, services);
+  const double light = WorkloadMix::light().average_slack_ms(apps, services);
+  // Table 5 orders mixes by increasing available slack.
+  EXPECT_LT(heavy, medium);
+  EXPECT_LT(medium, light);
+}
+
+TEST(Mix, SamplingFollowsWeights) {
+  WorkloadMix mix("custom", {{"A", 3.0}, {"B", 1.0}});
+  Rng rng(21);
+  int a = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (mix.sample(rng) == "A") ++a;
+  }
+  EXPECT_NEAR(static_cast<double>(a) / n, 0.75, 0.02);
+}
+
+TEST(Mix, RejectsBadWeights) {
+  EXPECT_THROW(WorkloadMix("m", {}), std::invalid_argument);
+  EXPECT_THROW(WorkloadMix("m", {{"A", 0.0}}), std::invalid_argument);
+  EXPECT_THROW(WorkloadMix("m", {{"A", -1.0}}), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- arrivals
+
+TEST(Arrivals, CountMatchesExpectation) {
+  Rng rng(31);
+  const RateTrace t = poisson_trace(200.0, 40.0);
+  const auto plan = generate_arrivals(t, WorkloadMix::heavy(), rng);
+  EXPECT_NEAR(static_cast<double>(plan.size()), 8000.0, 300.0);
+}
+
+TEST(Arrivals, SortedAndWithinTrace) {
+  Rng rng(32);
+  const RateTrace t = poisson_trace(50.0, 20.0);
+  const auto plan = generate_arrivals(t, WorkloadMix::light(), rng);
+  for (std::size_t i = 1; i < plan.size(); ++i) {
+    EXPECT_LE(plan[i - 1].time, plan[i].time);
+  }
+  for (const auto& a : plan) {
+    EXPECT_GE(a.time, 0.0);
+    EXPECT_LT(a.time, t.duration_ms());
+    EXPECT_TRUE(a.app == "IMG" || a.app == "FaceSecurity");
+  }
+}
+
+TEST(Arrivals, DeterministicGivenSeed) {
+  Rng a(33), b(33);
+  const RateTrace t = poisson_trace(30.0, 10.0);
+  const auto p1 = generate_arrivals(t, WorkloadMix::heavy(), a);
+  const auto p2 = generate_arrivals(t, WorkloadMix::heavy(), b);
+  ASSERT_EQ(p1.size(), p2.size());
+  for (std::size_t i = 0; i < p1.size(); ++i) {
+    EXPECT_DOUBLE_EQ(p1[i].time, p2[i].time);
+    EXPECT_EQ(p1[i].app, p2[i].app);
+  }
+}
+
+TEST(Arrivals, InputScaleJitter) {
+  Rng rng(34);
+  const RateTrace t = poisson_trace(60.0, 30.0);
+  const auto plan = generate_arrivals(t, WorkloadMix::heavy(), rng, 0.2);
+  RunningStats s;
+  for (const auto& a : plan) s.add(a.input_scale);
+  EXPECT_NEAR(s.mean(), 1.0, 0.05);
+  EXPECT_GT(s.stddev(), 0.1);
+  for (const auto& a : plan) EXPECT_GE(a.input_scale, 0.25);
+}
+
+// ---------------------------------------------------------- MET estimator
+
+TEST(ExecEstimator, RecoversLinearModel) {
+  ExecTimeEstimator est;
+  // Paper §2.2.2: execution time is linear in input size.
+  std::vector<double> xs, ys;
+  for (int i = 1; i <= 20; ++i) {
+    xs.push_back(static_cast<double>(i));
+    ys.push_back(3.5 * i + 12.0);
+  }
+  est.fit(xs, ys);
+  EXPECT_NEAR(est.slope(), 3.5, 1e-9);
+  EXPECT_NEAR(est.intercept(), 12.0, 1e-9);
+  EXPECT_NEAR(est.r_squared(), 1.0, 1e-12);
+  EXPECT_NEAR(est.predict(30.0), 117.0, 1e-9);
+}
+
+TEST(ExecEstimator, NoisyFitStillClose) {
+  ExecTimeEstimator est;
+  Rng rng(41);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.uniform(1.0, 100.0);
+    xs.push_back(x);
+    ys.push_back(2.0 * x + 5.0 + rng.normal(0.0, 3.0));
+  }
+  est.fit(xs, ys);
+  EXPECT_NEAR(est.slope(), 2.0, 0.1);
+  EXPECT_GT(est.r_squared(), 0.95);
+}
+
+TEST(ExecEstimator, ErrorsOnDegenerateInput) {
+  ExecTimeEstimator est;
+  EXPECT_THROW(est.fit({1.0}, {2.0}), std::invalid_argument);
+  EXPECT_THROW(est.fit({1.0, 2.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(est.fit({3.0, 3.0, 3.0}, {1.0, 2.0, 3.0}), std::invalid_argument);
+  EXPECT_THROW(est.predict(1.0), std::logic_error);
+}
+
+TEST(ExecEstimator, PredictionClampsAtZero) {
+  ExecTimeEstimator est;
+  est.fit({0.0, 1.0, 2.0}, {10.0, 5.0, 0.0});
+  EXPECT_DOUBLE_EQ(est.predict(10.0), 0.0);
+}
+
+}  // namespace
+}  // namespace fifer
