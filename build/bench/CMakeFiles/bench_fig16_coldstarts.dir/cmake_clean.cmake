@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_coldstarts.dir/bench_fig16_coldstarts.cpp.o"
+  "CMakeFiles/bench_fig16_coldstarts.dir/bench_fig16_coldstarts.cpp.o.d"
+  "bench_fig16_coldstarts"
+  "bench_fig16_coldstarts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_coldstarts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_coldstart.dir/bench_fig2_coldstart.cpp.o"
+  "CMakeFiles/bench_fig2_coldstart.dir/bench_fig2_coldstart.cpp.o.d"
+  "bench_fig2_coldstart"
+  "bench_fig2_coldstart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_coldstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_microservices.dir/bench_fig3_microservices.cpp.o"
+  "CMakeFiles/bench_fig3_microservices.dir/bench_fig3_microservices.cpp.o.d"
+  "bench_fig3_microservices"
+  "bench_fig3_microservices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_microservices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_batching_example.dir/bench_fig4_batching_example.cpp.o"
+  "CMakeFiles/bench_fig4_batching_example.dir/bench_fig4_batching_example.cpp.o.d"
+  "bench_fig4_batching_example"
+  "bench_fig4_batching_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_batching_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_predictors.dir/bench_fig6_predictors.cpp.o"
+  "CMakeFiles/bench_fig6_predictors.dir/bench_fig6_predictors.cpp.o.d"
+  "bench_fig6_predictors"
+  "bench_fig6_predictors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_predictors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

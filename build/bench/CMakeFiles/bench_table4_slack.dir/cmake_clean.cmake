@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_slack.dir/bench_table4_slack.cpp.o"
+  "CMakeFiles/bench_table4_slack.dir/bench_table4_slack.cpp.o.d"
+  "bench_table4_slack"
+  "bench_table4_slack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_slack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fifer_cli.dir/fifer_cli.cpp.o"
+  "CMakeFiles/fifer_cli.dir/fifer_cli.cpp.o.d"
+  "fifer_cli"
+  "fifer_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fifer_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

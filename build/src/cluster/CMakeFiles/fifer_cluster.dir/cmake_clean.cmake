@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fifer_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/fifer_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/fifer_cluster.dir/coldstart.cpp.o"
+  "CMakeFiles/fifer_cluster.dir/coldstart.cpp.o.d"
+  "CMakeFiles/fifer_cluster.dir/container.cpp.o"
+  "CMakeFiles/fifer_cluster.dir/container.cpp.o.d"
+  "CMakeFiles/fifer_cluster.dir/event_bus.cpp.o"
+  "CMakeFiles/fifer_cluster.dir/event_bus.cpp.o.d"
+  "CMakeFiles/fifer_cluster.dir/node.cpp.o"
+  "CMakeFiles/fifer_cluster.dir/node.cpp.o.d"
+  "libfifer_cluster.a"
+  "libfifer_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fifer_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

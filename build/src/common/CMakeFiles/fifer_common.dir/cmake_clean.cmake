@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fifer_common.dir/config.cpp.o"
+  "CMakeFiles/fifer_common.dir/config.cpp.o.d"
+  "CMakeFiles/fifer_common.dir/csv.cpp.o"
+  "CMakeFiles/fifer_common.dir/csv.cpp.o.d"
+  "CMakeFiles/fifer_common.dir/json.cpp.o"
+  "CMakeFiles/fifer_common.dir/json.cpp.o.d"
+  "CMakeFiles/fifer_common.dir/logging.cpp.o"
+  "CMakeFiles/fifer_common.dir/logging.cpp.o.d"
+  "CMakeFiles/fifer_common.dir/plot.cpp.o"
+  "CMakeFiles/fifer_common.dir/plot.cpp.o.d"
+  "CMakeFiles/fifer_common.dir/rng.cpp.o"
+  "CMakeFiles/fifer_common.dir/rng.cpp.o.d"
+  "CMakeFiles/fifer_common.dir/stats.cpp.o"
+  "CMakeFiles/fifer_common.dir/stats.cpp.o.d"
+  "CMakeFiles/fifer_common.dir/table.cpp.o"
+  "CMakeFiles/fifer_common.dir/table.cpp.o.d"
+  "libfifer_common.a"
+  "libfifer_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fifer_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/app_profile.cpp" "src/core/CMakeFiles/fifer_core.dir/app_profile.cpp.o" "gcc" "src/core/CMakeFiles/fifer_core.dir/app_profile.cpp.o.d"
+  "/root/repo/src/core/framework.cpp" "src/core/CMakeFiles/fifer_core.dir/framework.cpp.o" "gcc" "src/core/CMakeFiles/fifer_core.dir/framework.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/fifer_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/fifer_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/fifer_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/fifer_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/rm_config.cpp" "src/core/CMakeFiles/fifer_core.dir/rm_config.cpp.o" "gcc" "src/core/CMakeFiles/fifer_core.dir/rm_config.cpp.o.d"
+  "/root/repo/src/core/slack.cpp" "src/core/CMakeFiles/fifer_core.dir/slack.cpp.o" "gcc" "src/core/CMakeFiles/fifer_core.dir/slack.cpp.o.d"
+  "/root/repo/src/core/stage.cpp" "src/core/CMakeFiles/fifer_core.dir/stage.cpp.o" "gcc" "src/core/CMakeFiles/fifer_core.dir/stage.cpp.o.d"
+  "/root/repo/src/core/stats_db.cpp" "src/core/CMakeFiles/fifer_core.dir/stats_db.cpp.o" "gcc" "src/core/CMakeFiles/fifer_core.dir/stats_db.cpp.o.d"
+  "/root/repo/src/core/sweep.cpp" "src/core/CMakeFiles/fifer_core.dir/sweep.cpp.o" "gcc" "src/core/CMakeFiles/fifer_core.dir/sweep.cpp.o.d"
+  "/root/repo/src/core/tenancy.cpp" "src/core/CMakeFiles/fifer_core.dir/tenancy.cpp.o" "gcc" "src/core/CMakeFiles/fifer_core.dir/tenancy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fifer_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fifer_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/fifer_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/fifer_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/fifer_predict.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fifer_core.dir/app_profile.cpp.o"
+  "CMakeFiles/fifer_core.dir/app_profile.cpp.o.d"
+  "CMakeFiles/fifer_core.dir/framework.cpp.o"
+  "CMakeFiles/fifer_core.dir/framework.cpp.o.d"
+  "CMakeFiles/fifer_core.dir/metrics.cpp.o"
+  "CMakeFiles/fifer_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/fifer_core.dir/report.cpp.o"
+  "CMakeFiles/fifer_core.dir/report.cpp.o.d"
+  "CMakeFiles/fifer_core.dir/rm_config.cpp.o"
+  "CMakeFiles/fifer_core.dir/rm_config.cpp.o.d"
+  "CMakeFiles/fifer_core.dir/slack.cpp.o"
+  "CMakeFiles/fifer_core.dir/slack.cpp.o.d"
+  "CMakeFiles/fifer_core.dir/stage.cpp.o"
+  "CMakeFiles/fifer_core.dir/stage.cpp.o.d"
+  "CMakeFiles/fifer_core.dir/stats_db.cpp.o"
+  "CMakeFiles/fifer_core.dir/stats_db.cpp.o.d"
+  "CMakeFiles/fifer_core.dir/sweep.cpp.o"
+  "CMakeFiles/fifer_core.dir/sweep.cpp.o.d"
+  "CMakeFiles/fifer_core.dir/tenancy.cpp.o"
+  "CMakeFiles/fifer_core.dir/tenancy.cpp.o.d"
+  "libfifer_core.a"
+  "libfifer_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fifer_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predict/classic.cpp" "src/predict/CMakeFiles/fifer_predict.dir/classic.cpp.o" "gcc" "src/predict/CMakeFiles/fifer_predict.dir/classic.cpp.o.d"
+  "/root/repo/src/predict/dataset.cpp" "src/predict/CMakeFiles/fifer_predict.dir/dataset.cpp.o" "gcc" "src/predict/CMakeFiles/fifer_predict.dir/dataset.cpp.o.d"
+  "/root/repo/src/predict/evaluation.cpp" "src/predict/CMakeFiles/fifer_predict.dir/evaluation.cpp.o" "gcc" "src/predict/CMakeFiles/fifer_predict.dir/evaluation.cpp.o.d"
+  "/root/repo/src/predict/neural.cpp" "src/predict/CMakeFiles/fifer_predict.dir/neural.cpp.o" "gcc" "src/predict/CMakeFiles/fifer_predict.dir/neural.cpp.o.d"
+  "/root/repo/src/predict/nn/conv1d.cpp" "src/predict/CMakeFiles/fifer_predict.dir/nn/conv1d.cpp.o" "gcc" "src/predict/CMakeFiles/fifer_predict.dir/nn/conv1d.cpp.o.d"
+  "/root/repo/src/predict/nn/gru.cpp" "src/predict/CMakeFiles/fifer_predict.dir/nn/gru.cpp.o" "gcc" "src/predict/CMakeFiles/fifer_predict.dir/nn/gru.cpp.o.d"
+  "/root/repo/src/predict/nn/layer.cpp" "src/predict/CMakeFiles/fifer_predict.dir/nn/layer.cpp.o" "gcc" "src/predict/CMakeFiles/fifer_predict.dir/nn/layer.cpp.o.d"
+  "/root/repo/src/predict/nn/lstm.cpp" "src/predict/CMakeFiles/fifer_predict.dir/nn/lstm.cpp.o" "gcc" "src/predict/CMakeFiles/fifer_predict.dir/nn/lstm.cpp.o.d"
+  "/root/repo/src/predict/nn/matrix.cpp" "src/predict/CMakeFiles/fifer_predict.dir/nn/matrix.cpp.o" "gcc" "src/predict/CMakeFiles/fifer_predict.dir/nn/matrix.cpp.o.d"
+  "/root/repo/src/predict/nn/optimizer.cpp" "src/predict/CMakeFiles/fifer_predict.dir/nn/optimizer.cpp.o" "gcc" "src/predict/CMakeFiles/fifer_predict.dir/nn/optimizer.cpp.o.d"
+  "/root/repo/src/predict/nn/serialize.cpp" "src/predict/CMakeFiles/fifer_predict.dir/nn/serialize.cpp.o" "gcc" "src/predict/CMakeFiles/fifer_predict.dir/nn/serialize.cpp.o.d"
+  "/root/repo/src/predict/predictor.cpp" "src/predict/CMakeFiles/fifer_predict.dir/predictor.cpp.o" "gcc" "src/predict/CMakeFiles/fifer_predict.dir/predictor.cpp.o.d"
+  "/root/repo/src/predict/seasonal.cpp" "src/predict/CMakeFiles/fifer_predict.dir/seasonal.cpp.o" "gcc" "src/predict/CMakeFiles/fifer_predict.dir/seasonal.cpp.o.d"
+  "/root/repo/src/predict/window.cpp" "src/predict/CMakeFiles/fifer_predict.dir/window.cpp.o" "gcc" "src/predict/CMakeFiles/fifer_predict.dir/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fifer_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/fifer_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

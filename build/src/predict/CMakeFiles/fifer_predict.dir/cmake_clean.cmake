@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fifer_predict.dir/classic.cpp.o"
+  "CMakeFiles/fifer_predict.dir/classic.cpp.o.d"
+  "CMakeFiles/fifer_predict.dir/dataset.cpp.o"
+  "CMakeFiles/fifer_predict.dir/dataset.cpp.o.d"
+  "CMakeFiles/fifer_predict.dir/evaluation.cpp.o"
+  "CMakeFiles/fifer_predict.dir/evaluation.cpp.o.d"
+  "CMakeFiles/fifer_predict.dir/neural.cpp.o"
+  "CMakeFiles/fifer_predict.dir/neural.cpp.o.d"
+  "CMakeFiles/fifer_predict.dir/nn/conv1d.cpp.o"
+  "CMakeFiles/fifer_predict.dir/nn/conv1d.cpp.o.d"
+  "CMakeFiles/fifer_predict.dir/nn/gru.cpp.o"
+  "CMakeFiles/fifer_predict.dir/nn/gru.cpp.o.d"
+  "CMakeFiles/fifer_predict.dir/nn/layer.cpp.o"
+  "CMakeFiles/fifer_predict.dir/nn/layer.cpp.o.d"
+  "CMakeFiles/fifer_predict.dir/nn/lstm.cpp.o"
+  "CMakeFiles/fifer_predict.dir/nn/lstm.cpp.o.d"
+  "CMakeFiles/fifer_predict.dir/nn/matrix.cpp.o"
+  "CMakeFiles/fifer_predict.dir/nn/matrix.cpp.o.d"
+  "CMakeFiles/fifer_predict.dir/nn/optimizer.cpp.o"
+  "CMakeFiles/fifer_predict.dir/nn/optimizer.cpp.o.d"
+  "CMakeFiles/fifer_predict.dir/nn/serialize.cpp.o"
+  "CMakeFiles/fifer_predict.dir/nn/serialize.cpp.o.d"
+  "CMakeFiles/fifer_predict.dir/predictor.cpp.o"
+  "CMakeFiles/fifer_predict.dir/predictor.cpp.o.d"
+  "CMakeFiles/fifer_predict.dir/seasonal.cpp.o"
+  "CMakeFiles/fifer_predict.dir/seasonal.cpp.o.d"
+  "CMakeFiles/fifer_predict.dir/window.cpp.o"
+  "CMakeFiles/fifer_predict.dir/window.cpp.o.d"
+  "libfifer_predict.a"
+  "libfifer_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fifer_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

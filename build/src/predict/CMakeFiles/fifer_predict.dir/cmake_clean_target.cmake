@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfifer_predict.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fifer_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/fifer_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/fifer_sim.dir/simulation.cpp.o"
+  "CMakeFiles/fifer_sim.dir/simulation.cpp.o.d"
+  "libfifer_sim.a"
+  "libfifer_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fifer_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/analysis.cpp" "src/workload/CMakeFiles/fifer_workload.dir/analysis.cpp.o" "gcc" "src/workload/CMakeFiles/fifer_workload.dir/analysis.cpp.o.d"
+  "/root/repo/src/workload/application.cpp" "src/workload/CMakeFiles/fifer_workload.dir/application.cpp.o" "gcc" "src/workload/CMakeFiles/fifer_workload.dir/application.cpp.o.d"
+  "/root/repo/src/workload/arrival.cpp" "src/workload/CMakeFiles/fifer_workload.dir/arrival.cpp.o" "gcc" "src/workload/CMakeFiles/fifer_workload.dir/arrival.cpp.o.d"
+  "/root/repo/src/workload/exec_estimator.cpp" "src/workload/CMakeFiles/fifer_workload.dir/exec_estimator.cpp.o" "gcc" "src/workload/CMakeFiles/fifer_workload.dir/exec_estimator.cpp.o.d"
+  "/root/repo/src/workload/generators.cpp" "src/workload/CMakeFiles/fifer_workload.dir/generators.cpp.o" "gcc" "src/workload/CMakeFiles/fifer_workload.dir/generators.cpp.o.d"
+  "/root/repo/src/workload/microservice.cpp" "src/workload/CMakeFiles/fifer_workload.dir/microservice.cpp.o" "gcc" "src/workload/CMakeFiles/fifer_workload.dir/microservice.cpp.o.d"
+  "/root/repo/src/workload/mix.cpp" "src/workload/CMakeFiles/fifer_workload.dir/mix.cpp.o" "gcc" "src/workload/CMakeFiles/fifer_workload.dir/mix.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/workload/CMakeFiles/fifer_workload.dir/trace.cpp.o" "gcc" "src/workload/CMakeFiles/fifer_workload.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fifer_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

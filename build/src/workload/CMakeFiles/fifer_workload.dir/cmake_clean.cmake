@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fifer_workload.dir/analysis.cpp.o"
+  "CMakeFiles/fifer_workload.dir/analysis.cpp.o.d"
+  "CMakeFiles/fifer_workload.dir/application.cpp.o"
+  "CMakeFiles/fifer_workload.dir/application.cpp.o.d"
+  "CMakeFiles/fifer_workload.dir/arrival.cpp.o"
+  "CMakeFiles/fifer_workload.dir/arrival.cpp.o.d"
+  "CMakeFiles/fifer_workload.dir/exec_estimator.cpp.o"
+  "CMakeFiles/fifer_workload.dir/exec_estimator.cpp.o.d"
+  "CMakeFiles/fifer_workload.dir/generators.cpp.o"
+  "CMakeFiles/fifer_workload.dir/generators.cpp.o.d"
+  "CMakeFiles/fifer_workload.dir/microservice.cpp.o"
+  "CMakeFiles/fifer_workload.dir/microservice.cpp.o.d"
+  "CMakeFiles/fifer_workload.dir/mix.cpp.o"
+  "CMakeFiles/fifer_workload.dir/mix.cpp.o.d"
+  "CMakeFiles/fifer_workload.dir/trace.cpp.o"
+  "CMakeFiles/fifer_workload.dir/trace.cpp.o.d"
+  "libfifer_workload.a"
+  "libfifer_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fifer_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

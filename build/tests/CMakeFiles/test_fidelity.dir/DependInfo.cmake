@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_fidelity.cpp" "tests/CMakeFiles/test_fidelity.dir/test_fidelity.cpp.o" "gcc" "tests/CMakeFiles/test_fidelity.dir/test_fidelity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fifer_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fifer_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/fifer_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/fifer_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/fifer_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fifer_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

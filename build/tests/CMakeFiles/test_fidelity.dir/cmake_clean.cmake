@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fidelity.dir/test_fidelity.cpp.o"
+  "CMakeFiles/test_fidelity.dir/test_fidelity.cpp.o.d"
+  "test_fidelity"
+  "test_fidelity.pdb"
+  "test_fidelity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
