@@ -3,6 +3,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "common/check.hpp"
+
 namespace fifer {
 
 const char* to_string(NodeSelection s) {
@@ -48,7 +50,11 @@ std::optional<NodeId> Cluster::allocate(double cpu, double memory_mb,
   }
   if (best == nullptr) return std::nullopt;
   const NodeId id = best->id();
-  nodes_[value_of(id)].allocate(cpu, memory_mb, now);
+  // Feasibility: the greedy pass only considered nodes that fit, so the
+  // reservation on the chosen node must succeed.
+  FIFER_CHECK(nodes_[value_of(id)].allocate(cpu, memory_mb, now), kCluster)
+      << "bin-packing chose node " << value_of(id) << " that cannot fit "
+      << cpu << " cores / " << memory_mb << " MB";
   return id;
 }
 
@@ -98,6 +104,9 @@ void Cluster::advance_energy(SimTime now) {
     throw std::logic_error("Cluster::advance_energy: time moved backwards");
   }
   const double elapsed_s = to_seconds(now - energy_watermark_);
+  // Power draw is a sum of non-negative model terms, so the energy integral
+  // is monotone non-decreasing.
+  FIFER_DCHECK_GE(power_watts(), 0.0, kCluster);
   energy_joules_ += power_watts() * elapsed_s;
   energy_watermark_ = now;
 }

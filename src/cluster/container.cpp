@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/check.hpp"
+
 namespace fifer {
 
 const char* to_string(ContainerState s) {
@@ -25,7 +27,14 @@ Container::Container(ContainerId id, std::string service, NodeId node, int batch
       ready_at_(spawned_at + std::max(0.0, cold_start_ms)),
       last_used_at_(spawned_at + std::max(0.0, cold_start_ms)) {}
 
-void Container::set_batch_size(int b) { batch_size_ = std::max(1, b); }
+void Container::set_batch_size(int b) {
+  batch_size_ = std::max(1, b);
+  // Slot accounting (paper §3): occupancy never exceeds B_size. Retuning
+  // B_size below the current occupancy would strand queued work outside any
+  // slot, so it is an invariant violation, not a resize.
+  FIFER_CHECK_LE(occupied(), batch_size_, kCluster)
+      << "B_size shrunk below current occupancy";
+}
 
 void Container::mark_warm(SimTime now) {
   if (state_ != ContainerState::kProvisioning) {
@@ -35,10 +44,13 @@ void Container::mark_warm(SimTime now) {
   last_used_at_ = now;
 }
 
+int Container::occupied() const {
+  return static_cast<int>(local_queue_.size()) + (executing_ ? 1 : 0);
+}
+
 int Container::free_slots() const {
   if (terminated()) return 0;
-  const int used = static_cast<int>(local_queue_.size()) + (executing_ ? 1 : 0);
-  return std::max(0, batch_size_ - used);
+  return std::max(0, batch_size_ - occupied());
 }
 
 void Container::enqueue(TaskRef task) {
@@ -49,6 +61,8 @@ void Container::enqueue(TaskRef task) {
     throw std::logic_error("Container::enqueue: no free slots");
   }
   local_queue_.push_back(task);
+  FIFER_DCHECK(occupied() >= 0 && occupied() <= batch_size_, kCluster)
+      << "occupancy " << occupied() << " outside [0, " << batch_size_ << "]";
 }
 
 TaskRef Container::pop() {
@@ -67,6 +81,7 @@ void Container::begin_execution(SimTime now) {
   state_ = ContainerState::kBusy;
   executing_ = true;
   exec_started_at_ = now;
+  FIFER_DCHECK_LE(occupied(), batch_size_, kCluster);
 }
 
 void Container::end_execution(SimTime now) {
@@ -75,6 +90,9 @@ void Container::end_execution(SimTime now) {
   }
   state_ = ContainerState::kIdle;
   executing_ = false;
+  // Busy-time accounting: execution intervals have non-negative length, so
+  // the utilization integral is monotone.
+  FIFER_DCHECK_GE(now, exec_started_at_, kCluster);
   busy_ms_ += now - exec_started_at_;
   last_used_at_ = now;
   ++jobs_executed_;

@@ -53,6 +53,9 @@ class Container {
   /// Marks the cold start finished (driver calls this at ready_at()).
   void mark_warm(SimTime now);
 
+  /// Slots currently in use: queued tasks plus the in-flight one.
+  int occupied() const;
+
   /// Slots still available in the local queue. A busy container's in-flight
   /// task occupies one slot, matching the paper's definition of free slots
   /// as batch size minus queued work.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/check.hpp"
+
 namespace fifer {
 
 double EventBus::congestion_factor() const {
@@ -22,9 +24,10 @@ SimDuration EventBus::begin_transition(SimDuration mean_ms, Rng& rng) {
 }
 
 void EventBus::end_transition() {
-  if (inflight_ == 0) {
-    throw std::logic_error("EventBus::end_transition: nothing in flight");
-  }
+  // In-flight conservation: deliveries pair one-to-one with begins, so the
+  // counter can never underflow.
+  FIFER_CHECK_GT(inflight_, 0u, kCluster)
+      << "end_transition without a matching begin_transition";
   --inflight_;
 }
 

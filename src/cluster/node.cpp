@@ -2,7 +2,14 @@
 
 #include <stdexcept>
 
+#include "common/check.hpp"
+
 namespace fifer {
+
+namespace {
+/// Absolute tolerance for the floating-point resource ledgers.
+constexpr double kResourceEps = 1e-6;
+}  // namespace
 
 Node::Node(NodeId id, double cores, double memory_mb)
     : id_(id), cores_(cores), memory_mb_(memory_mb) {
@@ -16,6 +23,12 @@ bool Node::allocate(double cpu, double memory_mb, SimTime now) {
   allocated_cores_ += cpu;
   allocated_memory_mb_ += memory_mb;
   ++containers_;
+  // Capacity bounds under bin-packing: a node's ledger never exceeds its
+  // physical resources (modulo floating-point accumulation).
+  FIFER_CHECK_LE(allocated_cores_, cores_ + kResourceEps, kCluster)
+      << "core ledger overcommitted";
+  FIFER_CHECK_LE(allocated_memory_mb_, memory_mb_ + kResourceEps, kCluster)
+      << "memory ledger overcommitted";
   powered_on_ = true;  // Placing work on an off node wakes it.
   empty_since_ = kNeverTime;
   (void)now;
@@ -26,6 +39,15 @@ void Node::release(double cpu, double memory_mb, SimTime now) {
   if (containers_ == 0) {
     throw std::logic_error("Node::release: no containers allocated");
   }
+  // Releasing more than is allocated means the caller is returning resources
+  // it never reserved (double release or wrong node) — the clamp below only
+  // absorbs floating-point dust, not accounting bugs.
+  FIFER_CHECK_LE(cpu, allocated_cores_ + kResourceEps, kCluster)
+      << "releasing " << cpu << " cores but only " << allocated_cores_
+      << " allocated";
+  FIFER_CHECK_LE(memory_mb, allocated_memory_mb_ + kResourceEps, kCluster)
+      << "releasing " << memory_mb << " MB but only " << allocated_memory_mb_
+      << " allocated";
   allocated_cores_ -= cpu;
   allocated_memory_mb_ -= memory_mb;
   --containers_;

@@ -1,0 +1,109 @@
+#include "common/check.hpp"
+
+#include <array>
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <utility>
+
+namespace fifer::check {
+
+namespace {
+
+std::array<std::atomic<std::uint64_t>, kCategoryCount>& counters() {
+  static std::array<std::atomic<std::uint64_t>, kCategoryCount> c{};
+  return c;
+}
+
+std::mutex& handler_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+FailHandler& handler() {
+  static FailHandler h;
+  return h;
+}
+
+}  // namespace
+
+const char* to_string(Category c) {
+  switch (c) {
+    case Category::kCommon: return "common";
+    case Category::kSim: return "sim";
+    case Category::kWorkload: return "workload";
+    case Category::kCluster: return "cluster";
+    case Category::kCore: return "core";
+    case Category::kPredict: return "predict";
+  }
+  return "?";
+}
+
+std::string Violation::to_string() const {
+  std::ostringstream os;
+  os << "[" << check::to_string(category) << "] " << message << " at "
+     << (file != nullptr ? file : "?") << ":" << line;
+  return os.str();
+}
+
+FailHandler set_fail_handler(FailHandler h) {
+  const std::lock_guard<std::mutex> lock(handler_mutex());
+  FailHandler previous = std::move(handler());
+  handler() = std::move(h);
+  return previous;
+}
+
+std::uint64_t violations(Category c) {
+  return counters()[static_cast<std::size_t>(c)].load(std::memory_order_relaxed);
+}
+
+std::uint64_t total_violations() {
+  std::uint64_t total = 0;
+  for (const auto& c : counters()) total += c.load(std::memory_order_relaxed);
+  return total;
+}
+
+void reset_violations() {
+  for (auto& c : counters()) c.store(0, std::memory_order_relaxed);
+}
+
+ScopedTrap::ScopedTrap()
+    : previous_(set_fail_handler(
+          [](const Violation& v) { throw CheckFailure(v); })) {}
+
+ScopedTrap::~ScopedTrap() { set_fail_handler(std::move(previous_)); }
+
+namespace detail {
+
+void fail(Category cat, const char* file, int line, const std::string& message) {
+  counters()[static_cast<std::size_t>(cat)].fetch_add(1, std::memory_order_relaxed);
+  const Violation v{cat, message, file, line};
+  FailHandler h;
+  {
+    const std::lock_guard<std::mutex> lock(handler_mutex());
+    h = handler();
+  }
+  if (h) {
+    h(v);
+    return;  // A soft handler opts into continuing past the violation.
+  }
+  // Bypass the logging level filter: an invariant violation must be seen.
+  std::cerr << "FATAL " << v.to_string() << std::endl;
+  std::abort();
+}
+
+OpResult::OpResult(Category cat, const char* file, int line, std::string head)
+    : state_(std::make_unique<FailState>()) {
+  state_->cat = cat;
+  state_->file = file;
+  state_->line = line;
+  state_->stream << head;
+}
+
+OpResult::~OpResult() noexcept(false) {
+  if (state_) fail(state_->cat, state_->file, state_->line, state_->stream.str());
+}
+
+}  // namespace detail
+}  // namespace fifer::check

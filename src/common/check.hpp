@@ -1,0 +1,269 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+/// Invariant-checking contracts for the simulator.
+///
+/// The reproduction's correctness rests on tight accounting (slack splits
+/// that sum to the chain total, batch occupancy within B_size, request
+/// conservation across queues); a silent accounting bug skews every figure
+/// downstream. These macros make the paper-derived invariants machine-checked:
+///
+///   FIFER_CHECK(cond, kCore) << "optional extra context " << value;
+///   FIFER_CHECK_EQ(submitted, completed + resident, kCore);
+///   FIFER_DCHECK_GE(slots, 0, kCluster);   // debug builds only
+///
+/// `FIFER_CHECK*` is always on and reserved for cold paths (setup, periodic
+/// ticks, lifecycle transitions). `FIFER_DCHECK*` guards hot paths: it
+/// compiles to nothing when `FIFER_DCHECK_ENABLED` is 0 (the default under
+/// NDEBUG, i.e. Release/RelWithDebInfo), so bench numbers are untouched; the
+/// CMake option `-DFIFER_DCHECKS=ON` force-enables it in any build type.
+///
+/// Every violation increments a per-category counter in a process-wide
+/// registry, then invokes the installed fail handler. The default handler
+/// prints the diagnostic and aborts; tests install `check::ScopedTrap` to
+/// turn violations into `check::CheckFailure` exceptions instead.
+namespace fifer::check {
+
+/// Which subsystem an invariant belongs to; keys the violation registry.
+enum class Category : int {
+  kCommon = 0,
+  kSim,
+  kWorkload,
+  kCluster,
+  kCore,
+  kPredict,
+};
+inline constexpr int kCategoryCount = 6;
+
+const char* to_string(Category c);
+
+/// Everything known about one failed check, as handed to the fail handler.
+struct Violation {
+  Category category = Category::kCommon;
+  std::string message;  ///< Expression text, captured values, extra context.
+  const char* file = nullptr;
+  int line = 0;
+
+  std::string to_string() const;
+};
+
+/// Exception thrown by the trapping fail handler (see ScopedTrap).
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const Violation& v)
+      : std::logic_error(v.to_string()), category_(v.category) {}
+
+  Category category() const { return category_; }
+
+ private:
+  Category category_;
+};
+
+using FailHandler = std::function<void(const Violation&)>;
+
+/// Installs `handler` (invoked on every violation after the registry counter
+/// is bumped) and returns the previous one. A handler that returns normally
+/// lets execution continue past the failed check — useful for counting-only
+/// audits; anything enforcing must throw. Pass an empty function to restore
+/// the default print-and-abort behaviour.
+FailHandler set_fail_handler(FailHandler handler);
+
+/// Violations recorded so far for one category / across all categories.
+/// Counters survive the fail handler (they are bumped first), so trapping
+/// tests can assert on them.
+std::uint64_t violations(Category c);
+std::uint64_t total_violations();
+void reset_violations();
+
+/// RAII guard that makes violations throw CheckFailure for its lifetime,
+/// restoring the previous handler on destruction. The standard way for a
+/// test to provoke an invariant violation and observe it.
+class ScopedTrap {
+ public:
+  ScopedTrap();
+  ~ScopedTrap();
+
+  ScopedTrap(const ScopedTrap&) = delete;
+  ScopedTrap& operator=(const ScopedTrap&) = delete;
+
+ private:
+  FailHandler previous_;
+};
+
+namespace detail {
+
+/// Bumps the registry and dispatches to the fail handler. May return (soft
+/// handler), throw (trap), or abort (default).
+void fail(Category cat, const char* file, int line, const std::string& message);
+
+/// Stream collector behind FIFER_CHECK; fires in its destructor so callers
+/// can append context with operator<<.
+class Failure {
+ public:
+  Failure(Category cat, const char* file, int line, const char* head)
+      : cat_(cat), file_(file), line_(line) {
+    stream_ << head;
+  }
+  ~Failure() noexcept(false) { fail(cat_, file_, line_, stream_.str()); }
+
+  Failure(const Failure&) = delete;
+  Failure& operator=(const Failure&) = delete;
+
+  template <typename T>
+  Failure& operator<<(const T& v) {
+    if (!annotated_) {
+      stream_ << ": ";
+      annotated_ = true;
+    }
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  Category cat_;
+  const char* file_;
+  int line_;
+  bool annotated_ = false;
+  std::ostringstream stream_;
+};
+
+/// Glues the Failure stream into the void arm of FIFER_CHECK's ternary.
+/// operator& binds looser than operator<<, so trailing context streams into
+/// the Failure before it is voided.
+struct Voidify {
+  void operator&(const Failure&) const {}
+};
+
+/// Deferred result of a comparison check: inert when the comparison passed,
+/// otherwise carries the diagnostic and fires in its destructor (after any
+/// streamed context). Keeps FIFER_CHECK_EQ single-evaluation while staying a
+/// plain expression.
+class OpResult {
+ public:
+  OpResult() = default;
+  OpResult(Category cat, const char* file, int line, std::string head);
+  ~OpResult() noexcept(false);
+
+  OpResult(const OpResult&) = delete;
+  OpResult& operator=(const OpResult&) = delete;
+
+  template <typename T>
+  OpResult& operator<<(const T& v) {
+    if (state_) {
+      if (!state_->annotated) {
+        state_->stream << ": ";
+        state_->annotated = true;
+      }
+      state_->stream << v;
+    }
+    return *this;
+  }
+
+ private:
+  struct FailState {
+    Category cat = Category::kCommon;
+    const char* file = nullptr;
+    int line = 0;
+    bool annotated = false;
+    std::ostringstream stream;
+  };
+  std::unique_ptr<FailState> state_;
+};
+
+template <typename A, typename B, typename Cmp>
+OpResult check_op(const A& a, const B& b, Cmp cmp, const char* expr_text,
+                  Category cat, const char* file, int line) {
+  if (cmp(a, b)) return OpResult();
+  std::ostringstream head;
+  head << expr_text << " (" << a << " vs " << b << ")";
+  return OpResult(cat, file, line, head.str());
+}
+
+template <typename T>
+OpResult check_finite(const T& v, const char* expr_text, Category cat,
+                      const char* file, int line) {
+  if (std::isfinite(static_cast<double>(v))) return OpResult();
+  std::ostringstream head;
+  head << expr_text << " (value " << v << ")";
+  return OpResult(cat, file, line, head.str());
+}
+
+}  // namespace detail
+}  // namespace fifer::check
+
+/// Always-on invariant check. Usage (category is a check::Category member):
+///   FIFER_CHECK(total >= 0.0, kCore) << "total=" << total;
+#define FIFER_CHECK(cond, cat)                                             \
+  (cond) ? (void)0                                                         \
+         : ::fifer::check::detail::Voidify() &                             \
+               ::fifer::check::detail::Failure(                            \
+                   ::fifer::check::Category::cat, __FILE__, __LINE__,      \
+                   "FIFER_CHECK(" #cond ") failed")
+
+#define FIFER_CHECK_OP_(a, b, op, cat)                                     \
+  ::fifer::check::detail::check_op(                                        \
+      (a), (b), [](const auto& x_, const auto& y_) { return x_ op y_; },   \
+      "FIFER_CHECK(" #a " " #op " " #b ") failed",                         \
+      ::fifer::check::Category::cat, __FILE__, __LINE__)
+
+/// Comparison checks: evaluate both sides exactly once and report the
+/// captured values on failure.
+#define FIFER_CHECK_EQ(a, b, cat) FIFER_CHECK_OP_(a, b, ==, cat)
+#define FIFER_CHECK_NE(a, b, cat) FIFER_CHECK_OP_(a, b, !=, cat)
+#define FIFER_CHECK_LT(a, b, cat) FIFER_CHECK_OP_(a, b, <, cat)
+#define FIFER_CHECK_LE(a, b, cat) FIFER_CHECK_OP_(a, b, <=, cat)
+#define FIFER_CHECK_GT(a, b, cat) FIFER_CHECK_OP_(a, b, >, cat)
+#define FIFER_CHECK_GE(a, b, cat) FIFER_CHECK_OP_(a, b, >=, cat)
+
+/// Fails when `x` is NaN or infinite (the NN stack's divergence trap).
+#define FIFER_CHECK_FINITE(x, cat)                                         \
+  ::fifer::check::detail::check_finite(                                    \
+      (x), "FIFER_CHECK_FINITE(" #x ") failed",                            \
+      ::fifer::check::Category::cat, __FILE__, __LINE__)
+
+/// Debug-only variants: active when FIFER_DCHECK_ENABLED is 1 (default
+/// outside NDEBUG, or forced by the FIFER_DCHECKS CMake option). When
+/// disabled the operands still type-check but are never evaluated, and the
+/// whole statement folds away.
+#ifndef FIFER_DCHECK_ENABLED
+#ifdef NDEBUG
+#define FIFER_DCHECK_ENABLED 0
+#else
+#define FIFER_DCHECK_ENABLED 1
+#endif
+#endif
+
+#if FIFER_DCHECK_ENABLED
+#define FIFER_DCHECK(cond, cat) FIFER_CHECK(cond, cat)
+#define FIFER_DCHECK_EQ(a, b, cat) FIFER_CHECK_EQ(a, b, cat)
+#define FIFER_DCHECK_NE(a, b, cat) FIFER_CHECK_NE(a, b, cat)
+#define FIFER_DCHECK_LT(a, b, cat) FIFER_CHECK_LT(a, b, cat)
+#define FIFER_DCHECK_LE(a, b, cat) FIFER_CHECK_LE(a, b, cat)
+#define FIFER_DCHECK_GT(a, b, cat) FIFER_CHECK_GT(a, b, cat)
+#define FIFER_DCHECK_GE(a, b, cat) FIFER_CHECK_GE(a, b, cat)
+#define FIFER_DCHECK_FINITE(x, cat) FIFER_CHECK_FINITE(x, cat)
+#else
+#define FIFER_DCHECK(cond, cat) \
+  while (false) FIFER_CHECK(cond, cat)
+#define FIFER_DCHECK_EQ(a, b, cat) \
+  while (false) FIFER_CHECK_EQ(a, b, cat)
+#define FIFER_DCHECK_NE(a, b, cat) \
+  while (false) FIFER_CHECK_NE(a, b, cat)
+#define FIFER_DCHECK_LT(a, b, cat) \
+  while (false) FIFER_CHECK_LT(a, b, cat)
+#define FIFER_DCHECK_LE(a, b, cat) \
+  while (false) FIFER_CHECK_LE(a, b, cat)
+#define FIFER_DCHECK_GT(a, b, cat) \
+  while (false) FIFER_CHECK_GT(a, b, cat)
+#define FIFER_DCHECK_GE(a, b, cat) \
+  while (false) FIFER_CHECK_GE(a, b, cat)
+#define FIFER_DCHECK_FINITE(x, cat) \
+  while (false) FIFER_CHECK_FINITE(x, cat)
+#endif

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/check.hpp"
 #include "common/json.hpp"
 #include "predict/classic.hpp"
 #include "common/logging.hpp"
@@ -56,6 +57,8 @@ FiferFramework::FiferFramework(ExperimentParams params)
 
 void FiferFramework::complete_job(Job& job) {
   job.completion = sim_.now();
+  FIFER_DCHECK_GE(job.completion, job.arrival, kCore);
+  ++completed_jobs_;
   metrics_.on_job_completed(job);
   log_job(job);
   // Records are folded into the aggregates (and the trace log); free them
@@ -147,12 +150,19 @@ ExperimentResult FiferFramework::run() {
   Rng arrival_rng = rng_.split(0xA221);
   const std::vector<Arrival> arrivals = generate_arrivals(
       params_.trace, params_.mix, arrival_rng, params_.input_scale_jitter);
+  // The pump captures only a weak_ptr to itself — a strong self-capture
+  // would be a shared_ptr cycle and leak; the pending event holds the only
+  // strong ref, so the pump dies with its last scheduled occurrence.
   auto pump = std::make_shared<std::function<void(std::size_t)>>();
-  *pump = [this, &arrivals, pump](std::size_t i) {
+  *pump = [this, &arrivals,
+           weak = std::weak_ptr<std::function<void(std::size_t)>>(pump)](
+              std::size_t i) {
     if (i >= arrivals.size()) return;
     submit_job(arrivals[i]);
     if (i + 1 < arrivals.size()) {
-      sim_.at(arrivals[i + 1].time, [pump, i] { (*pump)(i + 1); });
+      if (auto self = weak.lock()) {
+        sim_.at(arrivals[i + 1].time, [self, i] { (*self)(i + 1); });
+      }
     }
   };
   if (!arrivals.empty()) {
@@ -199,17 +209,12 @@ ExperimentResult FiferFramework::run() {
   // deadline well past the trace end, as a hang backstop). ---
   const SimTime trace_end = std::max(params_.trace.duration_ms(), end_of_arrivals_);
   const SimTime hard_end = trace_end + minutes(10.0);
-  std::uint64_t completed_before = 0;
   while (sim_.now() < hard_end) {
     sim_.run_until(std::min(sim_.now() + seconds(10.0), hard_end));
     // The experiment covers the whole trace (including zero-rate tails —
     // that is where scale-down and power-down behaviour shows), then drains.
     const bool arrivals_done = sim_.now() >= trace_end;
-    std::uint64_t completed = 0;
-    for (const auto& j : jobs_) completed += j.done() ? 1 : 0;
-    if (arrivals_done && completed == jobs_.size()) break;
-    completed_before = completed;
-    (void)completed_before;
+    if (arrivals_done && completed_jobs_ == jobs_.size()) break;
   }
 
   cluster_.advance_energy(sim_.now());
@@ -301,6 +306,10 @@ void FiferFramework::start_next_task(StageState& st, Container& c) {
   TaskRef task = c.pop();
   StageRecord& rec = task.record();
   rec.exec_start = sim_.now();
+  // Lifecycle timestamps are causally ordered: a task enters the stage
+  // queue, is bound to a container, then starts executing.
+  FIFER_DCHECK_GE(rec.dispatched, rec.enqueued, kCore);
+  FIFER_DCHECK_GE(rec.exec_start, rec.dispatched, kCore);
   // The cold-start share of this task's wait is the overlap between its
   // time in the queue [enqueued, exec_start] and the executing container's
   // provisioning interval [spawned_at, ready_at]; the rest is genuine
@@ -308,6 +317,9 @@ void FiferFramework::start_next_task(StageState& st, Container& c) {
   rec.cold_start_wait_ms =
       std::max(0.0, std::min(sim_.now(), c.ready_at()) -
                         std::max(rec.enqueued, c.spawned_at()));
+  // The cold-start share is an overlap of two sub-intervals of the wait, so
+  // it can never exceed the total wait.
+  FIFER_DCHECK_LE(rec.cold_start_wait_ms, rec.wait_ms(), kCore);
   st.record_wait(sim_.now(), rec.wait_ms());
 
   rec.exec_ms = services_.at(st.name()).sample_exec_ms(rng_, task.job->input_scale);
@@ -320,6 +332,7 @@ void FiferFramework::start_next_task(StageState& st, Container& c) {
 void FiferFramework::finish_task(StageState& st, Container& c, TaskRef task) {
   StageRecord& rec = task.record();
   rec.exec_end = sim_.now();
+  FIFER_DCHECK_GE(rec.exec_end, rec.exec_start, kCore);
   c.end_execution(sim_.now());
   metrics_.on_task_executed(st.name(), rec);
 
@@ -590,7 +603,25 @@ void FiferFramework::provision_static_pools() {
   }
 }
 
+void FiferFramework::check_request_conservation() const {
+  // Request conservation: at event boundaries every submitted job is in
+  // exactly one place — completed, resident in some stage (global queue,
+  // container local queue, or executing), or riding a bus transition
+  // between stages. Lost or duplicated requests break this equality.
+  std::uint64_t resident = 0;
+  for (const auto& [name, st] : stages_) {
+    resident += st.queue_length();
+    for (const Container* c : st.live_containers()) {
+      resident += c->queued() + (c->executing() ? 1 : 0);
+    }
+  }
+  FIFER_CHECK_EQ(jobs_.size() - completed_jobs_, resident + bus_.inflight(), kCore)
+      << "submitted=" << jobs_.size() << " completed=" << completed_jobs_
+      << " resident=" << resident << " in-transition=" << bus_.inflight();
+}
+
 void FiferFramework::housekeeping_tick() {
+  check_request_conservation();
   reap_idle_containers();
   cluster_.power_down_idle_nodes(sim_.now());
 

@@ -106,6 +106,9 @@ class FiferFramework {
   void provision_static_pools();                        ///< SBatch at t=0.
 
   void housekeeping_tick();
+  /// Asserts arrived = completed + resident-in-stages + in-transition; see
+  /// the definition for the precise accounting.
+  void check_request_conservation() const;
 
   double lsf_key(const Job& job, std::size_t stage_index) const;
   StageState& stage_of(const std::string& name);
@@ -135,6 +138,7 @@ class FiferFramework {
   /// Observed per-Ws-window arrival rates, for online retraining.
   std::vector<double> rate_log_;
   std::uint64_t retrain_count_ = 0;
+  std::uint64_t completed_jobs_ = 0;
   std::uint64_t next_job_id_ = 0;
   std::uint64_t next_container_id_ = 0;
   SimTime end_of_arrivals_ = 0.0;

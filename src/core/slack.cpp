@@ -4,7 +4,27 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/check.hpp"
+
 namespace fifer {
+
+namespace {
+
+/// Post-condition of both split policies (paper §4.1): stage slacks are
+/// non-negative and conserve the chain total — slack is distributed, never
+/// created or destroyed.
+void check_slack_split(const std::vector<SimDuration>& out, SimDuration total) {
+  SimDuration sum = 0.0;
+  for (const SimDuration s : out) {
+    FIFER_CHECK_GE(s, 0.0, kCore) << "negative per-stage slack";
+    sum += s;
+  }
+  const double tolerance = 1e-9 * std::max(1.0, std::abs(total));
+  FIFER_CHECK_LE(std::abs(sum - total), tolerance, kCore)
+      << "stage slacks sum to " << sum << " but total slack is " << total;
+}
+
+}  // namespace
 
 const char* to_string(SlackPolicy p) {
   switch (p) {
@@ -26,6 +46,7 @@ std::vector<SimDuration> allocate_slack(const ApplicationChain& app,
 
   if (policy == SlackPolicy::kEqualDivision) {
     std::fill(out.begin(), out.end(), total / static_cast<double>(n));
+    check_slack_split(out, total);
     return out;
   }
 
@@ -38,12 +59,14 @@ std::vector<SimDuration> allocate_slack(const ApplicationChain& app,
   if (exec_sum <= 0.0) {
     // Degenerate chain of zero-cost stages: fall back to equal division.
     std::fill(out.begin(), out.end(), total / static_cast<double>(n));
+    check_slack_split(out, total);
     return out;
   }
   for (std::size_t i = 0; i < n; ++i) {
     out[i] = total * app.stage_prob(i) * services.at(app.stages[i]).mean_exec_ms /
              exec_sum;
   }
+  check_slack_split(out, total);
   return out;
 }
 
@@ -51,7 +74,11 @@ int batch_size(SimDuration stage_slack_ms, SimDuration stage_exec_ms, int cap) {
   if (cap < 1) throw std::invalid_argument("batch_size: cap must be >= 1");
   if (stage_exec_ms <= 0.0) return cap;
   const double raw = std::floor(stage_slack_ms / stage_exec_ms);
-  return static_cast<int>(std::clamp(raw, 1.0, static_cast<double>(cap)));
+  const int b = static_cast<int>(std::clamp(raw, 1.0, static_cast<double>(cap)));
+  // B_size = Stage_Slack / Stage_Exec_Time (paper §3), clamped to [1, cap].
+  FIFER_CHECK(b >= 1 && b <= cap, kCore)
+      << "B_size " << b << " outside [1, " << cap << "]";
+  return b;
 }
 
 std::vector<int> batch_sizes(const ApplicationChain& app,

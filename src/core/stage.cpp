@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/check.hpp"
+
 namespace fifer {
 
 StageState::StageState(StageProfile profile, SchedulerPolicy scheduler)
@@ -20,6 +22,10 @@ TaskRef StageState::pop_next() {
   if (queue_.empty()) throw std::logic_error("StageState::pop_next: queue empty");
   TaskRef t = queue_.top().task;
   queue_.pop();
+  ++total_dequeued_;
+  // Queue conservation: tasks leave the global queue at most as often as
+  // they entered it.
+  FIFER_DCHECK_LE(total_dequeued_, total_enqueued_, kCore);
   return t;
 }
 
@@ -59,6 +65,15 @@ Container& StageState::container(ContainerId id) {
 
 std::vector<Container*> StageState::live_containers() {
   std::vector<Container*> out;
+  out.reserve(containers_.size());
+  for (const auto& c : containers_) {
+    if (!c->terminated()) out.push_back(c.get());
+  }
+  return out;
+}
+
+std::vector<const Container*> StageState::live_containers() const {
+  std::vector<const Container*> out;
   out.reserve(containers_.size());
   for (const auto& c : containers_) {
     if (!c->terminated()) out.push_back(c.get());
@@ -119,6 +134,11 @@ void StageState::erase_terminated() {
 }
 
 void StageState::record_wait(SimTime now, SimDuration wait_ms) {
+  // Waits are measured between two causally ordered events, so they cannot
+  // be negative; samples arrive in simulated-time order.
+  FIFER_DCHECK_GE(wait_ms, 0.0, kCore);
+  FIFER_DCHECK(recent_waits_.empty() || now >= recent_waits_.back().first, kCore)
+      << "wait samples out of order";
   recent_waits_.emplace_back(now, wait_ms);
   // Trim anything far older than the largest horizon anyone asks about.
   constexpr SimDuration kRetain = 60'000.0;

@@ -60,6 +60,7 @@ class StageState {
 
   /// All live (non-terminated) containers.
   std::vector<Container*> live_containers();
+  std::vector<const Container*> live_containers() const;
   std::size_t live_count() const;
   std::size_t warm_count() const;
   std::size_t provisioning_count() const;
@@ -96,6 +97,7 @@ class StageState {
   SimDuration recent_mean_wait_ms(SimTime now, SimDuration horizon_ms) const;
 
   std::uint64_t total_enqueued() const { return total_enqueued_; }
+  std::uint64_t total_dequeued() const { return total_dequeued_; }
 
  private:
   struct QueueEntry {
@@ -113,6 +115,7 @@ class StageState {
   std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue_;
   std::uint64_t seq_ = 0;
   std::uint64_t total_enqueued_ = 0;
+  std::uint64_t total_dequeued_ = 0;
 
   std::vector<std::unique_ptr<Container>> containers_;
   int keep_warm_floor_ = 0;

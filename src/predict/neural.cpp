@@ -5,6 +5,7 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "common/check.hpp"
 #include "predict/nn/serialize.hpp"
 
 namespace fifer {
@@ -57,6 +58,11 @@ void NeuralPredictor::train(const std::vector<double>& rate_history) {
       opt.step();
     }
     final_loss_ = epoch_loss / static_cast<double>(ds.size());
+    // Divergence trap: a NaN/inf epoch loss means training blew up (bad
+    // inputs or exploding gradients); the model would silently forecast
+    // garbage from here on.
+    FIFER_CHECK_FINITE(final_loss_, kPredict)
+        << "training diverged at epoch " << epoch;
   }
   trained_ = true;
 }
@@ -82,7 +88,11 @@ double NeuralPredictor::forecast(const std::vector<double>& recent_rates) {
   std::vector<double> window = fit_window(recent_rates, cfg_.input_window);
   for (double& v : window) v /= scale_;
   const double pred = forward(window);
-  return std::max(0.0, pred * scale_);
+  const double rps = std::max(0.0, pred * scale_);
+  // Forecast contract: the provisioner sizes container fleets from this
+  // value, so it must be a finite, non-negative rate.
+  FIFER_CHECK_FINITE(rps, kPredict) << "forecast is not a usable rate";
+  return rps;
 }
 
 // ---------------------------------------------------------------- SimpleFF

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/check.hpp"
+
 namespace fifer::nn {
 
 GruLayer::GruLayer(std::size_t input_dim, std::size_t hidden_dim, Rng& rng)
@@ -62,6 +64,7 @@ std::vector<Vec> GruLayer::forward(const std::vector<Vec>& xs) {
     hs.push_back(h);
     cache_.push_back(std::move(sc));
   }
+  FIFER_DCHECK(all_finite(h), kPredict) << "GRU hidden state diverged";
   return hs;
 }
 

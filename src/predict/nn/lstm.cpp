@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/check.hpp"
+
 namespace fifer::nn {
 
 namespace {
@@ -66,6 +68,10 @@ std::vector<Vec> LstmLayer::forward(const std::vector<Vec>& xs) {
     hs.push_back(h);
     cache_.push_back(std::move(sc));
   }
+  // Recurrent-state contract: bounded gate algebra (sigmoid/tanh) keeps the
+  // states finite; NaN/inf here means the weights have already diverged.
+  FIFER_DCHECK(all_finite(h) && all_finite(c), kPredict)
+      << "LSTM hidden/cell state diverged";
   return hs;
 }
 

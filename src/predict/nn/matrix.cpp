@@ -120,6 +120,13 @@ double dot(const Vec& a, const Vec& b) {
   return acc;
 }
 
+bool all_finite(const Vec& v) {
+  for (const double x : v) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
 Vec tanh_vec(const Vec& x) {
   Vec y(x.size());
   for (std::size_t i = 0; i < x.size(); ++i) y[i] = std::tanh(x[i]);

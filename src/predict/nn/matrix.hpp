@@ -67,6 +67,10 @@ void add_in_place(Vec& a, const Vec& b);
 
 double dot(const Vec& a, const Vec& b);
 
+/// True when every element is finite (no NaN/inf) — the contracts layer's
+/// divergence probe for recurrent states and gradients.
+bool all_finite(const Vec& v);
+
 /// Element-wise activations and their derivatives expressed in terms of the
 /// *activated* value (the form backprop wants).
 Vec tanh_vec(const Vec& x);

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/check.hpp"
+
 namespace fifer::nn {
 
 void Optimizer::clip_gradients(double max_norm) {
@@ -13,6 +15,9 @@ void Optimizer::clip_gradients(double max_norm) {
     }
   }
   const double norm = std::sqrt(sq);
+  // Clipping rescales gradients; it cannot repair NaN/inf ones, so catch
+  // them here before they poison every parameter in one step.
+  FIFER_DCHECK_FINITE(norm, kPredict) << "gradient norm diverged";
   if (norm <= max_norm || norm == 0.0) return;
   const double scale = max_norm / norm;
   for (const ParamRef& p : params_) {

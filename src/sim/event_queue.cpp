@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/check.hpp"
+
 namespace fifer {
 
 EventId EventQueue::schedule(SimTime at, Callback cb) {
@@ -14,12 +16,15 @@ EventId EventQueue::schedule(SimTime at, Callback cb) {
   heap_.push(Entry{at, seq, id});
   callbacks_.emplace(seq, std::move(cb));
   ++live_count_;
+  // Bookkeeping invariant: the live counter mirrors the callback table.
+  FIFER_DCHECK_EQ(callbacks_.size(), live_count_, kSim);
   return id;
 }
 
 bool EventQueue::cancel(EventId id) {
   const auto erased = callbacks_.erase(static_cast<std::uint64_t>(id));
   if (erased > 0) {
+    FIFER_DCHECK_GT(live_count_, 0u, kSim);
     --live_count_;
     return true;
   }
@@ -44,9 +49,14 @@ EventQueue::Fired EventQueue::pop() {
     throw std::logic_error("EventQueue: pop on empty queue");
   }
   const Entry top = heap_.top();
+  // Causality: events fire in non-decreasing time order, so the watermark
+  // (time of the last popped event) never runs backwards.
+  FIFER_DCHECK_GE(top.time, watermark_, kSim);
   heap_.pop();
   auto node = callbacks_.extract(static_cast<std::uint64_t>(top.id));
+  FIFER_DCHECK(!node.empty(), kSim) << "heap entry without a live callback";
   --live_count_;
+  FIFER_DCHECK_EQ(callbacks_.size(), live_count_, kSim);
   watermark_ = top.time;
   return Fired{top.time, std::move(node.mapped())};
 }

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/check.hpp"
+
 namespace fifer {
 
 EventId Simulation::at(SimTime when, EventQueue::Callback cb) {
@@ -22,13 +24,19 @@ void Simulation::every(SimDuration period, std::function<void(SimTime)> cb) {
   if (period <= 0.0) {
     throw std::invalid_argument("Simulation::every: period must be positive");
   }
-  // The tick re-schedules itself; copies of `tick` share state via
-  // shared_ptr-free recursion: each occurrence captures by value.
+  // The tick re-schedules itself. Ownership is deliberately one-way: the
+  // closure stored in *tick captures only a weak_ptr to itself (a strong
+  // capture would be a shared_ptr cycle and leak every periodic task), while
+  // each scheduled occurrence holds a strong ref that keeps the tick alive
+  // exactly as long as a next occurrence is pending.
   auto tick = std::make_shared<std::function<void()>>();
-  *tick = [this, period, cb = std::move(cb), tick]() {
+  *tick = [this, period, cb = std::move(cb),
+           weak = std::weak_ptr<std::function<void()>>(tick)]() {
     cb(now_);
     if (!stopped_) {
-      after(period, [tick] { (*tick)(); });
+      if (auto self = weak.lock()) {
+        after(period, [self] { (*self)(); });
+      }
     }
   };
   after(period, [tick] { (*tick)(); });
@@ -38,6 +46,8 @@ std::uint64_t Simulation::run_until(SimTime deadline) {
   std::uint64_t executed = 0;
   while (!stopped_ && !queue_.empty() && queue_.next_time() <= deadline) {
     auto fired = queue_.pop();
+    // The clock only moves forward: every fired event lies at or after now().
+    FIFER_DCHECK_GE(fired.time, now_, kSim);
     now_ = fired.time;
     fired.callback();
     ++executed;
@@ -53,6 +63,7 @@ std::uint64_t Simulation::run_to_completion() {
   std::uint64_t executed = 0;
   while (!stopped_ && !queue_.empty()) {
     auto fired = queue_.pop();
+    FIFER_DCHECK_GE(fired.time, now_, kSim);
     now_ = fired.time;
     fired.callback();
     ++executed;

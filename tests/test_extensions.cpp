@@ -7,6 +7,7 @@
 #include <fstream>
 
 #include "cluster/event_bus.hpp"
+#include "common/check.hpp"
 #include "common/json.hpp"
 #include "core/framework.hpp"
 #include "core/report.hpp"
@@ -48,9 +49,12 @@ TEST(EventBus, CongestionInflatesLatency) {
   EXPECT_NEAR(bus.begin_transition(100.0, rng), 100.0, 1e-9);
 }
 
-TEST(EventBus, EndWithoutBeginThrows) {
+TEST(EventBus, EndWithoutBeginViolatesConservation) {
   EventBus bus;
-  EXPECT_THROW(bus.end_transition(), std::logic_error);
+  const check::ScopedTrap trap;
+  const auto before = check::violations(check::Category::kCluster);
+  EXPECT_THROW(bus.end_transition(), check::CheckFailure);
+  EXPECT_EQ(check::violations(check::Category::kCluster), before + 1);
 }
 
 // ------------------------------------------------------------------- json

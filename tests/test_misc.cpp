@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "cluster/event_bus.hpp"
+#include "common/check.hpp"
 #include "common/json.hpp"
 #include "common/table.hpp"
 #include "core/framework.hpp"
@@ -165,8 +166,12 @@ TEST(Container, RetuningBatchSizeChangesFreeSlots) {
   EXPECT_EQ(c.free_slots(), 1);
   c.set_batch_size(5);  // load balancer retunes B_size upward
   EXPECT_EQ(c.free_slots(), 4);
-  c.set_batch_size(1);  // shrink below occupancy: no free slots, no negative
-  EXPECT_EQ(c.free_slots(), 0);
+  Job j2;
+  c.enqueue({&j2, 0});  // occupancy now 2
+  // Shrinking B_size below the current occupancy would strand queued work
+  // outside any slot; the slot-accounting contract rejects it.
+  const check::ScopedTrap trap;
+  EXPECT_THROW(c.set_batch_size(1), check::CheckFailure);
 }
 
 // -------------------------------------------------------------- event bus

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# CI matrix for the fifer simulator:
+#
+#   leg 1  RelWithDebInfo, -Werror            — what users build; DCHECKs are
+#                                               compiled out, so this also
+#                                               proves the hot path carries no
+#                                               contract overhead.
+#   leg 2  ASan+UBSan, -Werror, DCHECKs ON    — every contract live, every
+#                                               test under both sanitizers,
+#                                               zero reports tolerated
+#                                               (-fno-sanitize-recover=all).
+#
+# Each leg runs the full ctest suite; lint runs once at the end against the
+# sanitizer build's compile database.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="${JOBS:-$(nproc)}"
+
+run_leg() {
+  local name="$1" dir="$2"
+  shift 2
+  echo "==== [$name] configure"
+  cmake -B "$dir" -S "$ROOT" "$@"
+  echo "==== [$name] build"
+  cmake --build "$dir" -j "$JOBS"
+  echo "==== [$name] test"
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+}
+
+run_leg release "$ROOT/build-ci-release" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DFIFER_WERROR=ON
+
+run_leg asan-ubsan "$ROOT/build-ci-asan" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DFIFER_WERROR=ON \
+  -DFIFER_DCHECKS=ON \
+  "-DFIFER_SANITIZE=address;undefined"
+
+echo "==== lint"
+"$ROOT/tools/lint.sh" "$ROOT/build-ci-asan"
+
+echo "==== CI matrix passed"

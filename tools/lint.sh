@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Lint gate for the fifer simulator.
+#
+# Runs two layers:
+#   1. clang-tidy over every translation unit in src/ (skipped with a notice
+#      when clang-tidy is not installed — the grep layer still runs).
+#   2. Grep-based repo rules that need no toolchain:
+#        - no naked `new` in src/ (ownership goes through smart pointers /
+#          containers; placement of raw allocations breaks sanitizer triage)
+#        - no `std::rand` / `srand` (simulation randomness must flow through
+#          fifer::Rng so runs stay reproducible and seedable)
+#        - every header under src/ starts include-guarding with `#pragma once`
+#
+# Usage: tools/lint.sh [build-dir]
+#   build-dir (default: build) must contain compile_commands.json for the
+#   clang-tidy layer; CMakeLists.txt exports it automatically.
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$ROOT/build}"
+FAILED=0
+
+note() { printf '%s\n' "$*"; }
+fail() {
+  printf 'lint: FAIL: %s\n' "$*" >&2
+  FAILED=1
+}
+
+# ---------------------------------------------------------------- clang-tidy
+if command -v clang-tidy >/dev/null 2>&1; then
+  if [ -f "$BUILD_DIR/compile_commands.json" ]; then
+    note "lint: running clang-tidy (compile db: $BUILD_DIR)"
+    mapfile -t SOURCES < <(find "$ROOT/src" -name '*.cpp' | sort)
+    if ! clang-tidy -p "$BUILD_DIR" --quiet "${SOURCES[@]}"; then
+      fail "clang-tidy reported diagnostics"
+    fi
+  else
+    fail "clang-tidy found but $BUILD_DIR/compile_commands.json is missing; configure with cmake first"
+  fi
+else
+  note "lint: clang-tidy not installed; skipping static analysis layer"
+fi
+
+# ---------------------------------------------------------------- grep rules
+# Naked new: match `new Type` expressions, excluding comments and strings as
+# best grep can. placement-new and `new` inside identifiers don't match.
+NAKED_NEW=$(grep -rnE '(^|[^_[:alnum:]"])new[[:space:]]+[[:alnum:]_:<]' \
+  "$ROOT/src" --include='*.cpp' --include='*.hpp' |
+  grep -vE '^\s*[^:]*:[0-9]+:\s*(//|\*)' || true)
+if [ -n "$NAKED_NEW" ]; then
+  fail "naked 'new' in src/ (use std::make_unique / containers):"
+  printf '%s\n' "$NAKED_NEW" >&2
+fi
+
+RAND_USE=$(grep -rnE '(std::rand|std::srand|[^_[:alnum:]]s?rand\()' \
+  "$ROOT/src" --include='*.cpp' --include='*.hpp' || true)
+if [ -n "$RAND_USE" ]; then
+  fail "std::rand/srand in src/ (use fifer::Rng for reproducible seeds):"
+  printf '%s\n' "$RAND_USE" >&2
+fi
+
+MISSING_PRAGMA=$(find "$ROOT/src" -name '*.hpp' -print0 |
+  xargs -0 grep -L '#pragma once' || true)
+if [ -n "$MISSING_PRAGMA" ]; then
+  fail "headers missing '#pragma once':"
+  printf '%s\n' "$MISSING_PRAGMA" >&2
+fi
+
+if [ "$FAILED" -ne 0 ]; then
+  note "lint: FAILED"
+  exit 1
+fi
+note "lint: OK"
