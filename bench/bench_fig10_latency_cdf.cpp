@@ -18,13 +18,12 @@ int main(int argc, char** argv) {
   s.lambda = cfg.get_double("lambda", 50.0);
   const std::string csv_path = cfg.get_string("csv", "");
 
-  std::vector<fifer::ExperimentResult> results;
-  for (const auto& rm : fifer::RmConfig::paper_policies()) {
-    auto params = fifer::bench::make_params(
-        rm, fifer::WorkloadMix::heavy(), fifer::bench::prototype_trace(cfg, s),
-        "prototype", s, fifer::bench::prototype_cluster());
-    results.push_back(fifer::bench::run_logged(std::move(params)));
-  }
+  auto base = fifer::bench::make_params(
+      fifer::RmConfig::bline(), fifer::WorkloadMix::heavy(),
+      fifer::bench::prototype_trace(cfg, s), "prototype", s,
+      fifer::bench::prototype_cluster());
+  const auto results = fifer::bench::run_paper_sweep(
+      std::move(base), s, fifer::bench::bench_jobs(cfg));
 
   fifer::Table t("Figure 10a — response-latency CDF up to P95, heavy mix (ms)");
   std::vector<std::string> head{"quantile"};

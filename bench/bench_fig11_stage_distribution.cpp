@@ -19,18 +19,21 @@ int main(int argc, char** argv) {
   t.set_columns({"policy", "stage1_ASR", "stage2_NLP", "stage3_QA",
                  "spawned_total"});
 
-  for (const auto& rm : fifer::RmConfig::paper_policies()) {
-    auto params = fifer::bench::make_params(
-        rm, fifer::WorkloadMix::heavy(), fifer::bench::prototype_trace(cfg, s),
-        "prototype", s, fifer::bench::prototype_cluster());
-    const auto r = fifer::bench::run_logged(std::move(params));
+  auto base = fifer::bench::make_params(
+      fifer::RmConfig::bline(), fifer::WorkloadMix::heavy(),
+      fifer::bench::prototype_trace(cfg, s), "prototype", s,
+      fifer::bench::prototype_cluster());
+  const auto results = fifer::bench::run_paper_sweep(
+      std::move(base), s, fifer::bench::bench_jobs(cfg));
+
+  for (const auto& r : results) {
     // IPA's stages are ASR, NLP, QA; (FACED/FACER/HS/AP belong to
     // Detect-Fatigue in the heavy mix).
     const double asr = static_cast<double>(r.stages.at("ASR").containers_spawned);
     const double nlp = static_cast<double>(r.stages.at("NLP").containers_spawned);
     const double qa = static_cast<double>(r.stages.at("QA").containers_spawned);
     const double total = asr + nlp + qa;
-    t.add_row({rm.name, fifer::fmt(100.0 * asr / total, 1),
+    t.add_row({r.policy, fifer::fmt(100.0 * asr / total, 1),
                fifer::fmt(100.0 * nlp / total, 1), fifer::fmt(100.0 * qa / total, 1),
                fifer::fmt(total, 0)});
   }

@@ -18,8 +18,29 @@ int main(int argc, char** argv) {
   fifer::bench::BenchSettings s = fifer::bench::BenchSettings::from_config(cfg);
   s.duration_s = cfg.get_double("duration_s", 1200.0);
 
+  // One full-factorial grid: 2 traces x 3 mixes x 5 RMs = 30 runs, fanned
+  // out over jobs=N workers. Results come back row-major (trace slowest,
+  // policy fastest), so each (trace, mix) cell is a contiguous block.
+  const std::vector<fifer::RmConfig> rms = fifer::bench::paper_policies(s);
+  const std::vector<std::string> mixes = {"heavy", "medium", "light"};
+  fifer::GridSweep grid(fifer::bench::make_params(
+      fifer::RmConfig::bline(), fifer::WorkloadMix::heavy(), fifer::RateTrace{},
+      "grid", s, fifer::bench::simulation_cluster()));
+  for (const auto& rm : rms) grid.add(rm);
+  grid.mixes({fifer::WorkloadMix::heavy(), fifer::WorkloadMix::medium(),
+              fifer::WorkloadMix::light()})
+      .traces({{"WIKI", fifer::bench::bench_wiki(s)},
+               {"WITS", fifer::bench::bench_wits(s)}})
+      .jobs(fifer::bench::bench_jobs(cfg))
+      .on_progress(fifer::bench::sweep_progress());
+  const auto results = grid.run();
+  const auto at = [&](std::size_t ti, std::size_t mi, std::size_t pi)
+      -> const fifer::ExperimentResult& {
+    return results[(ti * mixes.size() + mi) * rms.size() + pi];
+  };
+
   for (const auto* trace_name : {"WIKI", "WITS"}) {
-    const bool wiki = std::string(trace_name) == "WIKI";
+    const std::size_t ti = std::string(trace_name) == "WIKI" ? 0 : 1;
 
     fifer::Table slo(std::string("Figure 13 — ") + trace_name +
                      ": SLO violations (% | normalized to Bline)");
@@ -33,15 +54,11 @@ int main(int argc, char** argv) {
       t->set_columns({"workload", "Bline", "SBatch", "RScale", "BPred", "Fifer"});
     }
 
-    for (const auto* mix_name : {"heavy", "medium", "light"}) {
+    for (std::size_t mi = 0; mi < mixes.size(); ++mi) {
+      const std::string& mix_name = mixes[mi];
       std::vector<double> v_slo, v_cont, v_med, v_tail;
-      for (const auto& rm : fifer::RmConfig::paper_policies()) {
-        const fifer::RateTrace trace =
-            wiki ? fifer::bench::bench_wiki(s) : fifer::bench::bench_wits(s);
-        auto params = fifer::bench::make_params(
-            rm, fifer::WorkloadMix::by_name(mix_name), trace, trace_name, s,
-            fifer::bench::simulation_cluster());
-        const auto r = fifer::bench::run_logged(std::move(params));
+      for (std::size_t pi = 0; pi < rms.size(); ++pi) {
+        const auto& r = at(ti, mi, pi);
         v_slo.push_back(r.slo_violation_pct());
         v_cont.push_back(r.avg_active_containers);
         v_med.push_back(r.response_ms.median());

@@ -20,17 +20,20 @@ int main(int argc, char** argv) {
   t.set_columns({"policy", "energy_kJ", "normalized", "avg_power_W",
                  "avg_nodes_on"});
 
+  auto params = fifer::bench::make_params(
+      fifer::RmConfig::bline(), fifer::WorkloadMix::heavy(),
+      fifer::bench::prototype_trace(cfg, s), "prototype", s,
+      fifer::bench::prototype_cluster());
+  const auto results = fifer::bench::run_paper_sweep(
+      std::move(params), s, fifer::bench::bench_jobs(cfg));
+
   double base = 0.0;
-  for (const auto& rm : fifer::RmConfig::paper_policies()) {
-    auto params = fifer::bench::make_params(
-        rm, fifer::WorkloadMix::heavy(), fifer::bench::prototype_trace(cfg, s),
-        "prototype", s, fifer::bench::prototype_cluster());
-    const auto r = fifer::bench::run_logged(std::move(params));
-    if (rm.name == "Bline") base = r.energy_joules;
+  for (const auto& r : results) {
+    if (r.policy == "Bline") base = r.energy_joules;
     double nodes = 0.0;
     for (const auto& sample : r.timeline) nodes += sample.powered_on_nodes;
     nodes /= static_cast<double>(r.timeline.size());
-    t.add_row({rm.name, fifer::fmt(r.energy_joules / 1000.0, 1),
+    t.add_row({r.policy, fifer::fmt(r.energy_joules / 1000.0, 1),
                base > 0.0 ? fifer::fmt(r.energy_joules / base, 3) : "-",
                fifer::fmt(r.avg_power_watts(), 0), fifer::fmt(nodes, 2)});
   }

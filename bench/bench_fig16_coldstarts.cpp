@@ -19,29 +19,26 @@ int main(int argc, char** argv) {
   t.set_columns({"policy", "wiki", "wits", "wiki_norm_vs_Fifer",
                  "wits_norm_vs_Fifer"});
 
-  // Collect counts for the four scaling RMs the figure compares.
+  // Collect counts for the four scaling RMs the figure compares: one
+  // 2-trace x 4-policy grid, fanned out over jobs=N workers.
   std::vector<fifer::RmConfig> rms{fifer::RmConfig::bpred(), fifer::RmConfig::bline(),
                                    fifer::RmConfig::fifer(), fifer::RmConfig::rscale()};
+  for (auto& rm : rms) rm.idle_timeout_ms = fifer::seconds(s.idle_timeout_s);
+  fifer::GridSweep grid(fifer::bench::make_params(
+      fifer::RmConfig::bline(), fifer::WorkloadMix::heavy(), fifer::RateTrace{},
+      "grid", s, fifer::bench::simulation_cluster()));
+  for (const auto& rm : rms) grid.add(rm);
+  grid.traces({{"wiki", fifer::bench::bench_wiki(s)},
+               {"wits", fifer::bench::bench_wits(s)}})
+      .jobs(fifer::bench::bench_jobs(cfg))
+      .on_progress(fifer::bench::sweep_progress());
+  const auto results = grid.run();
+
   std::map<std::string, std::pair<double, double>> counts;
-  for (const auto& rm : rms) {
-    double wiki_count = 0.0, wits_count = 0.0;
-    {
-      auto params = fifer::bench::make_params(
-          rm, fifer::WorkloadMix::heavy(), fifer::bench::bench_wiki(s), "wiki", s,
-          fifer::bench::simulation_cluster());
-      wiki_count =
-          static_cast<double>(fifer::bench::run_logged(std::move(params))
-                                  .containers_spawned);
-    }
-    {
-      auto params = fifer::bench::make_params(
-          rm, fifer::WorkloadMix::heavy(), fifer::bench::bench_wits(s), "wits", s,
-          fifer::bench::simulation_cluster());
-      wits_count =
-          static_cast<double>(fifer::bench::run_logged(std::move(params))
-                                  .containers_spawned);
-    }
-    counts[rm.name] = {wiki_count, wits_count};
+  for (const auto& r : results) {
+    auto& [wiki_count, wits_count] = counts[r.policy];
+    (r.trace == "wiki" ? wiki_count : wits_count) =
+        static_cast<double>(r.containers_spawned);
   }
 
   const auto [fifer_wiki, fifer_wits] = counts.at("Fifer");

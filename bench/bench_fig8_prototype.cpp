@@ -27,18 +27,20 @@ int main(int argc, char** argv) {
   containers.set_columns({"workload", "Bline", "SBatch", "RScale", "BPred", "Fifer"});
   spawned.set_columns({"workload", "Bline", "SBatch", "RScale", "BPred", "Fifer"});
 
+  const std::size_t jobs = fifer::bench::bench_jobs(cfg);
   for (const auto* mix_name : {"heavy", "medium", "light"}) {
     const auto mix = fifer::WorkloadMix::by_name(mix_name);
+    fifer::Rng trace_rng(s.seed ^ 0xF18);
+    auto base = fifer::bench::make_params(
+        fifer::RmConfig::bline(), mix,
+        drift > 0.0 ? fifer::modulated_poisson_trace(s.duration_s, s.lambda,
+                                                     drift, trace_rng)
+                    : fifer::poisson_trace(s.duration_s, s.lambda),
+        "poisson", s, fifer::bench::prototype_cluster());
+    const auto results =
+        fifer::bench::run_paper_sweep(std::move(base), s, jobs);
     std::vector<double> v_pct, v_act, v_spawn;
-    for (const auto& rm : fifer::RmConfig::paper_policies()) {
-      fifer::Rng trace_rng(s.seed ^ 0xF18);
-      auto params = fifer::bench::make_params(
-          rm, mix,
-          drift > 0.0 ? fifer::modulated_poisson_trace(s.duration_s, s.lambda,
-                                                       drift, trace_rng)
-                      : fifer::poisson_trace(s.duration_s, s.lambda),
-          "poisson", s, fifer::bench::prototype_cluster());
-      const auto r = fifer::bench::run_logged(std::move(params));
+    for (const auto& r : results) {
       v_pct.push_back(r.slo_violation_pct());
       v_act.push_back(r.avg_active_containers);
       v_spawn.push_back(static_cast<double>(r.containers_spawned));

@@ -19,15 +19,18 @@ int main(int argc, char** argv) {
   t.set_columns({"policy", "P99_total", "p99_queuing", "p99_cold_start",
                  "p99_exec", "norm_vs_Bline"});
 
+  auto base = fifer::bench::make_params(
+      fifer::RmConfig::bline(), fifer::WorkloadMix::heavy(),
+      fifer::bench::prototype_trace(cfg, s), "prototype", s,
+      fifer::bench::prototype_cluster());
+  const auto results = fifer::bench::run_paper_sweep(
+      std::move(base), s, fifer::bench::bench_jobs(cfg));
+
   double bline_p99 = 0.0;
-  for (const auto& rm : fifer::RmConfig::paper_policies()) {
-    auto params = fifer::bench::make_params(
-        rm, fifer::WorkloadMix::heavy(), fifer::bench::prototype_trace(cfg, s),
-        "prototype", s, fifer::bench::prototype_cluster());
-    const auto r = fifer::bench::run_logged(std::move(params));
+  for (const auto& r : results) {
     const double p99 = r.response_ms.p99();
-    if (rm.name == "Bline") bline_p99 = p99;
-    t.add_row({rm.name, fifer::fmt(p99, 0), fifer::fmt(r.queuing_ms.p99(), 0),
+    if (r.policy == "Bline") bline_p99 = p99;
+    t.add_row({r.policy, fifer::fmt(p99, 0), fifer::fmt(r.queuing_ms.p99(), 0),
                fifer::fmt(r.cold_wait_ms.p99(), 0),
                fifer::fmt(r.exec_only_ms.p99(), 0),
                bline_p99 > 0.0 ? fifer::fmt(p99 / bline_p99, 2) : "-"});

@@ -9,13 +9,17 @@
 // results (peak-to-median load, slack-to-exec, cold-start-to-exec). Every
 // knob is overridable from the command line as key=value.
 
+#include <functional>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/config.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "core/framework.hpp"
+#include "core/sweep.hpp"
 #include "workload/generators.hpp"
 
 namespace fifer::bench {
@@ -136,5 +140,44 @@ inline ExperimentResult run_logged(ExperimentParams params) {
 
 /// Divides `v` by `base`, guarding the zero-baseline case.
 inline double norm(double v, double base) { return base > 0.0 ? v / base : 0.0; }
+
+/// Worker threads for the sweep-driven benches: `jobs=N` on the command
+/// line, defaulting to the hardware concurrency; jobs=1 forces the
+/// sequential reference path. Either way the results are byte-identical —
+/// only wall-clock differs.
+inline std::size_t bench_jobs(const Config& cfg) {
+  const std::int64_t n =
+      cfg.get_int("jobs", static_cast<std::int64_t>(default_jobs()));
+  return n < 1 ? 1 : static_cast<std::size_t>(n);
+}
+
+/// The paper's five RMs with the bench's idle-timeout knob applied. Sweeps
+/// swap `params.rm` wholesale, so per-policy knob overrides must ride on
+/// each RmConfig rather than on the base params.
+inline std::vector<RmConfig> paper_policies(const BenchSettings& s) {
+  std::vector<RmConfig> rms = RmConfig::paper_policies();
+  for (auto& rm : rms) rm.idle_timeout_ms = seconds(s.idle_timeout_s);
+  return rms;
+}
+
+/// Start-of-run stderr notes for sweeps — the parallel analogue of
+/// run_logged. Completions interleave arbitrarily under jobs>1, so only
+/// starts are logged.
+inline std::function<void(const std::string&)> sweep_progress() {
+  return [](const std::string& label) {
+    std::cerr << "  running " << label << " ...\n";
+  };
+}
+
+/// Runs the paper's five policies over one workload (`base` carries the
+/// mix, trace, and cluster; its rm is ignored) on `jobs` threads. Results
+/// come back in the paper's comparison order.
+inline std::vector<ExperimentResult> run_paper_sweep(ExperimentParams base,
+                                                     const BenchSettings& s,
+                                                     std::size_t jobs) {
+  PolicySweep sweep(std::move(base));
+  for (auto& rm : paper_policies(s)) sweep.add(std::move(rm));
+  return sweep.jobs(jobs).on_progress(sweep_progress()).run();
+}
 
 }  // namespace fifer::bench

@@ -7,9 +7,16 @@
 //   fifer_cli policy=rscale trace=file trace_file=wits.txt report=out/run1
 //   fifer_cli policy=fifer trace=wiki save_trace=wiki.txt nodes=16
 //   fifer_cli policy=bline trace=poisson lambda=50 jitter=0.2 seed=7
+//   fifer_cli policy=all --jobs 4          # parallel 6-policy comparison
+//   fifer_cli policy=bline,fifer --jobs 1  # forced-sequential sweep
 //
 // Keys (defaults in brackets):
-//   policy [fifer]        bline|sbatch|rscale|bpred|fifer|hpa
+//   policy [fifer]        bline|sbatch|rscale|bpred|fifer|hpa — or a
+//                         comma-separated list, or all|paper, which runs a
+//                         policy sweep and prints the comparison table
+//   --jobs N / jobs=N [hardware concurrency]
+//                         sweep worker threads; 1 forces the sequential
+//                         path (results are identical either way)
 //   mix [heavy]           heavy|medium|light
 //   trace [wits]          poisson|drift|wits|wiki|step|file
 //   trace_file            input path when trace=file
@@ -22,12 +29,16 @@
 
 #include <exception>
 #include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "common/config.hpp"
 #include "common/logging.hpp"
 #include "common/table.hpp"
-#include "core/framework.hpp"
+#include "common/thread_pool.hpp"
 #include "core/report.hpp"
+#include "core/sweep.hpp"
 #include "workload/analysis.hpp"
 #include "workload/generators.hpp"
 
@@ -67,10 +78,45 @@ fifer::RateTrace build_trace(const fifer::Config& cfg, double duration_s,
   throw std::invalid_argument("unknown trace kind: " + kind);
 }
 
+/// Splits the `policy` value into preset names: a comma-separated list, or
+/// the shorthands "paper" (the five paper RMs) and "all" (those plus hpa).
+std::vector<std::string> policy_list(const std::string& value) {
+  if (value == "paper") return {"bline", "sbatch", "rscale", "bpred", "fifer"};
+  if (value == "all") return {"bline", "sbatch", "rscale", "bpred", "fifer", "hpa"};
+  std::vector<std::string> names;
+  std::istringstream in(value);
+  std::string name;
+  while (std::getline(in, name, ',')) {
+    if (!name.empty()) names.push_back(name);
+  }
+  return names;
+}
+
+/// Accepts the conventional `--jobs N` / `--jobs=N` spellings alongside the
+/// harness's `jobs=N` idiom by rewriting them before Config parses argv.
+std::vector<std::string> canonicalize_args(int argc, char** argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--jobs" && i + 1 < argc) {
+      args.push_back(std::string("jobs=") + argv[++i]);
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      args.push_back("jobs=" + arg.substr(7));
+    } else {
+      args.push_back(arg);
+    }
+  }
+  return args;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
-  const fifer::Config cfg = fifer::Config::from_args(argc, argv);
+  const std::vector<std::string> args = canonicalize_args(argc, argv);
+  std::vector<const char*> argv2{argv[0]};
+  for (const auto& a : args) argv2.push_back(a.c_str());
+  const fifer::Config cfg =
+      fifer::Config::from_args(static_cast<int>(argv2.size()), argv2.data());
 
   if (cfg.get_bool("verbose", false)) {
     fifer::Logging::set_level(fifer::LogLevel::kInfo);
@@ -79,9 +125,15 @@ int main(int argc, char** argv) try {
   const double duration_s = cfg.get_double("duration_s", 600.0);
   const double lambda = cfg.get_double("lambda", 20.0);
   const auto seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
+  const std::vector<std::string> policies =
+      policy_list(cfg.get_string("policy", "fifer"));
+  if (policies.empty()) throw std::invalid_argument("policy list is empty");
+  const std::int64_t jobs_arg =
+      cfg.get_int("jobs", static_cast<std::int64_t>(fifer::default_jobs()));
+  const std::size_t jobs = jobs_arg < 1 ? 1 : static_cast<std::size_t>(jobs_arg);
 
   fifer::ExperimentParams p;
-  p.rm = fifer::RmConfig::by_name(cfg.get_string("policy", "fifer"));
+  p.rm = fifer::RmConfig::by_name(policies.front());
   p.mix = fifer::WorkloadMix::by_name(cfg.get_string("mix", "heavy"));
   p.seed = seed;
   p.warmup_ms = fifer::seconds(cfg.get_double("warmup_s", 100.0));
@@ -92,26 +144,29 @@ int main(int argc, char** argv) try {
   p.cluster.node_count = static_cast<std::uint32_t>(cfg.get_int("nodes", 5));
   p.cluster.cores_per_node = cfg.get_double("cores", 16.0);
 
-  // Policy knob overrides.
-  p.rm.idle_timeout_ms = fifer::seconds(cfg.get_double("idle_timeout_s", 120.0));
-  p.rm.batch_cap = static_cast<int>(cfg.get_int("batch_cap", p.rm.batch_cap));
-  p.rm.retrain_interval_ms = fifer::seconds(cfg.get_double("retrain_s", 0.0));
-  if (cfg.has("slack")) {
-    p.rm.slack_policy = cfg.get_string("slack", "prop") == "ed"
+  // Policy knob overrides (applied to every policy in a sweep).
+  const auto apply_rm_overrides = [&cfg](fifer::RmConfig& rm) {
+    rm.idle_timeout_ms = fifer::seconds(cfg.get_double("idle_timeout_s", 120.0));
+    rm.batch_cap = static_cast<int>(cfg.get_int("batch_cap", rm.batch_cap));
+    rm.retrain_interval_ms = fifer::seconds(cfg.get_double("retrain_s", 0.0));
+    if (cfg.has("slack")) {
+      rm.slack_policy = cfg.get_string("slack", "prop") == "ed"
                             ? fifer::SlackPolicy::kEqualDivision
                             : fifer::SlackPolicy::kProportional;
-  }
-  if (cfg.has("scheduler")) {
-    p.rm.scheduler = cfg.get_string("scheduler", "lsf") == "fifo"
+    }
+    if (cfg.has("scheduler")) {
+      rm.scheduler = cfg.get_string("scheduler", "lsf") == "fifo"
                          ? fifer::SchedulerPolicy::kFifo
                          : fifer::SchedulerPolicy::kLeastSlackFirst;
-  }
-  if (cfg.has("placement")) {
-    p.rm.node_selection = cfg.get_string("placement", "pack") == "spread"
+    }
+    if (cfg.has("placement")) {
+      rm.node_selection = cfg.get_string("placement", "pack") == "spread"
                               ? fifer::NodeSelection::kSpread
                               : fifer::NodeSelection::kBinPack;
-  }
-  if (cfg.has("predictor")) p.rm.predictor = cfg.get_string("predictor", "");
+    }
+    if (cfg.has("predictor")) rm.predictor = cfg.get_string("predictor", "");
+  };
+  apply_rm_overrides(p.rm);
 
   // Trace.
   fifer::Rng trace_rng(seed ^ 0xC11);
@@ -136,6 +191,27 @@ int main(int argc, char** argv) try {
             << fifer::fmt(trace_profile.peak_rps, 1) << " (peak/median "
             << fifer::fmt(trace_profile.peak_to_median, 1) << "x, dispersion "
             << fifer::fmt(trace_profile.index_of_dispersion, 1) << ")\n";
+
+  // Multi-policy mode: fan the comparison out over the parallel sweep and
+  // print the standard table. Results are byte-identical for any jobs value.
+  if (policies.size() > 1) {
+    std::cout << "running " << policies.size() << " policies / " << p.mix.name()
+              << " on " << fifer::fmt(p.cluster.total_cores(), 0) << " cores for "
+              << fifer::fmt(duration_s, 0) << " s (" << jobs << " worker"
+              << (jobs == 1 ? "" : "s") << ")...\n\n";
+    const std::string title =
+        "policy comparison — " + p.mix.name() + " mix on " + p.trace_name;
+    fifer::PolicySweep sweep(std::move(p));
+    for (const auto& name : policies) {
+      fifer::RmConfig rm = fifer::RmConfig::by_name(name);
+      apply_rm_overrides(rm);
+      sweep.add(std::move(rm));
+    }
+    const auto results = sweep.jobs(jobs).run();
+    fifer::PolicySweep::comparison_table(results, title).print(std::cout);
+    return 0;
+  }
+
   std::cout << "running " << p.rm.name << " / " << p.mix.name() << " on "
             << fifer::fmt(p.cluster.total_cores(), 0) << " cores for "
             << fifer::fmt(duration_s, 0) << " s...\n\n";

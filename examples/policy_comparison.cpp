@@ -5,16 +5,20 @@
 // Usage:
 //   policy_comparison [trace=wits|wiki|poisson] [mix=heavy|medium|light]
 //                     [duration_s=600] [lambda=20] [seed=1] [warmup_s=100]
+//                     [jobs=N]
 //
-// Demonstrates: building traces, sweeping RmConfig presets, and reading the
-// ExperimentResult metrics (SLO compliance, containers, latency, energy).
+// Demonstrates: building traces, running a PolicySweep over the RmConfig
+// presets (in parallel with jobs=N; results are byte-identical to jobs=1),
+// and reading the ExperimentResult metrics (SLO compliance, containers,
+// latency, energy).
 
 #include <exception>
 #include <iostream>
 
 #include "common/config.hpp"
 #include "common/table.hpp"
-#include "core/framework.hpp"
+#include "common/thread_pool.hpp"
+#include "core/sweep.hpp"
 #include "workload/generators.hpp"
 
 namespace {
@@ -51,6 +55,9 @@ int main(int argc, char** argv) try {
   const double lambda = cfg.get_double("lambda", 20.0);
   const auto seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
   const double warmup_s = cfg.get_double("warmup_s", 100.0);
+  const std::int64_t jobs_arg = cfg.get_int(
+      "jobs", static_cast<std::int64_t>(fifer::default_jobs()));
+  const std::size_t jobs = jobs_arg < 1 ? 1 : static_cast<std::size_t>(jobs_arg);
 
   fifer::Rng trace_rng(seed ^ 0x7ace);
   const fifer::RateTrace trace =
@@ -64,20 +71,24 @@ int main(int argc, char** argv) try {
   t.set_columns({"policy", "SLO_ok_%", "median_ms", "P99_ms", "avg_containers",
                  "spawned", "cold_starts", "RPC", "energy_kJ"});
 
-  for (const auto& rm : fifer::RmConfig::paper_policies()) {
-    fifer::ExperimentParams params;
-    params.rm = rm;
-    params.rm.idle_timeout_ms = fifer::minutes(2.0);
-    params.mix = fifer::WorkloadMix::by_name(mix_name);
-    params.trace = trace;
-    params.trace_name = trace_kind;
-    params.seed = seed;
-    params.warmup_ms = fifer::seconds(warmup_s);
-    params.train.epochs = 25;
-    params.input_scale_jitter = 0.15;
+  fifer::ExperimentParams base;
+  base.mix = fifer::WorkloadMix::by_name(mix_name);
+  base.trace = trace;
+  base.trace_name = trace_kind;
+  base.seed = seed;
+  base.warmup_ms = fifer::seconds(warmup_s);
+  base.train.epochs = 25;
+  base.input_scale_jitter = 0.15;
 
-    const auto r = fifer::run_experiment(std::move(params));
-    t.add_row({rm.name, fifer::fmt(100.0 - r.slo_violation_pct(), 2),
+  fifer::PolicySweep sweep(std::move(base));
+  for (auto rm : fifer::RmConfig::paper_policies()) {
+    rm.idle_timeout_ms = fifer::minutes(2.0);
+    sweep.add(std::move(rm));
+  }
+  const auto results = sweep.jobs(jobs).run();
+
+  for (const auto& r : results) {
+    t.add_row({r.policy, fifer::fmt(100.0 - r.slo_violation_pct(), 2),
                fifer::fmt(r.response_ms.median(), 0),
                fifer::fmt(r.response_ms.p99(), 0),
                fifer::fmt(r.avg_active_containers, 1),

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fifer {
+
+/// Fixed-size worker pool for running independent simulator experiments in
+/// parallel. Deliberately minimal: submit fire-and-forget tasks, then
+/// `wait_idle()` for a barrier. Tasks must not throw — wrap the body and
+/// stash the exception (see `parallel_for_index`, which does exactly that
+/// and rethrows on the calling thread).
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least one).
+  explicit ThreadPool(std::size_t threads);
+  /// Drains remaining tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no worker is mid-task.
+  void wait_idle();
+
+  std::size_t size() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   ///< Signals workers: task or stop.
+  std::condition_variable idle_cv_;   ///< Signals waiters: pool drained.
+  std::deque<std::function<void()>> queue_;
+  std::size_t running_ = 0;  ///< Tasks currently executing.
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Default parallelism for sweep runners: the hardware concurrency, with a
+/// floor of 1 when the runtime cannot report it.
+std::size_t default_jobs();
+
+/// Runs `fn(i)` for every `i` in `[0, count)` on up to `jobs` threads.
+/// `jobs <= 1` runs the plain sequential loop on the calling thread — the
+/// reference path parallel runs must match byte-for-byte. Indices are
+/// handed out dynamically (an atomic counter), so completion order is
+/// arbitrary; callers that care about order must write results by index.
+/// If any invocation throws, remaining indices are abandoned and the first
+/// exception is rethrown on the calling thread after all workers settle.
+void parallel_for_index(std::size_t count, std::size_t jobs,
+                        const std::function<void(std::size_t)>& fn);
+
+}  // namespace fifer

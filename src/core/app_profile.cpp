@@ -1,24 +1,35 @@
 #include "core/app_profile.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <stdexcept>
+
+#include "core/policy/batch_sizer.hpp"
 
 namespace fifer {
 
+namespace {
+
+std::unique_ptr<BatchSizer> sizer_for(const RmConfig& rm) {
+  if (rm.slack_policy == SlackPolicy::kEqualDivision) {
+    return std::make_unique<EqualDivisionBatchSizer>(rm.batching);
+  }
+  return std::make_unique<ProportionalBatchSizer>(rm.batching);
+}
+
+}  // namespace
+
 ProfileBook::ProfileBook(const WorkloadMix& mix, const ApplicationRegistry& apps,
-                         const MicroserviceRegistry& services, const RmConfig& rm) {
+                         const MicroserviceRegistry& services,
+                         const BatchSizer& sizer, int batch_cap) {
   for (const auto& entry : mix.entries()) {
     const ApplicationChain& chain = apps.at(entry.app);
     if (apps_.count(chain.name)) continue;
 
     AppProfile profile;
     profile.app = &chain;
-    profile.stage_slack_ms = allocate_slack(chain, services, rm.slack_policy);
-    if (rm.batching) {
-      profile.stage_batch = batch_sizes(chain, services, rm.slack_policy, rm.batch_cap);
-    } else {
-      profile.stage_batch.assign(chain.stages.size(), 1);
-    }
+    profile.stage_slack_ms = sizer.allocate_slack(chain, services);
+    profile.stage_batch = sizer.stage_batches(chain, services, batch_cap);
 
     profile.suffix_busy_ms.assign(chain.stages.size(), 0.0);
     SimDuration suffix = 0.0;
@@ -47,6 +58,10 @@ ProfileBook::ProfileBook(const WorkloadMix& mix, const ApplicationRegistry& apps
     apps_.emplace(chain.name, std::move(profile));
   }
 }
+
+ProfileBook::ProfileBook(const WorkloadMix& mix, const ApplicationRegistry& apps,
+                         const MicroserviceRegistry& services, const RmConfig& rm)
+    : ProfileBook(mix, apps, services, *sizer_for(rm), rm.batch_cap) {}
 
 const AppProfile& ProfileBook::app(const std::string& name) const {
   const auto it = apps_.find(name);

@@ -37,10 +37,19 @@ struct StageProfile {
   SimDuration response_budget_ms() const { return slack_ms + exec_ms; }
 };
 
+class BatchSizer;
+
 /// Builds profiles for every application in `mix` and every stage they
 /// touch, under the RM's batching/slack configuration.
 class ProfileBook {
  public:
+  /// Primary form: slack division and batch sizing delegated to the policy
+  /// engine's BatchSizer strategy.
+  ProfileBook(const WorkloadMix& mix, const ApplicationRegistry& apps,
+              const MicroserviceRegistry& services, const BatchSizer& sizer,
+              int batch_cap);
+
+  /// Convenience: builds the sizer `rm` describes (tests, ad-hoc tools).
   ProfileBook(const WorkloadMix& mix, const ApplicationRegistry& apps,
               const MicroserviceRegistry& services, const RmConfig& rm);
 

@@ -6,8 +6,11 @@
 
 #include "common/check.hpp"
 #include "common/json.hpp"
-#include "predict/classic.hpp"
 #include "common/logging.hpp"
+#include "core/policy/batch_sizer.hpp"
+#include "core/policy/placer.hpp"
+#include "core/policy/scaler.hpp"
+#include "core/policy/scheduler.hpp"
 
 namespace fifer {
 
@@ -16,12 +19,14 @@ FiferFramework::FiferFramework(ExperimentParams params)
       cluster_(params_.cluster),
       services_(params_.services),
       apps_(params_.applications),
-      profiles_(params_.mix, apps_, services_, params_.rm),
+      engine_(assemble_policy_engine(params_)),
+      profiles_(params_.mix, apps_, services_, *engine_.batch_sizer,
+                params_.rm.batch_cap),
       metrics_(params_.warmup_ms),
       rng_(params_.seed),
       bus_(params_.bus) {
   for (const auto& [name, profile] : profiles_.stages()) {
-    stages_.emplace(name, StageState(profile, params_.rm.scheduler));
+    stages_.emplace(name, StageState(profile, engine_.scheduler->policy()));
   }
   if (!params_.trace_log_path.empty()) {
     trace_log_.open(params_.trace_log_path);
@@ -29,29 +34,6 @@ FiferFramework::FiferFramework(ExperimentParams params)
       throw std::runtime_error("FiferFramework: cannot open trace log " +
                                params_.trace_log_path);
     }
-  }
-  if (params_.rm.proactive()) {
-    // Forecast target horizon = Wp in windows (paper: 10 min / 5 s = 120
-    // windows): the model predicts the *max* rate over that span.
-    const auto wp_windows = static_cast<std::size_t>(std::max(
-        1.0, params_.rm.predict_window_ms / sampler_.window_ms()));
-    params_.train.horizon = wp_windows;
-
-    // Short traces cannot fill the default feature/horizon spans; shrink
-    // both so the 60% training split still yields examples.
-    const auto windows = static_cast<std::size_t>(
-        to_seconds(params_.trace.duration_ms()) / to_seconds(sampler_.window_ms()));
-    const auto cut =
-        static_cast<std::size_t>(params_.train_fraction * static_cast<double>(windows));
-    if (cut < params_.train.input_window + params_.train.horizon + 8) {
-      params_.train.input_window = std::min<std::size_t>(
-          params_.train.input_window, std::max<std::size_t>(2, cut / 4));
-      const std::size_t rest = cut > params_.train.input_window + 8
-                                   ? cut - params_.train.input_window - 8
-                                   : 2;
-      params_.train.horizon = std::max<std::size_t>(2, std::min(wp_windows, rest));
-    }
-    predictor_ = make_predictor(params_.rm.predictor, params_.train);
   }
 }
 
@@ -114,37 +96,10 @@ StageState& FiferFramework::stage_of(const std::string& name) {
   return it->second;
 }
 
-double FiferFramework::lsf_key(const Job& job, std::size_t stage_index) const {
-  // Remaining slack = deadline - now - remaining busy time. `now` is shared
-  // by every queued task, so ordering by (deadline - remaining busy) is
-  // equivalent and stays valid as time passes.
-  return job.deadline() -
-         profiles_.app(job.app->name).suffix_busy_ms[stage_index];
-}
-
 ExperimentResult FiferFramework::run() {
-  // --- offline steps: predictor pre-training (paper trains on 60% of the
-  // trace), static pools for SBatch. ---
-  predictor_ready_ = predictor_ != nullptr;
-  if (predictor_ && predictor_->needs_training()) {
-    const auto windows = windowed_max(
-        params_.trace.rates(),
-        static_cast<std::size_t>(std::max(1.0, to_seconds(sampler_.window_ms()))));
-    const auto cut = static_cast<std::size_t>(params_.train_fraction *
-                                              static_cast<double>(windows.size()));
-    if (cut >= params_.train.input_window + params_.train.horizon + 1) {
-      const std::vector<double> train_set(
-          windows.begin(), windows.begin() + static_cast<std::ptrdiff_t>(cut));
-      predictor_->train(train_set);
-    } else {
-      // Trace too short to pre-train anything: run purely reactive until
-      // online retraining (if enabled) accumulates enough history.
-      predictor_ready_ = false;
-    }
-  }
-  if (params_.rm.scaling == ScalingMode::kStatic) {
-    provision_static_pools();
-  }
+  // --- offline steps, delegated to the scaler: predictor pre-training
+  // (paper trains on 60% of the trace), static pools for SBatch. ---
+  engine_.scaler->on_start(*this);
 
   // --- arrival plan; fed lazily so the event queue stays small. ---
   Rng arrival_rng = rng_.split(0xA221);
@@ -170,38 +125,12 @@ ExperimentResult FiferFramework::run() {
     end_of_arrivals_ = arrivals.back().time;
   }
 
-  // --- periodic machinery: the load monitor (Algorithm 1a), the proactive
-  // predictor (Algorithm 1e), and housekeeping (reaper / power / timeline).
-  if (params_.rm.scaling == ScalingMode::kReactive) {
-    sim_.every(params_.rm.reactive_interval_ms, [this](SimTime) { reactive_tick(); });
-  } else if (params_.rm.scaling == ScalingMode::kUtilization) {
-    sim_.every(params_.rm.reactive_interval_ms, [this](SimTime) { hpa_tick(); });
-  }
-  if (predictor_) {
-    sim_.every(params_.rm.predict_interval_ms, [this](SimTime) { proactive_tick(); });
-  }
-  if (predictor_ && predictor_->needs_training() &&
-      params_.rm.retrain_interval_ms > 0.0) {
-    // Log each completed arrival window, and periodically re-fit the model
-    // on what the deployment has actually seen (background retraining).
-    sim_.every(sampler_.window_ms(), [this](SimTime now) {
-      const auto rates = sampler_.window_rates(now);
-      if (rates.size() >= 2) rate_log_.push_back(rates[rates.size() - 2]);
-    });
-    sim_.every(params_.rm.retrain_interval_ms, [this](SimTime) {
-      const std::size_t need =
-          params_.train.input_window + params_.train.horizon + 8;
-      if (rate_log_.size() < need) return;
-      // Cap the window so retraining cost stays bounded on long runs.
-      constexpr std::size_t kMaxHistory = 4096;
-      const std::size_t begin =
-          rate_log_.size() > kMaxHistory ? rate_log_.size() - kMaxHistory : 0;
-      predictor_->train(std::vector<double>(
-          rate_log_.begin() + static_cast<std::ptrdiff_t>(begin), rate_log_.end()));
-      ++retrain_count_;
-      predictor_ready_ = true;
-    });
-  }
+  // --- periodic machinery: the scaler registers its load monitor
+  // (Algorithm 1a), proactive predictor (Algorithm 1e), and retraining
+  // ticks; housekeeping (reaper / power / timeline) follows. Registration
+  // order is part of the determinism contract (same-time events fire in
+  // registration order).
+  engine_.scaler->install(*this);
   sim_.every(params_.housekeeping_interval_ms,
              [this](SimTime) { housekeeping_tick(); });
 
@@ -224,7 +153,7 @@ ExperimentResult FiferFramework::run() {
   result.trace = params_.trace_name;
   result.bus_transitions = bus_.total_transitions();
   result.bus_peak_congestion = bus_.peak_congestion();
-  result.predictor_retrains = retrain_count_;
+  result.predictor_retrains = engine_.scaler->predictor_retrains();
   return result;
 }
 
@@ -279,17 +208,16 @@ void FiferFramework::enqueue_task(Job& job, std::size_t stage_index) {
   StageState& st = stage_of(job.app->stages[stage_index]);
   StageRecord& rec = job.records[stage_index];
   rec.enqueued = sim_.now();
-  st.enqueue(TaskRef{&job, stage_index}, lsf_key(job, stage_index));
+  st.enqueue(TaskRef{&job, stage_index},
+             engine_.scheduler->priority_key(*this, job, stage_index));
 
-  if (params_.rm.scaling == ScalingMode::kPerRequest) {
-    ensure_capacity_per_request(st);
-  }
+  engine_.scaler->on_arrival(*this, st);
   dispatch_stage(st);
 }
 
 void FiferFramework::dispatch_stage(StageState& st) {
   while (!st.queue_empty()) {
-    Container* c = st.select_container();
+    Container* c = engine_.placer->select_container(st);
     if (c == nullptr) break;  // No free slot anywhere; scaling will react.
     TaskRef task = st.pop_next();
     task.record().dispatched = sim_.now();
@@ -353,10 +281,10 @@ void FiferFramework::finish_task(StageState& st, Container& c, TaskRef task) {
 Container* FiferFramework::spawn_container(StageState& st) {
   const MicroserviceSpec& spec = services_.at(st.name());
   auto node = cluster_.allocate(spec.cpu_cores, spec.memory_mb,
-                                params_.rm.node_selection, sim_.now());
+                                engine_.placer->node_selection(), sim_.now());
   if (!node && params_.rm.enable_reclamation && reclaim_idle_capacity()) {
     node = cluster_.allocate(spec.cpu_cores, spec.memory_mb,
-                             params_.rm.node_selection, sim_.now());
+                             engine_.placer->node_selection(), sim_.now());
   }
   if (!node) {
     metrics_.on_spawn_failure(st.name());
@@ -372,6 +300,17 @@ Container* FiferFramework::spawn_container(StageState& st) {
   StageState* stp = &st;
   sim_.after(cold, [this, stp, id] { on_container_ready(*stp, id); });
   return &c;
+}
+
+void FiferFramework::terminate_container(StageState& st, Container& c) {
+  const MicroserviceSpec& spec = services_.at(st.name());
+  cluster_.release(c.node(), spec.cpu_cores, spec.memory_mb, sim_.now());
+  c.terminate(sim_.now());
+}
+
+void FiferFramework::every(SimDuration period_ms,
+                           std::function<void(SimTime)> cb) {
+  sim_.every(period_ms, std::move(cb));
 }
 
 void FiferFramework::on_container_ready(StageState& st, ContainerId id) {
@@ -398,208 +337,23 @@ bool FiferFramework::reclaim_idle_capacity() {
     }
   }
   if (victim == nullptr) return false;
-  const MicroserviceSpec& spec = services_.at(victim_stage->name());
-  cluster_.release(victim->node(), spec.cpu_cores, spec.memory_mb, sim_.now());
-  victim->terminate(sim_.now());
+  terminate_container(*victim_stage, *victim);
   victim_stage->erase_terminated();
   return true;
 }
 
 void FiferFramework::reap_idle_containers() {
-  if (params_.rm.scaling == ScalingMode::kStatic) return;  // fixed pool
+  if (!engine_.scaler->reaps_idle()) return;  // fixed pool
   for (auto& [name, st] : stages_) {
     auto live = static_cast<int>(st.live_count());
     for (Container* c : st.live_containers()) {
       if (live <= st.keep_warm_floor()) break;  // proactive target holds
       if (c->idle_expired(sim_.now(), params_.rm.idle_timeout_ms)) {
-        const MicroserviceSpec& spec = services_.at(name);
-        cluster_.release(c->node(), spec.cpu_cores, spec.memory_mb, sim_.now());
-        c->terminate(sim_.now());
+        terminate_container(st, *c);
         --live;
       }
     }
     st.erase_terminated();
-  }
-}
-
-// ------------------------------------------------- load balancing (Alg. 1)
-
-void FiferFramework::ensure_capacity_per_request(StageState& st) {
-  // Bline semantics: a request that finds no free slot triggers a brand-new
-  // container (paper §3). Containers already cold-starting count as future
-  // supply so one backlog is not answered with two fleets.
-  const int supply = st.warm_free_slots() + st.provisioning_slots();
-  int need = static_cast<int>(st.queue_length()) - supply;
-  while (need-- > 0) {
-    if (spawn_container(st) == nullptr) break;
-  }
-}
-
-void FiferFramework::reactive_tick() {
-  for (auto& [name, st] : stages_) {
-    // Calculate_Delay over the last 10 s of scheduled jobs, combined with
-    // the delay the *current* backlog implies.
-    const SimDuration observed = st.recent_mean_wait_ms(sim_.now(), seconds(10.0));
-    const std::size_t servers = std::max<std::size_t>(1, st.live_count());
-    const SimDuration projected = static_cast<double>(st.queue_length()) *
-                                  st.profile().exec_ms /
-                                  static_cast<double>(servers);
-    const SimDuration delay = std::max(observed, projected);
-    if (delay >= st.profile().slack_ms) {
-      // Doubling-rule burst cap: one tick may at most grow the fleet by
-      // reactive_burst_factor x its current size (floor 4) — pod creation
-      // is throttled in any real orchestrator.
-      const int cap = std::max(
-          4, static_cast<int>(params_.rm.reactive_burst_factor *
-                              static_cast<double>(st.live_count())));
-      const int wanted = std::min(estimate_containers(st), cap);
-      for (int i = 0; i < wanted; ++i) {
-        if (spawn_container(st) == nullptr) break;
-      }
-    }
-  }
-}
-
-int FiferFramework::estimate_containers(const StageState& st) const {
-  // Algorithm 1b. PQ_len pending requests, each budgeted S_r = slack + exec;
-  // existing capacity is containers x batch size. Spawning is only worth it
-  // when the queue's projected delay exceeds a cold start.
-  const auto pq_len = static_cast<double>(st.queue_length());
-  if (pq_len <= 0.0) return 0;
-  const double total_delay = pq_len * st.profile().response_budget_ms();
-  const int capacity = st.total_capacity();
-  const double cold = params_.cold_start.mean_cold_start_ms(services_.at(st.name()));
-  if (capacity > 0) {
-    const double delay_factor = total_delay / static_cast<double>(capacity);
-    if (delay_factor < cold) return 0;  // queuing beats cold-starting
-  }
-  const double deficit = pq_len - static_cast<double>(capacity);
-  if (deficit <= 0.0) return 0;
-  return static_cast<int>(
-      std::ceil(deficit / static_cast<double>(st.profile().batch)));
-}
-
-void FiferFramework::hpa_tick() {
-  // Kubernetes HPA semantics: desired = ceil(live * observed/target), with
-  // the change clamped to a doubling (up) or halving (down) per period, a
-  // floor of 1 while the stage is receiving work, and scale-down realized
-  // by terminating idle containers.
-  for (auto& [name, st] : stages_) {
-    const auto live = static_cast<int>(st.live_count());
-    if (live == 0) {
-      if (st.queue_length() > 0 && spawn_container(st) == nullptr) {
-        // Cluster full; retried next period.
-      }
-      continue;
-    }
-    int busy = 0;
-    for (Container* c : st.live_containers()) busy += c->executing() ? 1 : 0;
-    const double utilization = static_cast<double>(busy) / live;
-    int desired = static_cast<int>(
-        std::ceil(live * utilization / params_.rm.hpa_target));
-    // A standing backlog means utilization saturated at 1.0 understates
-    // demand; HPA-with-queue-metrics adds the queue as pending pods.
-    desired += static_cast<int>(st.queue_length()) > 0 ? 1 : 0;
-    desired = std::clamp(desired, std::max(1, live / 2), 2 * live);
-
-    if (desired > live) {
-      for (int i = live; i < desired; ++i) {
-        if (spawn_container(st) == nullptr) break;
-      }
-    } else if (desired < live) {
-      int to_remove = live - desired;
-      for (Container* c : st.live_containers()) {
-        if (to_remove == 0) break;
-        if (c->state() != ContainerState::kIdle || c->queued() > 0) continue;
-        const MicroserviceSpec& spec = services_.at(name);
-        cluster_.release(c->node(), spec.cpu_cores, spec.memory_mb, sim_.now());
-        c->terminate(sim_.now());
-        --to_remove;
-      }
-      st.erase_terminated();
-    }
-  }
-}
-
-void FiferFramework::proactive_tick() {
-  if (!predictor_ready_) return;
-  // Ablation hook: the oracle predictor is fed the true future max over the
-  // prediction window Wp straight from the trace — the perfect-forecast
-  // upper bound on what proactive provisioning can achieve.
-  if (auto* oracle = dynamic_cast<OraclePredictor*>(predictor_.get())) {
-    double truth = 0.0;
-    for (SimTime t = sim_.now(); t <= sim_.now() + params_.rm.predict_window_ms;
-         t += seconds(1.0)) {
-      truth = std::max(truth, params_.trace.rate_at(t));
-    }
-    oracle->set_truth(truth);
-  }
-  const std::vector<double> rates = sampler_.window_rates(sim_.now());
-  const double forecast_rps = predictor_->forecast(rates);
-  if (forecast_rps <= 0.0) return;
-
-  for (auto& [name, st] : stages_) {
-    // Fraction of arriving jobs whose chain includes this stage.
-    double hit = 0.0, total = 0.0;
-    for (const auto& e : params_.mix.entries()) {
-      total += e.weight;
-      const auto& chain_stages = apps_.at(e.app).stages;
-      if (std::find(chain_stages.begin(), chain_stages.end(), name) !=
-          chain_stages.end()) {
-        hit += e.weight;
-      }
-    }
-    const double stage_rps = forecast_rps * (total > 0.0 ? hit / total : 0.0);
-    if (stage_rps <= 0.0) continue;
-
-    // Slot sizing in Algorithm 1e's units: the requests expected in flight
-    // during one stage response window S_r must fit in the fleet's slots
-    // (containers x batch size); headroom absorbs jitter. Non-batching
-    // policies (BPred) may not hold requests in queues, so their in-flight
-    // window is the bare execution time — pre-warming to expected
-    // concurrency without inflating a standing idle pool.
-    const double window_ms = params_.rm.batching
-                                 ? st.profile().response_budget_ms()
-                                 : st.profile().exec_ms;
-    const double in_flight = stage_rps * window_ms / 1000.0;
-    const int needed = static_cast<int>(
-        std::ceil(in_flight * params_.rm.headroom /
-                  static_cast<double>(st.profile().batch)));
-    st.set_keep_warm_floor(needed);
-    const int current = static_cast<int>(st.live_count());
-    for (int i = current; i < needed; ++i) {
-      if (spawn_container(st) == nullptr) break;
-    }
-  }
-}
-
-void FiferFramework::provision_static_pools() {
-  const double avg_rps = params_.trace.average_rate();
-  for (auto& [name, st] : stages_) {
-    double hit = 0.0, total = 0.0;
-    for (const auto& e : params_.mix.entries()) {
-      total += e.weight;
-      const auto& chain_stages = apps_.at(e.app).stages;
-      if (std::find(chain_stages.begin(), chain_stages.end(), name) !=
-          chain_stages.end()) {
-        hit += e.weight;
-      }
-    }
-    const double stage_rps = avg_rps * (total > 0.0 ? hit / total : 0.0);
-    int n = params_.rm.static_containers_per_stage;
-    if (n <= 0) {
-      // Same slot sizing as the proactive policy, anchored to the trace
-      // average (the paper sizes SBatch "based on the average arrival rates
-      // of the workload traces").
-      const double in_flight =
-          stage_rps * st.profile().response_budget_ms() / 1000.0;
-      n = std::max(1, static_cast<int>(
-                          std::ceil(in_flight * params_.rm.headroom /
-                                    static_cast<double>(st.profile().batch))));
-    }
-    for (int i = 0; i < n; ++i) {
-      if (spawn_container(st) == nullptr) break;
-    }
   }
 }
 
@@ -633,16 +387,7 @@ void FiferFramework::housekeeping_tick() {
   for (auto& [name, st] : stages_) {
     if (st.queue_length() > 0 &&
         st.warm_free_slots() + st.provisioning_slots() == 0) {
-      if (params_.rm.scaling == ScalingMode::kPerRequest) {
-        ensure_capacity_per_request(st);
-      } else if (params_.rm.scaling == ScalingMode::kReactive) {
-        const int wanted = std::max(1, estimate_containers(st));
-        for (int i = 0; i < wanted; ++i) {
-          if (spawn_container(st) == nullptr) break;
-        }
-      } else if (params_.rm.scaling == ScalingMode::kUtilization) {
-        (void)spawn_container(st);
-      }
+      engine_.scaler->on_starved(*this, st);
     }
   }
 

@@ -8,63 +8,37 @@
 #include <vector>
 
 #include "cluster/cluster.hpp"
-#include "cluster/coldstart.hpp"
 #include "cluster/event_bus.hpp"
 #include "common/rng.hpp"
 #include "core/app_profile.hpp"
+#include "core/experiment_params.hpp"
 #include "core/metrics.hpp"
+#include "core/policy/policy_context.hpp"
+#include "core/policy/policy_engine.hpp"
 #include "core/rm_config.hpp"
 #include "core/stage.hpp"
-#include "predict/predictor.hpp"
 #include "predict/window.hpp"
 #include "sim/simulation.hpp"
 #include "workload/arrival.hpp"
-#include "workload/mix.hpp"
 
 namespace fifer {
 
-/// Parameters of one simulated experiment run.
-struct ExperimentParams {
-  RmConfig rm = RmConfig::fifer();
-  WorkloadMix mix = WorkloadMix::heavy();
-  /// Service profiles and application chains; default to the paper's
-  /// Table 3 / Table 4. Replace (or extend) both to run custom apps.
-  MicroserviceRegistry services = MicroserviceRegistry::djinn_tonic();
-  ApplicationRegistry applications = ApplicationRegistry::paper_chains();
-  RateTrace trace;                  ///< Arrival-rate trace driving the run.
-  std::string trace_name = "trace";
-  ClusterSpec cluster;              ///< Defaults to the 80-core prototype.
-  ColdStartModel cold_start;
-  EventBusModel bus;                ///< Function-transition fabric.
-  TrainConfig train;                ///< For ML predictors (Fifer's LSTM).
-  /// Fraction of the trace used to pre-train ML predictors (paper: 60%).
-  double train_fraction = 0.6;
-  std::uint64_t seed = 1;
-  /// Jobs arriving before this time are excluded from metrics.
-  SimDuration warmup_ms = 0.0;
-  /// Std-dev of per-request input-size scaling (0 = fixed-size inputs).
-  /// Execution times scale linearly with input size (paper §2.2.2), so this
-  /// is what makes batch occupancy overrun slack occasionally — the source
-  /// of the marginal SLO violations batching RMs exhibit.
-  double input_scale_jitter = 0.0;
-  /// Timeline / reaper / power sweep cadence.
-  SimDuration housekeeping_interval_ms = seconds(10.0);
-  /// When non-empty, a JSONL lifecycle trace is written here: one line per
-  /// completed job (with per-stage timings) and per container spawn.
-  std::string trace_log_path;
-};
-
 /// The Fifer runtime: an event-driven replica of the paper's Brigade-on-
-/// Kubernetes prototype (Figure 5). It owns the simulation clock, the
-/// cluster, per-stage state (global queue + containers + load monitor), the
-/// load balancer (reactive + proactive scaling), and the metrics collector.
+/// Kubernetes prototype (Figure 5). The framework is the *substrate* — it
+/// owns the simulation clock, the cluster, per-stage state (global queue +
+/// containers + load monitor), and the metrics collector, and moves
+/// requests through their chains. Every resource-management *decision*
+/// (fleet sizing, queue order, placement, batch sizing) is delegated to the
+/// PolicyEngine strategies assembled from `params.rm` (or a custom
+/// `params.policy_factory`), which the framework drives through the
+/// PolicyContext hooks it implements.
 ///
 /// One instance runs one experiment:
 ///
 ///   ExperimentParams p;
 ///   p.trace = poisson_trace(300, 50);
 ///   ExperimentResult r = FiferFramework(p).run();
-class FiferFramework {
+class FiferFramework : public PolicyContext {
  public:
   explicit FiferFramework(ExperimentParams params);
 
@@ -72,9 +46,21 @@ class FiferFramework {
   ExperimentResult run();
 
   // --- introspection (used by tests) ---
-  const ProfileBook& profiles() const { return profiles_; }
+  const ProfileBook& profiles() const override { return profiles_; }
   const Cluster& cluster() const { return cluster_; }
   const std::map<std::string, StageState>& stages() const { return stages_; }
+  const PolicyEngine& engine() const { return engine_; }
+
+  // --- PolicyContext view (called by the policy strategies) ---
+  SimTime now() const override { return sim_.now(); }
+  const ExperimentParams& params() const override { return params_; }
+  std::map<std::string, StageState>& stages() override { return stages_; }
+  const MicroserviceRegistry& services() const override { return services_; }
+  const ApplicationRegistry& apps() const override { return apps_; }
+  const WindowSampler& sampler() const override { return sampler_; }
+  Container* spawn_container(StageState& st) override;
+  void terminate_container(StageState& st, Container& c) override;
+  void every(SimDuration period_ms, std::function<void(SimTime)> cb) override;
 
  private:
   // Workload path.
@@ -88,7 +74,6 @@ class FiferFramework {
   void finish_task(StageState& st, Container& c, TaskRef task);
 
   // Container lifecycle.
-  Container* spawn_container(StageState& st);
   /// Frees the least-recently-used idle container of a non-backlogged stage
   /// to make room when the cluster is full (serverless platforms reclaim
   /// idle instances under capacity pressure). Returns true if one was
@@ -97,20 +82,11 @@ class FiferFramework {
   void on_container_ready(StageState& st, ContainerId id);
   void reap_idle_containers();
 
-  // Load balancing (Algorithm 1).
-  void reactive_tick();
-  int estimate_containers(const StageState& st) const;  ///< Algorithm 1b.
-  void hpa_tick();  ///< kUtilization: Kubernetes-HPA-style scaling.
-  void proactive_tick();
-  void ensure_capacity_per_request(StageState& st);     ///< Bline spawning.
-  void provision_static_pools();                        ///< SBatch at t=0.
-
   void housekeeping_tick();
   /// Asserts arrived = completed + resident-in-stages + in-transition; see
   /// the definition for the precise accounting.
   void check_request_conservation() const;
 
-  double lsf_key(const Job& job, std::size_t stage_index) const;
   StageState& stage_of(const std::string& name);
   void complete_job(Job& job);
   void log_job(const Job& job);
@@ -121,23 +97,19 @@ class FiferFramework {
   Cluster cluster_;
   MicroserviceRegistry services_;
   ApplicationRegistry apps_;
+  /// The assembled policy strategies; must precede profiles_ (the batch
+  /// sizer shapes the stage profiles).
+  PolicyEngine engine_;
   ProfileBook profiles_;
   std::map<std::string, StageState> stages_;
   MetricsCollector metrics_;
   Rng rng_;
 
   WindowSampler sampler_;
-  std::unique_ptr<LoadPredictor> predictor_;
-  /// False until the model has been (pre- or re-)trained; proactive ticks
-  /// stand down while the predictor cannot forecast.
-  bool predictor_ready_ = false;
   EventBus bus_;
 
   std::deque<Job> jobs_;
   std::ofstream trace_log_;
-  /// Observed per-Ws-window arrival rates, for online retraining.
-  std::vector<double> rate_log_;
-  std::uint64_t retrain_count_ = 0;
   std::uint64_t completed_jobs_ = 0;
   std::uint64_t next_job_id_ = 0;
   std::uint64_t next_container_id_ = 0;

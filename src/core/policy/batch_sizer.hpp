@@ -1,0 +1,64 @@
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/slack.hpp"
+#include "workload/application.hpp"
+#include "workload/microservice.hpp"
+
+namespace fifer {
+
+/// Turns an application chain's end-to-end slack into per-stage slack and
+/// container batch slots (paper §3 / §4.1). ProfileBook consults this once,
+/// offline, when it builds the stage profiles.
+class BatchSizer {
+ public:
+  /// `batching` false yields one slot per container (Bline/BPred/HPA)
+  /// while keeping the slack allocation — LSF and the reactive estimator
+  /// still need per-stage slack even when requests are not batched.
+  explicit BatchSizer(bool batching) : batching_(batching) {}
+  virtual ~BatchSizer() = default;
+
+  virtual const char* name() const = 0;
+  virtual SlackPolicy slack_policy() const = 0;
+
+  /// Per-stage slack (ms) for `app` under this sizer's division rule.
+  std::vector<SimDuration> allocate_slack(const ApplicationChain& app,
+                                          const MicroserviceRegistry& services) const {
+    return fifer::allocate_slack(app, services, slack_policy());
+  }
+
+  /// Per-stage B_size: Stage_Slack / Stage_Exec_Time clamped to [1, cap],
+  /// or all-ones when batching is off.
+  std::vector<int> stage_batches(const ApplicationChain& app,
+                                 const MicroserviceRegistry& services,
+                                 int cap) const {
+    if (!batching_) return std::vector<int>(app.stages.size(), 1);
+    return fifer::batch_sizes(app, services, slack_policy(), cap);
+  }
+
+  bool batching() const { return batching_; }
+
+ private:
+  bool batching_;
+};
+
+/// Fifer's rule: slack proportional to each stage's share of the chain's
+/// execution time (yields near-uniform batch sizes across stages).
+class ProportionalBatchSizer final : public BatchSizer {
+ public:
+  using BatchSizer::BatchSizer;
+  const char* name() const override { return "slack-proportional"; }
+  SlackPolicy slack_policy() const override { return SlackPolicy::kProportional; }
+};
+
+/// The SBatch baseline: total slack split evenly across stages.
+class EqualDivisionBatchSizer final : public BatchSizer {
+ public:
+  using BatchSizer::BatchSizer;
+  const char* name() const override { return "equal-division"; }
+  SlackPolicy slack_policy() const override { return SlackPolicy::kEqualDivision; }
+};
+
+}  // namespace fifer

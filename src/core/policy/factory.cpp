@@ -1,0 +1,65 @@
+// RmConfig -> PolicyEngine assembly. Lives in policy/ (not rm_config.cpp)
+// so the config type stays a plain data bag with no strategy dependencies.
+
+#include <stdexcept>
+
+#include "core/experiment_params.hpp"
+#include "core/policy/batch_sizer.hpp"
+#include "core/policy/placer.hpp"
+#include "core/policy/policy_engine.hpp"
+#include "core/policy/proactive.hpp"
+#include "core/policy/scaler.hpp"
+#include "core/policy/scheduler.hpp"
+
+namespace fifer {
+
+PolicyEngine::PolicyEngine() = default;
+PolicyEngine::PolicyEngine(PolicyEngine&&) noexcept = default;
+PolicyEngine& PolicyEngine::operator=(PolicyEngine&&) noexcept = default;
+PolicyEngine::~PolicyEngine() = default;
+
+namespace {
+
+std::unique_ptr<Scaler> make_base_scaler(ScalingMode mode) {
+  switch (mode) {
+    case ScalingMode::kPerRequest: return std::make_unique<PerRequestScaler>();
+    case ScalingMode::kStatic: return std::make_unique<StaticScaler>();
+    case ScalingMode::kReactive: return std::make_unique<ReactiveScaler>();
+    case ScalingMode::kUtilization: return std::make_unique<UtilizationScaler>();
+  }
+  throw std::invalid_argument("unknown ScalingMode");
+}
+
+}  // namespace
+
+PolicyEngine RmConfig::assemble(ExperimentParams& params) const {
+  PolicyEngine engine;
+
+  engine.scheduler = scheduler == SchedulerPolicy::kFifo
+                         ? std::unique_ptr<Scheduler>(std::make_unique<FifoScheduler>())
+                         : std::make_unique<LsfScheduler>();
+
+  engine.placer = node_selection == NodeSelection::kSpread
+                      ? std::unique_ptr<Placer>(std::make_unique<SpreadPlacer>())
+                      : std::make_unique<BinPackPlacer>();
+
+  engine.batch_sizer =
+      slack_policy == SlackPolicy::kEqualDivision
+          ? std::unique_ptr<BatchSizer>(
+                std::make_unique<EqualDivisionBatchSizer>(batching))
+          : std::make_unique<ProportionalBatchSizer>(batching);
+
+  engine.scaler = make_base_scaler(scaling);
+  if (proactive()) {
+    engine.scaler =
+        std::make_unique<ProactiveScaler>(params, std::move(engine.scaler));
+  }
+  return engine;
+}
+
+PolicyEngine assemble_policy_engine(ExperimentParams& params) {
+  if (params.policy_factory) return params.policy_factory(params);
+  return params.rm.assemble(params);
+}
+
+}  // namespace fifer

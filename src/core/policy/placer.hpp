@@ -1,0 +1,42 @@
+#pragma once
+
+#include "cluster/cluster.hpp"
+#include "core/policy/policy_context.hpp"
+
+namespace fifer {
+
+/// Placement strategy: which node a new container lands on and which warm
+/// container a queued task binds to (paper §4.4.1).
+class Placer {
+ public:
+  virtual ~Placer() = default;
+  virtual const char* name() const = 0;
+  /// Node-selection mode handed to Cluster::allocate for new containers.
+  virtual NodeSelection node_selection() const = 0;
+  /// Picks the container a task is bound to, or nullptr to leave it queued.
+  /// Default: the greedy rule both placements share — among *warm*
+  /// containers with a free slot, the one with the fewest free slots
+  /// (encourages early scale-in of lightly loaded containers). Tasks are
+  /// never bound to still-provisioning containers; they stay in the global
+  /// queue and are pulled when the cold start finishes.
+  virtual Container* select_container(StageState& st) const {
+    return st.select_container();
+  }
+};
+
+/// Kubernetes-default spreading (Bline/BPred/HPA).
+class SpreadPlacer final : public Placer {
+ public:
+  const char* name() const override { return "spread"; }
+  NodeSelection node_selection() const override { return NodeSelection::kSpread; }
+};
+
+/// The paper's modified MostRequestedPriority greedy bin-packing
+/// (SBatch/RScale/Fifer) — drives the Fig 15 energy difference.
+class BinPackPlacer final : public Placer {
+ public:
+  const char* name() const override { return "bin-pack"; }
+  NodeSelection node_selection() const override { return NodeSelection::kBinPack; }
+};
+
+}  // namespace fifer

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <memory>
+
+namespace fifer {
+
+class Scaler;
+class Scheduler;
+class Placer;
+class BatchSizer;
+struct ExperimentParams;
+
+/// The assembled strategy bundle one experiment runs under: who decides
+/// fleet size (Scaler), queue order (Scheduler), where containers and tasks
+/// land (Placer), and how slack turns into batch slots (BatchSizer). The
+/// framework owns the engine and calls the strategies through the
+/// `PolicyContext` view; `RmConfig::assemble` (or a custom
+/// `ExperimentParams::policy_factory`) builds it.
+struct PolicyEngine {
+  PolicyEngine();
+  PolicyEngine(PolicyEngine&&) noexcept;
+  PolicyEngine& operator=(PolicyEngine&&) noexcept;
+  ~PolicyEngine();
+
+  std::unique_ptr<Scaler> scaler;
+  std::unique_ptr<Scheduler> scheduler;
+  std::unique_ptr<Placer> placer;
+  std::unique_ptr<BatchSizer> batch_sizer;
+};
+
+/// Builds the engine `params.rm` describes. Proactive policies may shrink
+/// `params.train` spans so short traces still yield training examples
+/// (which is why `params` is mutable).
+PolicyEngine assemble_policy_engine(ExperimentParams& params);
+
+}  // namespace fifer

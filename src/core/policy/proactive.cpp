@@ -1,0 +1,145 @@
+#include "core/policy/proactive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/app_profile.hpp"
+#include "core/experiment_params.hpp"
+#include "predict/classic.hpp"
+#include "predict/window.hpp"
+
+namespace fifer {
+
+ProactiveScaler::ProactiveScaler(ExperimentParams& params,
+                                 std::unique_ptr<Scaler> inner)
+    : inner_(std::move(inner)) {
+  // Forecast target horizon = Wp in windows (paper: 10 min / 5 s = 120
+  // windows): the model predicts the *max* rate over that span.
+  const SimDuration window_ms = WindowSampler().window_ms();
+  const auto wp_windows = static_cast<std::size_t>(
+      std::max(1.0, params.rm.predict_window_ms / window_ms));
+  params.train.horizon = wp_windows;
+
+  // Short traces cannot fill the default feature/horizon spans; shrink
+  // both so the 60% training split still yields examples.
+  const auto windows = static_cast<std::size_t>(
+      to_seconds(params.trace.duration_ms()) / to_seconds(window_ms));
+  const auto cut =
+      static_cast<std::size_t>(params.train_fraction * static_cast<double>(windows));
+  if (cut < params.train.input_window + params.train.horizon + 8) {
+    params.train.input_window = std::min<std::size_t>(
+        params.train.input_window, std::max<std::size_t>(2, cut / 4));
+    const std::size_t rest = cut > params.train.input_window + 8
+                                 ? cut - params.train.input_window - 8
+                                 : 2;
+    params.train.horizon = std::max<std::size_t>(2, std::min(wp_windows, rest));
+  }
+  predictor_ = make_predictor(params.rm.predictor, params.train);
+}
+
+void ProactiveScaler::on_start(PolicyContext& ctx) {
+  // Offline step: predictor pre-training on the trace prefix (paper trains
+  // on 60% of the trace).
+  const ExperimentParams& params = ctx.params();
+  predictor_ready_ = predictor_ != nullptr;
+  if (predictor_ && predictor_->needs_training()) {
+    const auto windows = windowed_max(
+        params.trace.rates(),
+        static_cast<std::size_t>(
+            std::max(1.0, to_seconds(ctx.sampler().window_ms()))));
+    const auto cut = static_cast<std::size_t>(params.train_fraction *
+                                              static_cast<double>(windows.size()));
+    if (cut >= params.train.input_window + params.train.horizon + 1) {
+      const std::vector<double> train_set(
+          windows.begin(), windows.begin() + static_cast<std::ptrdiff_t>(cut));
+      predictor_->train(train_set);
+    } else {
+      // Trace too short to pre-train anything: run purely reactive until
+      // online retraining (if enabled) accumulates enough history.
+      predictor_ready_ = false;
+    }
+  }
+  inner_->on_start(ctx);
+}
+
+void ProactiveScaler::install(PolicyContext& ctx) {
+  inner_->install(ctx);
+  ctx.every(ctx.params().rm.predict_interval_ms,
+            [this, &ctx](SimTime) { tick(ctx); });
+  if (predictor_ && predictor_->needs_training() &&
+      ctx.params().rm.retrain_interval_ms > 0.0) {
+    // Log each completed arrival window, and periodically re-fit the model
+    // on what the deployment has actually seen (background retraining).
+    ctx.every(ctx.sampler().window_ms(), [this, &ctx](SimTime now) {
+      const auto rates = ctx.sampler().window_rates(now);
+      if (rates.size() >= 2) rate_log_.push_back(rates[rates.size() - 2]);
+    });
+    ctx.every(ctx.params().rm.retrain_interval_ms, [this, &ctx](SimTime) {
+      const std::size_t need =
+          ctx.params().train.input_window + ctx.params().train.horizon + 8;
+      if (rate_log_.size() < need) return;
+      // Cap the window so retraining cost stays bounded on long runs.
+      constexpr std::size_t kMaxHistory = 4096;
+      const std::size_t begin =
+          rate_log_.size() > kMaxHistory ? rate_log_.size() - kMaxHistory : 0;
+      predictor_->train(std::vector<double>(
+          rate_log_.begin() + static_cast<std::ptrdiff_t>(begin), rate_log_.end()));
+      ++retrain_count_;
+      predictor_ready_ = true;
+    });
+  }
+}
+
+void ProactiveScaler::tick(PolicyContext& ctx) {
+  if (!predictor_ready_) return;
+  const ExperimentParams& params = ctx.params();
+  // Ablation hook: the oracle predictor is fed the true future max over the
+  // prediction window Wp straight from the trace — the perfect-forecast
+  // upper bound on what proactive provisioning can achieve.
+  if (auto* oracle = dynamic_cast<OraclePredictor*>(predictor_.get())) {
+    double truth = 0.0;
+    for (SimTime t = ctx.now(); t <= ctx.now() + params.rm.predict_window_ms;
+         t += seconds(1.0)) {
+      truth = std::max(truth, params.trace.rate_at(t));
+    }
+    oracle->set_truth(truth);
+  }
+  const std::vector<double> rates = ctx.sampler().window_rates(ctx.now());
+  const double forecast_rps = predictor_->forecast(rates);
+  if (forecast_rps <= 0.0) return;
+
+  for (auto& [name, st] : ctx.stages()) {
+    // Fraction of arriving jobs whose chain includes this stage.
+    const double stage_rps = forecast_rps * stage_arrival_fraction(ctx, name);
+    if (stage_rps <= 0.0) continue;
+
+    // Slot sizing in Algorithm 1e's units: the requests expected in flight
+    // during one stage response window S_r must fit in the fleet's slots
+    // (containers x batch size); headroom absorbs jitter. Non-batching
+    // policies (BPred) may not hold requests in queues, so their in-flight
+    // window is the bare execution time — pre-warming to expected
+    // concurrency without inflating a standing idle pool.
+    const double window_ms = params.rm.batching
+                                 ? st.profile().response_budget_ms()
+                                 : st.profile().exec_ms;
+    const double in_flight = stage_rps * window_ms / 1000.0;
+    const int needed = static_cast<int>(
+        std::ceil(in_flight * params.rm.headroom /
+                  static_cast<double>(st.profile().batch)));
+    st.set_keep_warm_floor(needed);
+    const int current = static_cast<int>(st.live_count());
+    for (int i = current; i < needed; ++i) {
+      if (ctx.spawn_container(st) == nullptr) break;
+    }
+  }
+}
+
+void ProactiveScaler::on_arrival(PolicyContext& ctx, StageState& st) {
+  inner_->on_arrival(ctx, st);
+}
+
+void ProactiveScaler::on_starved(PolicyContext& ctx, StageState& st) {
+  inner_->on_starved(ctx, st);
+}
+
+}  // namespace fifer

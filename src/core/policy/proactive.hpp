@@ -1,0 +1,46 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/policy/scaler.hpp"
+#include "predict/predictor.hpp"
+
+namespace fifer {
+
+struct ExperimentParams;
+
+/// Proactive provisioning (Algorithm 1e) as a decorator: wraps the RM's
+/// base scaler (reactive for Fifer, per-request for BPred, ...) and adds a
+/// forecast-driven keep-warm floor. Owns the load predictor, its offline
+/// pre-training on the trace prefix (paper: 60%), and optional online
+/// background retraining on the observed arrival-rate log (§8).
+class ProactiveScaler final : public Scaler {
+ public:
+  /// Builds the predictor `params.rm.predictor` names. Sets the forecast
+  /// horizon to Wp in windows and shrinks the training spans when the
+  /// trace is too short to fill them (mutating `params.train`).
+  ProactiveScaler(ExperimentParams& params, std::unique_ptr<Scaler> inner);
+
+  const char* name() const override { return "proactive"; }
+  void install(PolicyContext& ctx) override;
+  void on_start(PolicyContext& ctx) override;
+  void on_arrival(PolicyContext& ctx, StageState& st) override;
+  void on_starved(PolicyContext& ctx, StageState& st) override;
+  bool reaps_idle() const override { return inner_->reaps_idle(); }
+  std::uint64_t predictor_retrains() const override { return retrain_count_; }
+
+ private:
+  void tick(PolicyContext& ctx);
+
+  std::unique_ptr<Scaler> inner_;
+  std::unique_ptr<LoadPredictor> predictor_;
+  /// False until the model has been (pre- or re-)trained; proactive ticks
+  /// stand down while the predictor cannot forecast.
+  bool predictor_ready_ = false;
+  /// Observed per-Ws-window arrival rates, for online retraining.
+  std::vector<double> rate_log_;
+  std::uint64_t retrain_count_ = 0;
+};
+
+}  // namespace fifer

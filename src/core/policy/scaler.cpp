@@ -1,0 +1,175 @@
+#include "core/policy/scaler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/app_profile.hpp"
+#include "core/experiment_params.hpp"
+
+namespace fifer {
+
+double stage_arrival_fraction(const PolicyContext& ctx, const std::string& stage) {
+  double hit = 0.0, total = 0.0;
+  for (const auto& e : ctx.params().mix.entries()) {
+    total += e.weight;
+    const auto& chain_stages = ctx.apps().at(e.app).stages;
+    if (std::find(chain_stages.begin(), chain_stages.end(), stage) !=
+        chain_stages.end()) {
+      hit += e.weight;
+    }
+  }
+  return total > 0.0 ? hit / total : 0.0;
+}
+
+// ---------------------------------------------------------------- PerRequest
+
+void PerRequestScaler::on_arrival(PolicyContext& ctx, StageState& st) {
+  // A request that finds no free slot triggers a brand-new container
+  // (paper §3). Containers already cold-starting count as future supply so
+  // one backlog is not answered with two fleets.
+  const int supply = st.warm_free_slots() + st.provisioning_slots();
+  int need = static_cast<int>(st.queue_length()) - supply;
+  while (need-- > 0) {
+    if (ctx.spawn_container(st) == nullptr) break;
+  }
+}
+
+void PerRequestScaler::on_starved(PolicyContext& ctx, StageState& st) {
+  on_arrival(ctx, st);
+}
+
+// -------------------------------------------------------------------- Static
+
+void StaticScaler::on_start(PolicyContext& ctx) {
+  const double avg_rps = ctx.params().trace.average_rate();
+  for (auto& [name, st] : ctx.stages()) {
+    const double stage_rps = avg_rps * stage_arrival_fraction(ctx, name);
+    int n = ctx.params().rm.static_containers_per_stage;
+    if (n <= 0) {
+      // Same slot sizing as the proactive policy, anchored to the trace
+      // average (the paper sizes SBatch "based on the average arrival rates
+      // of the workload traces").
+      const double in_flight =
+          stage_rps * st.profile().response_budget_ms() / 1000.0;
+      n = std::max(1, static_cast<int>(
+                          std::ceil(in_flight * ctx.params().rm.headroom /
+                                    static_cast<double>(st.profile().batch))));
+    }
+    for (int i = 0; i < n; ++i) {
+      if (ctx.spawn_container(st) == nullptr) break;
+    }
+  }
+}
+
+// ------------------------------------------------------------------ Reactive
+
+void ReactiveScaler::install(PolicyContext& ctx) {
+  ctx.every(ctx.params().rm.reactive_interval_ms,
+            [this, &ctx](SimTime) { tick(ctx); });
+}
+
+int ReactiveScaler::estimate_containers(const PolicyContext& ctx,
+                                        const StageState& st) {
+  // Algorithm 1b. PQ_len pending requests, each budgeted S_r = slack + exec;
+  // existing capacity is containers x batch size. Spawning is only worth it
+  // when the queue's projected delay exceeds a cold start.
+  const auto pq_len = static_cast<double>(st.queue_length());
+  if (pq_len <= 0.0) return 0;
+  const double total_delay = pq_len * st.profile().response_budget_ms();
+  const int capacity = st.total_capacity();
+  const double cold = ctx.params().cold_start.mean_cold_start_ms(
+      ctx.services().at(st.name()));
+  if (capacity > 0) {
+    const double delay_factor = total_delay / static_cast<double>(capacity);
+    if (delay_factor < cold) return 0;  // queuing beats cold-starting
+  }
+  const double deficit = pq_len - static_cast<double>(capacity);
+  if (deficit <= 0.0) return 0;
+  return static_cast<int>(
+      std::ceil(deficit / static_cast<double>(st.profile().batch)));
+}
+
+void ReactiveScaler::tick(PolicyContext& ctx) {
+  for (auto& [name, st] : ctx.stages()) {
+    // Calculate_Delay over the last 10 s of scheduled jobs, combined with
+    // the delay the *current* backlog implies.
+    const SimDuration observed = st.recent_mean_wait_ms(ctx.now(), seconds(10.0));
+    const std::size_t servers = std::max<std::size_t>(1, st.live_count());
+    const SimDuration projected = static_cast<double>(st.queue_length()) *
+                                  st.profile().exec_ms /
+                                  static_cast<double>(servers);
+    const SimDuration delay = std::max(observed, projected);
+    if (delay >= st.profile().slack_ms) {
+      // Doubling-rule burst cap: one tick may at most grow the fleet by
+      // reactive_burst_factor x its current size (floor 4) — pod creation
+      // is throttled in any real orchestrator.
+      const int cap = std::max(
+          4, static_cast<int>(ctx.params().rm.reactive_burst_factor *
+                              static_cast<double>(st.live_count())));
+      const int wanted = std::min(estimate_containers(ctx, st), cap);
+      for (int i = 0; i < wanted; ++i) {
+        if (ctx.spawn_container(st) == nullptr) break;
+      }
+    }
+  }
+}
+
+void ReactiveScaler::on_starved(PolicyContext& ctx, StageState& st) {
+  const int wanted = std::max(1, estimate_containers(ctx, st));
+  for (int i = 0; i < wanted; ++i) {
+    if (ctx.spawn_container(st) == nullptr) break;
+  }
+}
+
+// --------------------------------------------------------------- Utilization
+
+void UtilizationScaler::install(PolicyContext& ctx) {
+  ctx.every(ctx.params().rm.reactive_interval_ms,
+            [this, &ctx](SimTime) { tick(ctx); });
+}
+
+void UtilizationScaler::tick(PolicyContext& ctx) {
+  // Kubernetes HPA semantics: desired = ceil(live * observed/target), with
+  // the change clamped to a doubling (up) or halving (down) per period, a
+  // floor of 1 while the stage is receiving work, and scale-down realized
+  // by terminating idle containers.
+  for (auto& [name, st] : ctx.stages()) {
+    const auto live = static_cast<int>(st.live_count());
+    if (live == 0) {
+      if (st.queue_length() > 0 && ctx.spawn_container(st) == nullptr) {
+        // Cluster full; retried next period.
+      }
+      continue;
+    }
+    int busy = 0;
+    for (Container* c : st.live_containers()) busy += c->executing() ? 1 : 0;
+    const double utilization = static_cast<double>(busy) / live;
+    int desired = static_cast<int>(
+        std::ceil(live * utilization / ctx.params().rm.hpa_target));
+    // A standing backlog means utilization saturated at 1.0 understates
+    // demand; HPA-with-queue-metrics adds the queue as pending pods.
+    desired += static_cast<int>(st.queue_length()) > 0 ? 1 : 0;
+    desired = std::clamp(desired, std::max(1, live / 2), 2 * live);
+
+    if (desired > live) {
+      for (int i = live; i < desired; ++i) {
+        if (ctx.spawn_container(st) == nullptr) break;
+      }
+    } else if (desired < live) {
+      int to_remove = live - desired;
+      for (Container* c : st.live_containers()) {
+        if (to_remove == 0) break;
+        if (c->state() != ContainerState::kIdle || c->queued() > 0) continue;
+        ctx.terminate_container(st, *c);
+        --to_remove;
+      }
+      st.erase_terminated();
+    }
+  }
+}
+
+void UtilizationScaler::on_starved(PolicyContext& ctx, StageState& st) {
+  (void)ctx.spawn_container(st);
+}
+
+}  // namespace fifer

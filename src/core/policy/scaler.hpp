@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/policy/policy_context.hpp"
+
+namespace fifer {
+
+/// Fleet-sizing strategy: decides when containers are spawned and (for
+/// scale-down-capable policies) terminated. One Scaler instance lives for
+/// one experiment; the framework drives it through four hooks:
+///
+///   install(ctx)       once, before the clock starts — register periodic
+///                      ticks (load monitor, predictor) via ctx.every().
+///   on_start(ctx)      once, at t = 0 — offline work (static pools,
+///                      predictor pre-training on the trace prefix).
+///   on_arrival(ctx,st) a task just entered st's global queue.
+///   on_starved(ctx,st) housekeeping found st backlogged with neither a
+///                      free warm slot nor a cold start in flight.
+class Scaler {
+ public:
+  virtual ~Scaler() = default;
+  virtual const char* name() const = 0;
+
+  virtual void install(PolicyContext& ctx) { (void)ctx; }
+  virtual void on_start(PolicyContext& ctx) { (void)ctx; }
+  virtual void on_arrival(PolicyContext& ctx, StageState& st) {
+    (void)ctx;
+    (void)st;
+  }
+  virtual void on_starved(PolicyContext& ctx, StageState& st) {
+    (void)ctx;
+    (void)st;
+  }
+
+  /// False for fixed-pool policies whose fleets the idle reaper must not
+  /// shrink (SBatch).
+  virtual bool reaps_idle() const { return true; }
+
+  /// Background-retraining count surfaced into ExperimentResult.
+  virtual std::uint64_t predictor_retrains() const { return 0; }
+};
+
+/// Bline/BPred semantics (paper §3): a request that finds no free slot
+/// triggers a brand-new container.
+class PerRequestScaler final : public Scaler {
+ public:
+  const char* name() const override { return "per-request"; }
+  void on_arrival(PolicyContext& ctx, StageState& st) override;
+  void on_starved(PolicyContext& ctx, StageState& st) override;
+};
+
+/// SBatch: a fixed pool per stage sized from the trace's average rate,
+/// provisioned at t = 0 and never scaled.
+class StaticScaler final : public Scaler {
+ public:
+  const char* name() const override { return "static"; }
+  void on_start(PolicyContext& ctx) override;
+  bool reaps_idle() const override { return false; }
+};
+
+/// RScale: Algorithm 1a/1b — a periodic load monitor spawns
+/// ceil(deficit / B_size) containers when the projected queueing delay
+/// exceeds the stage's slack (and a cold start is worth paying).
+class ReactiveScaler final : public Scaler {
+ public:
+  const char* name() const override { return "reactive"; }
+  void install(PolicyContext& ctx) override;
+  void on_starved(PolicyContext& ctx, StageState& st) override;
+
+ private:
+  void tick(PolicyContext& ctx);
+  /// Algorithm 1b's container estimate for a backlogged stage.
+  static int estimate_containers(const PolicyContext& ctx, const StageState& st);
+};
+
+/// Kubernetes-HPA-style utilization autoscaler (Knative/Fission class,
+/// paper §2.2.1): desired = ceil(live * observed/target), clamped to a
+/// doubling (up) or halving (down) per period, scale-down realized by
+/// terminating idle containers.
+class UtilizationScaler final : public Scaler {
+ public:
+  const char* name() const override { return "utilization-hpa"; }
+  void install(PolicyContext& ctx) override;
+  void on_starved(PolicyContext& ctx, StageState& st) override;
+
+ private:
+  void tick(PolicyContext& ctx);
+};
+
+}  // namespace fifer

@@ -1,0 +1,13 @@
+#include "core/policy/scheduler.hpp"
+
+#include "core/app_profile.hpp"
+
+namespace fifer {
+
+double LsfScheduler::priority_key(const PolicyContext& ctx, const Job& job,
+                                  std::size_t stage_index) const {
+  return job.deadline() -
+         ctx.profiles().app(job.app->name).suffix_busy_ms[stage_index];
+}
+
+}  // namespace fifer

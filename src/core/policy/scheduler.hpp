@@ -1,0 +1,47 @@
+#pragma once
+
+#include "core/policy/policy_context.hpp"
+#include "core/rm_config.hpp"
+#include "workload/request.hpp"
+
+namespace fifer {
+
+/// Queue-ordering strategy for stage global queues (paper §4.3). The
+/// scheduler computes the priority key a task is enqueued with; StageState
+/// pops the least key first (ties broken by arrival sequence).
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  virtual const char* name() const = 0;
+  /// The queue-ordering mode StageState is constructed with.
+  virtual SchedulerPolicy policy() const = 0;
+  /// Priority key for `job`'s task at `stage_index`. Smaller runs first.
+  virtual double priority_key(const PolicyContext& ctx, const Job& job,
+                              std::size_t stage_index) const = 0;
+};
+
+/// Arrival order: the key is ignored (StageState orders by sequence).
+class FifoScheduler final : public Scheduler {
+ public:
+  const char* name() const override { return "fifo"; }
+  SchedulerPolicy policy() const override { return SchedulerPolicy::kFifo; }
+  double priority_key(const PolicyContext&, const Job&,
+                      std::size_t) const override {
+    return 0.0;
+  }
+};
+
+/// Least-Slack-First: orders by remaining slack. `now` is shared by every
+/// queued task, so (deadline - remaining busy time) is an equivalent,
+/// time-invariant key that stays valid as time passes (paper §4.3).
+class LsfScheduler final : public Scheduler {
+ public:
+  const char* name() const override { return "lsf"; }
+  SchedulerPolicy policy() const override {
+    return SchedulerPolicy::kLeastSlackFirst;
+  }
+  double priority_key(const PolicyContext& ctx, const Job& job,
+                      std::size_t stage_index) const override;
+};
+
+}  // namespace fifer

@@ -9,6 +9,9 @@
 
 namespace fifer {
 
+struct PolicyEngine;
+struct ExperimentParams;
+
 /// Queue-ordering policy for stage global queues (paper §4.3).
 enum class SchedulerPolicy {
   kFifo,           ///< Arrival order.
@@ -111,12 +114,18 @@ struct RmConfig {
   /// no slack awareness, FIFO, spread placement.
   static RmConfig hpa();
 
-  /// Lookup by case-insensitive name ("bline", "sbatch", "rscale",
-  /// "bpred", "fifer"); throws std::invalid_argument otherwise.
+  /// Lookup by case-insensitive name: the five paper presets ("bline",
+  /// "sbatch", "rscale", "bpred", "fifer") plus the extra "hpa" baseline;
+  /// throws std::invalid_argument for any other name.
   static RmConfig by_name(const std::string& name);
 
   /// All five presets in the paper's comparison order.
   static std::vector<RmConfig> paper_policies();
+
+  /// Builds the strategy bundle (Scaler/Scheduler/Placer/BatchSizer) this
+  /// config describes. Proactive configs construct their predictor here and
+  /// may shrink `params.train` spans to fit short traces.
+  PolicyEngine assemble(ExperimentParams& params) const;
 };
 
 }  // namespace fifer

@@ -1,6 +1,35 @@
 #include "core/sweep.hpp"
 
+#include <mutex>
+
+#include "common/thread_pool.hpp"
+
 namespace fifer {
+
+namespace {
+
+/// Shared run loop: materializes params per grid index, runs sequentially
+/// or on a pool, and writes each result at its own index so the output
+/// order never depends on worker scheduling. The progress callback is
+/// invoked under a mutex when parallel.
+std::vector<ExperimentResult> run_grid(
+    std::size_t count, std::size_t jobs,
+    const std::function<ExperimentParams(std::size_t)>& params_at,
+    const std::function<std::string(std::size_t)>& label_at,
+    const std::function<void(const std::string&)>& progress) {
+  std::vector<ExperimentResult> results(count);
+  std::mutex progress_mu;
+  parallel_for_index(count, jobs, [&](std::size_t i) {
+    if (progress) {
+      std::lock_guard<std::mutex> lock(progress_mu);
+      progress(label_at(i));
+    }
+    results[i] = run_experiment(params_at(i));
+  });
+  return results;
+}
+
+}  // namespace
 
 PolicySweep& PolicySweep::add(RmConfig rm) {
   policies_.push_back(std::move(rm));
@@ -17,16 +46,20 @@ PolicySweep& PolicySweep::on_progress(std::function<void(const std::string&)> cb
   return *this;
 }
 
+PolicySweep& PolicySweep::jobs(std::size_t n) {
+  jobs_ = n;
+  return *this;
+}
+
 std::vector<ExperimentResult> PolicySweep::run() {
-  std::vector<ExperimentResult> results;
-  results.reserve(policies_.size());
-  for (const auto& rm : policies_) {
-    if (progress_) progress_(rm.name);
-    ExperimentParams params = base_;
-    params.rm = rm;
-    results.push_back(run_experiment(std::move(params)));
-  }
-  return results;
+  return run_grid(
+      policies_.size(), jobs_,
+      [this](std::size_t i) {
+        ExperimentParams params = base_;
+        params.rm = policies_[i];
+        return params;
+      },
+      [this](std::size_t i) { return policies_[i].name; }, progress_);
 }
 
 Table PolicySweep::comparison_table(const std::vector<ExperimentResult>& results,
@@ -49,6 +82,77 @@ Table PolicySweep::comparison_table(const std::vector<ExperimentResult>& results
                base_energy > 0.0 ? fmt(r.energy_joules / base_energy, 2) : "-"});
   }
   return t;
+}
+
+GridSweep& GridSweep::add(RmConfig rm) {
+  policies_.push_back(std::move(rm));
+  return *this;
+}
+
+GridSweep& GridSweep::add_paper_policies() {
+  for (auto& rm : RmConfig::paper_policies()) policies_.push_back(std::move(rm));
+  return *this;
+}
+
+GridSweep& GridSweep::seeds(std::vector<std::uint64_t> s) {
+  seeds_ = std::move(s);
+  return *this;
+}
+
+GridSweep& GridSweep::mixes(std::vector<WorkloadMix> m) {
+  mixes_ = std::move(m);
+  return *this;
+}
+
+GridSweep& GridSweep::traces(std::vector<std::pair<std::string, RateTrace>> t) {
+  traces_ = std::move(t);
+  return *this;
+}
+
+GridSweep& GridSweep::on_progress(std::function<void(const std::string&)> cb) {
+  progress_ = std::move(cb);
+  return *this;
+}
+
+GridSweep& GridSweep::jobs(std::size_t n) {
+  jobs_ = n;
+  return *this;
+}
+
+std::size_t GridSweep::size() const {
+  const std::size_t nt = traces_.empty() ? 1 : traces_.size();
+  const std::size_t nm = mixes_.empty() ? 1 : mixes_.size();
+  const std::size_t ns = seeds_.empty() ? 1 : seeds_.size();
+  return nt * nm * ns * policies_.size();
+}
+
+std::vector<ExperimentResult> GridSweep::run() {
+  const std::size_t nm = mixes_.empty() ? 1 : mixes_.size();
+  const std::size_t ns = seeds_.empty() ? 1 : seeds_.size();
+  const std::size_t np = policies_.size();
+
+  // Row-major: trace slowest, policy fastest (see header).
+  const auto params_at = [&](std::size_t i) {
+    const std::size_t pi = i % np;
+    const std::size_t si = (i / np) % ns;
+    const std::size_t mi = (i / (np * ns)) % nm;
+    const std::size_t ti = i / (np * ns * nm);
+    ExperimentParams params = base_;
+    params.rm = policies_[pi];
+    if (!seeds_.empty()) params.seed = seeds_[si];
+    if (!mixes_.empty()) params.mix = mixes_[mi];
+    if (!traces_.empty()) {
+      params.trace = traces_[ti].second;
+      params.trace_name = traces_[ti].first;
+    }
+    return params;
+  };
+  const auto label_at = [&](std::size_t i) {
+    const ExperimentParams params = params_at(i);
+    return params.trace_name + "/" + params.mix.name() + "/seed=" +
+           std::to_string(params.seed) + "/" + params.rm.name;
+  };
+  return run_grid(size(), jobs_, params_at, label_at, progress_);
 }
 
 }  // namespace fifer

@@ -1,7 +1,9 @@
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/table.hpp"
@@ -11,6 +13,14 @@ namespace fifer {
 
 /// Grid runner: one workload (mix + trace + cluster) evaluated under many
 /// RM policies — the loop every comparison figure runs, packaged as API.
+///
+/// Runs are independent simulations (each builds its own framework, RNG,
+/// and cluster from the shared base params), so they can execute on a
+/// thread pool: `jobs(n)` with n > 1 fans the grid out over n workers.
+/// Results are written by grid index, so the returned vector is in
+/// insertion order and byte-identical to the sequential path regardless of
+/// which worker finished first; only the progress-callback interleaving
+/// differs. The default is jobs(1) — fully sequential.
 class PolicySweep {
  public:
   /// `base` supplies everything except the RM (mix, trace, cluster, seed,
@@ -22,11 +32,16 @@ class PolicySweep {
   /// Adds the paper's five policies in comparison order.
   PolicySweep& add_paper_policies();
 
-  /// Optional progress callback invoked before each run.
+  /// Optional progress callback invoked as each run starts. With jobs > 1
+  /// invocations are serialized (mutex) but arrive in completion-race
+  /// order, not insertion order.
   PolicySweep& on_progress(std::function<void(const std::string&)> cb);
 
-  /// Runs everything (sequentially, deterministic per seed) and returns the
-  /// results in insertion order.
+  /// Worker threads for run(); 1 (default) = sequential on the caller.
+  PolicySweep& jobs(std::size_t n);
+
+  /// Runs everything (deterministic per seed) and returns the results in
+  /// insertion order.
   std::vector<ExperimentResult> run();
 
   /// Formats a result set as the standard comparison table (SLO, latency,
@@ -39,6 +54,46 @@ class PolicySweep {
   ExperimentParams base_;
   std::vector<RmConfig> policies_;
   std::function<void(const std::string&)> progress_;
+  std::size_t jobs_ = 1;
+};
+
+/// Full-factorial sweep over policies × seeds × mixes × traces — the shape
+/// of the multi-trace figures (Fig 13/14: two traces × three mixes) and of
+/// seed-replicated confidence runs. Axes left unset fall back to the base
+/// params' value, so a GridSweep with only policies added degenerates to a
+/// PolicySweep.
+///
+/// Results come back in row-major order with the policy axis fastest:
+/// trace, then mix, then seed, then policy — i.e. each (trace, mix, seed)
+/// cell yields one contiguous policy-comparison block. Like PolicySweep,
+/// the order (and every byte of every result) is independent of `jobs`.
+class GridSweep {
+ public:
+  explicit GridSweep(ExperimentParams base) : base_(std::move(base)) {}
+
+  GridSweep& add(RmConfig rm);
+  GridSweep& add_paper_policies();
+  GridSweep& seeds(std::vector<std::uint64_t> s);
+  GridSweep& mixes(std::vector<WorkloadMix> m);
+  /// Each trace is (name, rate trace); the name lands in
+  /// ExperimentResult::trace.
+  GridSweep& traces(std::vector<std::pair<std::string, RateTrace>> t);
+  GridSweep& on_progress(std::function<void(const std::string&)> cb);
+  GridSweep& jobs(std::size_t n);
+
+  /// Total number of runs the current grid describes.
+  std::size_t size() const;
+
+  std::vector<ExperimentResult> run();
+
+ private:
+  ExperimentParams base_;
+  std::vector<RmConfig> policies_;
+  std::vector<std::uint64_t> seeds_;
+  std::vector<WorkloadMix> mixes_;
+  std::vector<std::pair<std::string, RateTrace>> traces_;
+  std::function<void(const std::string&)> progress_;
+  std::size_t jobs_ = 1;
 };
 
 }  // namespace fifer

@@ -1,0 +1,247 @@
+// Tests for the parallel sweep machinery: the ThreadPool, the
+// parallel_for_index helper, and the determinism contract — a sweep run on
+// N threads is byte-identical to the same sweep run sequentially.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <numeric>
+#include <thread>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/sweep.hpp"
+#include "workload/generators.hpp"
+
+namespace fifer {
+namespace {
+
+// ------------------------------------------------------------ thread pool
+
+TEST(ThreadPool, RunsAllSubmittedTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&count] { count.fetch_add(1); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), 100);
+  }
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&count] { count.fetch_add(1); });
+    }
+    // No wait_idle: ~ThreadPool must finish the queue, not drop it.
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, ClampsToAtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<bool> ran{false};
+  pool.submit([&ran] { ran = true; });
+  pool.wait_idle();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ParallelForIndex, CoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for_index(hits.size(), 4,
+                     [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForIndex, SequentialPathPreservesOrder) {
+  std::vector<std::size_t> order;
+  parallel_for_index(10, 1, [&order](std::size_t i) { order.push_back(i); });
+  std::vector<std::size_t> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ParallelForIndex, RethrowsFirstExceptionOnCaller) {
+  EXPECT_THROW(
+      parallel_for_index(64, 4,
+                         [](std::size_t i) {
+                           if (i == 7) throw std::runtime_error("boom");
+                         }),
+      std::runtime_error);
+  // Sequential path too.
+  EXPECT_THROW(parallel_for_index(
+                   3, 1, [](std::size_t) { throw std::logic_error("x"); }),
+               std::logic_error);
+}
+
+TEST(ParallelForIndex, ZeroCountIsANoop) {
+  parallel_for_index(0, 8, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ParallelForIndex, TasksGenuinelyOverlap) {
+  // 4 x 50 ms sleeps on 4 workers must take ~50 ms, not ~200 ms. Sleeps
+  // overlap even on a single core, so this holds on any machine; the bound
+  // is generous (<150 ms) to stay robust under sanitizers and load.
+  const auto start = std::chrono::steady_clock::now();
+  parallel_for_index(4, 4, [](std::size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  });
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_LT(elapsed.count(), 150);
+}
+
+// ---------------------------------------------------- sweep determinism
+
+ExperimentParams sweep_base() {
+  ExperimentParams p;
+  p.trace = poisson_trace(60.0, 10.0);
+  p.trace_name = "poisson";
+  p.seed = 7;
+  p.warmup_ms = seconds(10.0);
+  p.train.epochs = 2;
+  return p;
+}
+
+void expect_identical(const ExperimentResult& a, const ExperimentResult& b) {
+  EXPECT_EQ(a.policy, b.policy);
+  EXPECT_EQ(a.mix, b.mix);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.jobs_submitted, b.jobs_submitted);
+  EXPECT_EQ(a.jobs_completed, b.jobs_completed);
+  EXPECT_EQ(a.slo_violations, b.slo_violations);
+  EXPECT_EQ(a.containers_spawned, b.containers_spawned);
+  EXPECT_EQ(a.bus_transitions, b.bus_transitions);
+  EXPECT_EQ(a.predictor_retrains, b.predictor_retrains);
+  EXPECT_EQ(a.peak_active_containers, b.peak_active_containers);
+  EXPECT_DOUBLE_EQ(a.response_ms.median(), b.response_ms.median());
+  EXPECT_DOUBLE_EQ(a.response_ms.p99(), b.response_ms.p99());
+  EXPECT_DOUBLE_EQ(a.queuing_ms.p99(), b.queuing_ms.p99());
+  EXPECT_DOUBLE_EQ(a.avg_active_containers, b.avg_active_containers);
+  EXPECT_DOUBLE_EQ(a.energy_joules, b.energy_joules);
+  EXPECT_DOUBLE_EQ(a.duration_ms, b.duration_ms);
+}
+
+TEST(SweepParallel, FourThreadsMatchSequentialByteForByte) {
+  const auto build = [] {
+    return PolicySweep(sweep_base())
+        .add(RmConfig::bline())
+        .add(RmConfig::rscale())
+        .add(RmConfig::hpa());
+  };
+  const auto seq = build().jobs(1).run();
+  const auto par = build().jobs(4).run();
+  ASSERT_EQ(seq.size(), 3u);
+  ASSERT_EQ(par.size(), seq.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    SCOPED_TRACE(seq[i].policy);
+    expect_identical(seq[i], par[i]);
+  }
+}
+
+TEST(SweepParallel, ParallelResultsStayInInsertionOrder) {
+  auto results = PolicySweep(sweep_base())
+                     .add(RmConfig::bline())
+                     .add(RmConfig::rscale())
+                     .add(RmConfig::hpa())
+                     .jobs(3)
+                     .run();
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].policy, "Bline");
+  EXPECT_EQ(results[1].policy, "RScale");
+  EXPECT_EQ(results[2].policy, "HPA");
+}
+
+TEST(SweepParallel, ProgressCallbackFiresOncePerRun) {
+  std::mutex mu;
+  std::multiset<std::string> seen;
+  PolicySweep(sweep_base())
+      .add(RmConfig::bline())
+      .add(RmConfig::rscale())
+      .jobs(2)
+      .on_progress([&](const std::string& name) {
+        std::lock_guard<std::mutex> lock(mu);
+        seen.insert(name);
+      })
+      .run();
+  EXPECT_EQ(seen.count("Bline"), 1u);
+  EXPECT_EQ(seen.count("RScale"), 1u);
+  EXPECT_EQ(seen.size(), 2u);
+}
+
+// ------------------------------------------------------------- grid sweep
+
+TEST(GridSweep, SizeIsAxisProduct) {
+  GridSweep grid(sweep_base());
+  grid.add(RmConfig::bline()).add(RmConfig::rscale());
+  EXPECT_EQ(grid.size(), 2u);  // unset axes fall back to base
+  grid.seeds({1, 2, 3});
+  EXPECT_EQ(grid.size(), 6u);
+  grid.mixes({WorkloadMix::heavy(), WorkloadMix::light()});
+  EXPECT_EQ(grid.size(), 12u);
+}
+
+TEST(GridSweep, RowMajorOrderPolicyFastest) {
+  auto results = GridSweep(sweep_base())
+                     .add(RmConfig::bline())
+                     .add(RmConfig::rscale())
+                     .mixes({WorkloadMix::heavy(), WorkloadMix::light()})
+                     .seeds({1, 2})
+                     .run();
+  ASSERT_EQ(results.size(), 8u);
+  // mix slowest, then seed, then policy.
+  const char* expected_policy[] = {"Bline", "RScale", "Bline", "RScale",
+                                   "Bline", "RScale", "Bline", "RScale"};
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].policy, expected_policy[i]) << i;
+    EXPECT_EQ(results[i].mix, i < 4 ? "heavy" : "light") << i;
+  }
+  // Different seeds genuinely differ within a (mix, policy) cell.
+  EXPECT_NE(results[0].jobs_submitted, results[2].jobs_submitted);
+}
+
+TEST(GridSweep, TracesAxisNamesResults) {
+  auto base = sweep_base();
+  auto results =
+      GridSweep(std::move(base))
+          .add(RmConfig::bline())
+          .traces({{"slow", poisson_trace(30.0, 5.0)},
+                   {"fast", poisson_trace(30.0, 12.0)}})
+          .run();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].trace, "slow");
+  EXPECT_EQ(results[1].trace, "fast");
+  EXPECT_NE(results[0].jobs_submitted, results[1].jobs_submitted);
+}
+
+TEST(GridSweep, ParallelMatchesSequential) {
+  const auto build = [] {
+    return GridSweep(sweep_base())
+        .add(RmConfig::bline())
+        .add(RmConfig::rscale())
+        .seeds({7, 99});
+  };
+  const auto seq = build().jobs(1).run();
+  const auto par = build().jobs(4).run();
+  ASSERT_EQ(seq.size(), 4u);
+  ASSERT_EQ(par.size(), seq.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    SCOPED_TRACE(i);
+    expect_identical(seq[i], par[i]);
+  }
+}
+
+}  // namespace
+}  // namespace fifer

@@ -9,8 +9,14 @@
 #                                               test under both sanitizers,
 #                                               zero reports tolerated
 #                                               (-fno-sanitize-recover=all).
+#   leg 3  TSan, -Werror, DCHECKs ON          — the parallel sweep runner
+#                                               must be race-free; runs the
+#                                               sweep-determinism, thread-
+#                                               pool, and framework suites
+#                                               (TSan is ~10x, so not the
+#                                               full matrix).
 #
-# Each leg runs the full ctest suite; lint runs once at the end against the
+# Legs 1-2 run the full ctest suite; lint runs once at the end against the
 # sanitizer build's compile database.
 set -euo pipefail
 
@@ -37,6 +43,18 @@ run_leg asan-ubsan "$ROOT/build-ci-asan" \
   -DFIFER_WERROR=ON \
   -DFIFER_DCHECKS=ON \
   "-DFIFER_SANITIZE=address;undefined"
+
+echo "==== [tsan] configure"
+cmake -B "$ROOT/build-ci-tsan" -S "$ROOT" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DFIFER_WERROR=ON \
+  -DFIFER_DCHECKS=ON \
+  -DFIFER_SANITIZE=thread
+echo "==== [tsan] build"
+cmake --build "$ROOT/build-ci-tsan" -j "$JOBS"
+echo "==== [tsan] test (thread pool + parallel sweeps + framework)"
+ctest --test-dir "$ROOT/build-ci-tsan" --output-on-failure -j "$JOBS" \
+  -R 'ThreadPool|ParallelForIndex|SweepParallel|GridSweep|Sweep\.|Framework\.'
 
 echo "==== lint"
 "$ROOT/tools/lint.sh" "$ROOT/build-ci-asan"
