@@ -11,10 +11,48 @@
 
 #include "core/framework.hpp"
 #include "core/stats_db.hpp"
+#include "obs/recording_sink.hpp"
 #include "predict/neural.hpp"
 #include "workload/generators.hpp"
 
 namespace {
+
+/// The shared workload for the event-loop tracing-overhead pair below: a
+/// small but complete experiment (arrivals, scaling, batching, completion).
+fifer::ExperimentParams event_loop_params() {
+  fifer::ExperimentParams p;
+  p.trace = fifer::poisson_trace(20.0, 40.0);
+  p.trace_name = "poisson";
+  p.seed = 7;
+  return p;
+}
+
+/// Tracing *disabled* (the default): every instrumented site — span
+/// emission, decision logging, scoped timers — reduces to one predicted
+/// null-pointer check. Compare against BM_EventLoopTracingOn to see the
+/// recording cost; the acceptance bar is that this case stays within 2% of
+/// the pre-instrumentation event loop.
+void BM_EventLoopTracingOff(benchmark::State& state) {
+  for (auto _ : state) {
+    auto r = fifer::run_experiment(event_loop_params());
+    benchmark::DoNotOptimize(r.jobs_completed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EventLoopTracingOff)->Unit(benchmark::kMillisecond);
+
+/// Tracing *enabled* with an in-memory sink (no file export): the marginal
+/// cost of recording every span, decision, and hot-path timer.
+void BM_EventLoopTracingOn(benchmark::State& state) {
+  for (auto _ : state) {
+    auto p = event_loop_params();
+    p.trace_sink = std::make_shared<fifer::obs::RecordingTraceSink>();
+    auto r = fifer::run_experiment(std::move(p));
+    benchmark::DoNotOptimize(r.jobs_completed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EventLoopTracingOn)->Unit(benchmark::kMillisecond);
 
 void BM_StatsDbWrite(benchmark::State& state) {
   fifer::StatsDb db;

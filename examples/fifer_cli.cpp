@@ -9,6 +9,9 @@
 //   fifer_cli policy=bline trace=poisson lambda=50 jitter=0.2 seed=7
 //   fifer_cli policy=all --jobs 4          # parallel 6-policy comparison
 //   fifer_cli policy=bline,fifer --jobs 1  # forced-sequential sweep
+//   fifer_cli policy=fifer --trace=out/run # request-level tracing: writes
+//                                          # out/run.trace.json (Chrome),
+//                                          # out/run.spans.csv, .decisions.csv
 //
 // Keys (defaults in brackets):
 //   policy [fifer]        bline|sbatch|rscale|bpred|fifer|hpa — or a
@@ -17,6 +20,12 @@
 //   --jobs N / jobs=N [hardware concurrency]
 //                         sweep worker threads; 1 forces the sequential
 //                         path (results are identical either way)
+//   --trace PREFIX / trace_out=PREFIX []
+//                         per-request tracing: exports PREFIX.trace.json
+//                         (chrome://tracing / Perfetto), PREFIX.spans.csv,
+//                         PREFIX.decisions.csv, PREFIX.profile.csv; multi-
+//                         policy runs write one set per policy. (Not to be
+//                         confused with trace=, the arrival-trace kind.)
 //   mix [heavy]           heavy|medium|light
 //   trace [wits]          poisson|drift|wits|wiki|step|file
 //   trace_file            input path when trace=file
@@ -92,8 +101,11 @@ std::vector<std::string> policy_list(const std::string& value) {
   return names;
 }
 
-/// Accepts the conventional `--jobs N` / `--jobs=N` spellings alongside the
-/// harness's `jobs=N` idiom by rewriting them before Config parses argv.
+/// Accepts the conventional `--jobs N` / `--jobs=N` and `--trace PREFIX` /
+/// `--trace=PREFIX` spellings alongside the harness's `key=value` idiom by
+/// rewriting them before Config parses argv. `--trace` maps to the
+/// `trace_out` key because bare `trace=` already names the arrival-trace
+/// kind (wits/poisson/...).
 std::vector<std::string> canonicalize_args(int argc, char** argv) {
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
@@ -102,6 +114,10 @@ std::vector<std::string> canonicalize_args(int argc, char** argv) {
       args.push_back(std::string("jobs=") + argv[++i]);
     } else if (arg.rfind("--jobs=", 0) == 0) {
       args.push_back("jobs=" + arg.substr(7));
+    } else if (arg == "--trace" && i + 1 < argc) {
+      args.push_back(std::string("trace_out=") + argv[++i]);
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      args.push_back("trace_out=" + arg.substr(8));
     } else {
       args.push_back(arg);
     }
@@ -176,6 +192,9 @@ int main(int argc, char** argv) try {
     p.trace.to_file(cfg.get_string("save_trace", "trace.txt"));
   }
 
+  // Request-level tracing (--trace PREFIX); sweeps suffix the per-run label.
+  p.trace_prefix = cfg.get_string("trace_out", "");
+
   const std::string report_prefix = cfg.get_string("report", "");
 
   // Reject typos before burning cycles.
@@ -216,6 +235,7 @@ int main(int argc, char** argv) try {
             << fifer::fmt(p.cluster.total_cores(), 0) << " cores for "
             << fifer::fmt(duration_s, 0) << " s...\n\n";
 
+  const std::string trace_prefix = p.trace_prefix;
   const auto r = fifer::run_experiment(std::move(p));
 
   fifer::Table t("results");
@@ -241,6 +261,12 @@ int main(int argc, char** argv) try {
     std::cout << "\nreport written:";
     for (const auto& path : paths) std::cout << "\n  " << path;
     std::cout << "\n";
+  }
+  if (!trace_prefix.empty()) {
+    std::cout << "\ntrace written:\n  " << trace_prefix << ".trace.json"
+              << "  (open in chrome://tracing or ui.perfetto.dev)\n  "
+              << trace_prefix << ".spans.csv\n  " << trace_prefix
+              << ".decisions.csv\n  " << trace_prefix << ".profile.csv\n";
   }
   return 0;
 } catch (const std::exception& e) {

@@ -32,6 +32,7 @@ const Node& Cluster::node(NodeId id) const {
 
 std::optional<NodeId> Cluster::allocate(double cpu, double memory_mb,
                                         NodeSelection policy, SimTime now) {
+  obs::ScopedTimer timer(profiler_, "cluster.allocate");
   advance_energy(now);
   const Node* best = nullptr;
   for (const Node& n : nodes_) {

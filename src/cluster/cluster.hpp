@@ -6,6 +6,7 @@
 
 #include "cluster/node.hpp"
 #include "common/types.hpp"
+#include "obs/profiler.hpp"
 
 namespace fifer {
 
@@ -71,11 +72,17 @@ class Cluster {
   /// advance_energy() call.
   double energy_joules() const { return energy_joules_; }
 
+  /// Attaches a hot-path profiler: each `allocate` (the bin-pack / spread
+  /// node scan, paper §4.4.2) is timed under the "cluster.allocate" scope.
+  /// Null (the default) costs one predicted branch per call.
+  void set_profiler(obs::Profiler* profiler) { profiler_ = profiler; }
+
  private:
   ClusterSpec spec_;
   std::vector<Node> nodes_;
   double energy_joules_ = 0.0;
   SimTime energy_watermark_ = 0.0;
+  obs::Profiler* profiler_ = nullptr;
 };
 
 }  // namespace fifer

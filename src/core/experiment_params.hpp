@@ -1,6 +1,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "cluster/cluster.hpp"
@@ -16,6 +17,10 @@
 #include "workload/trace.hpp"
 
 namespace fifer {
+
+namespace obs {
+class TraceSink;
+}
 
 /// Parameters of one simulated experiment run.
 struct ExperimentParams {
@@ -46,6 +51,18 @@ struct ExperimentParams {
   /// When non-empty, a JSONL lifecycle trace is written here: one line per
   /// completed job (with per-stage timings) and per container spawn.
   std::string trace_log_path;
+  /// When non-empty, full request-level tracing is on: per-stage spans,
+  /// every policy decision, and hot-path profiling are recorded and
+  /// exported as `<prefix>.trace.json` (Chrome trace_event, loads in
+  /// chrome://tracing / Perfetto), `<prefix>.spans.csv`,
+  /// `<prefix>.decisions.csv`, and `<prefix>.profile.csv` (wall-clock, the
+  /// only non-deterministic file). Sweeps append a per-run label so
+  /// parallel grids stay per-job-sink deterministic (DESIGN.md §5d).
+  std::string trace_prefix;
+  /// Custom sink injection (tests, live dashboards): when set, spans and
+  /// decisions stream into this sink instead of an internally owned
+  /// recording sink. The sink must not be shared across concurrent runs.
+  std::shared_ptr<obs::TraceSink> trace_sink;
   /// Escape hatch for drop-in policies: when set, the framework builds its
   /// strategy bundle from this instead of `rm` (which then only names the
   /// run). See tests/test_policy_engine.cpp for a ~50-line custom scaler.

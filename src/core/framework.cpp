@@ -11,6 +11,7 @@
 #include "core/policy/placer.hpp"
 #include "core/policy/scaler.hpp"
 #include "core/policy/scheduler.hpp"
+#include "obs/recording_sink.hpp"
 
 namespace fifer {
 
@@ -34,6 +35,15 @@ FiferFramework::FiferFramework(ExperimentParams params)
       throw std::runtime_error("FiferFramework: cannot open trace log " +
                                params_.trace_log_path);
     }
+  }
+  sink_ = params_.trace_sink;
+  if (sink_ == nullptr && !params_.trace_prefix.empty()) {
+    sink_ = std::make_shared<obs::RecordingTraceSink>();
+  }
+  if (sink_ != nullptr) {
+    prof_ = &profiler_;
+    sim_.set_profiler(prof_);
+    cluster_.set_profiler(prof_);
   }
 }
 
@@ -97,8 +107,13 @@ StageState& FiferFramework::stage_of(const std::string& name) {
 }
 
 ExperimentResult FiferFramework::run() {
-  // --- offline steps, delegated to the scaler: predictor pre-training
-  // (paper trains on 60% of the trace), static pools for SBatch. ---
+  // --- offline steps: the batch sizer already shaped the stage profiles in
+  // the constructor; surface those B_size decisions to the trace first so
+  // the decision log opens with the run's static configuration. ---
+  trace_batch_profiles();
+
+  // --- predictor pre-training (paper trains on 60% of the trace), static
+  // pools for SBatch: delegated to the scaler. ---
   engine_.scaler->on_start(*this);
 
   // --- arrival plan; fed lazily so the event queue stays small. ---
@@ -154,7 +169,38 @@ ExperimentResult FiferFramework::run() {
   result.bus_transitions = bus_.total_transitions();
   result.bus_peak_congestion = bus_.peak_congestion();
   result.predictor_retrains = engine_.scaler->predictor_retrains();
+  export_trace_files();
   return result;
+}
+
+void FiferFramework::trace_batch_profiles() {
+  obs::TraceSink* t = sink_.get();
+  if (t == nullptr) return;
+  for (const auto& [name, st] : stages_) {
+    const StageProfile& prof = st.profile();
+    obs::PolicyDecision d;
+    d.time = sim_.now();
+    d.kind = "batch-size";
+    d.policy = engine_.batch_sizer->name();
+    d.stage = name;
+    d.inputs = {{"exec_ms", prof.exec_ms}, {"slack_ms", prof.slack_ms}};
+    d.outcome = "B_size";
+    d.value = prof.batch;
+    t->on_decision(d);
+  }
+}
+
+void FiferFramework::export_trace_files() {
+  if (params_.trace_prefix.empty()) return;
+  if (const auto* rec = dynamic_cast<const obs::RecordingTraceSink*>(sink_.get())) {
+    rec->export_chrome_trace(params_.trace_prefix + ".trace.json");
+    rec->export_spans_csv(params_.trace_prefix + ".spans.csv");
+    rec->export_decisions_csv(params_.trace_prefix + ".decisions.csv");
+  }
+  // Host-time profile: kept out of the deterministic exports by design.
+  if (!profiler_.empty()) {
+    profiler_.export_csv(params_.trace_prefix + ".profile.csv");
+  }
 }
 
 // ------------------------------------------------------------- workload path
@@ -208,20 +254,54 @@ void FiferFramework::enqueue_task(Job& job, std::size_t stage_index) {
   StageState& st = stage_of(job.app->stages[stage_index]);
   StageRecord& rec = job.records[stage_index];
   rec.enqueued = sim_.now();
-  st.enqueue(TaskRef{&job, stage_index},
-             engine_.scheduler->priority_key(*this, job, stage_index));
+  const double key = engine_.scheduler->priority_key(*this, job, stage_index);
+  st.enqueue(TaskRef{&job, stage_index}, key);
+  if (obs::TraceSink* t = sink_.get()) {
+    obs::PolicyDecision d;
+    d.time = sim_.now();
+    d.kind = "schedule";
+    d.policy = engine_.scheduler->name();
+    d.stage = st.name();
+    d.inputs = {{"job", static_cast<double>(value_of(job.id))},
+                {"priority_key", key},
+                {"queue_len", static_cast<double>(st.queue_length())}};
+    d.outcome = "enqueued";
+    d.value = key;
+    t->on_decision(d);
+  }
 
   engine_.scaler->on_arrival(*this, st);
   dispatch_stage(st);
 }
 
 void FiferFramework::dispatch_stage(StageState& st) {
+  // Covers the scheduler's queue pick (LSF pop) and the placer's container
+  // selection — two of the hot paths the profiler tracks.
+  obs::ScopedTimer timer(prof_, "stage.dispatch");
   while (!st.queue_empty()) {
     Container* c = engine_.placer->select_container(st);
     if (c == nullptr) break;  // No free slot anywhere; scaling will react.
     TaskRef task = st.pop_next();
-    task.record().dispatched = sim_.now();
-    task.record().container = c->id();
+    StageRecord& rec = task.record();
+    rec.dispatched = sim_.now();
+    rec.container = c->id();
+    if (obs::TraceSink* t = sink_.get()) {
+      rec.batch_slot = c->occupied();
+      rec.slack_at_dispatch_ms = task.job->remaining_slack_ms(
+          sim_.now(),
+          profiles_.app(task.job->app->name).suffix_busy_ms[task.stage_index]);
+      obs::PolicyDecision d;
+      d.time = sim_.now();
+      d.kind = "place";
+      d.policy = engine_.placer->name();
+      d.stage = st.name();
+      d.inputs = {{"job", static_cast<double>(value_of(task.job->id))},
+                  {"batch_slot", static_cast<double>(rec.batch_slot)},
+                  {"slack_ms", rec.slack_at_dispatch_ms}};
+      d.outcome = "container";
+      d.value = static_cast<double>(value_of(c->id()));
+      t->on_decision(d);
+    }
     c->enqueue(task);
     if (c->warm() && !c->executing()) {
       start_next_task(st, *c);
@@ -263,6 +343,23 @@ void FiferFramework::finish_task(StageState& st, Container& c, TaskRef task) {
   FIFER_DCHECK_GE(rec.exec_end, rec.exec_start, kCore);
   c.end_execution(sim_.now());
   metrics_.on_task_executed(st.name(), rec);
+  if (obs::TraceSink* t = sink_.get()) {
+    obs::SpanRecord span;
+    span.job = value_of(task.job->id);
+    span.app = task.job->app->name;
+    span.stage = st.name();
+    span.stage_index = static_cast<std::uint32_t>(task.stage_index);
+    span.enqueued = rec.enqueued;
+    span.dispatched = rec.dispatched;
+    span.exec_start = rec.exec_start;
+    span.exec_end = rec.exec_end;
+    span.exec_ms = rec.exec_ms;
+    span.cold_wait_ms = rec.cold_start_wait_ms;
+    span.slack_at_dispatch_ms = rec.slack_at_dispatch_ms;
+    span.container = value_of(rec.container);
+    span.batch_slot = rec.batch_slot;
+    t->on_span(span);
+  }
 
   Job& job = *task.job;
   // transition_to_stage handles both the next hop and chain completion

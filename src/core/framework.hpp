@@ -17,6 +17,8 @@
 #include "core/policy/policy_engine.hpp"
 #include "core/rm_config.hpp"
 #include "core/stage.hpp"
+#include "obs/profiler.hpp"
+#include "obs/trace_sink.hpp"
 #include "predict/window.hpp"
 #include "sim/simulation.hpp"
 #include "workload/arrival.hpp"
@@ -61,6 +63,9 @@ class FiferFramework : public PolicyContext {
   Container* spawn_container(StageState& st) override;
   void terminate_container(StageState& st, Container& c) override;
   void every(SimDuration period_ms, std::function<void(SimTime)> cb) override;
+  /// The run's tracing sink (null when tracing is off). Owned here: one
+  /// sink per framework, so parallel sweeps share no mutable trace state.
+  obs::TraceSink* trace() const override { return sink_.get(); }
 
  private:
   // Workload path.
@@ -91,6 +96,10 @@ class FiferFramework : public PolicyContext {
   void complete_job(Job& job);
   void log_job(const Job& job);
   void log_container(const std::string& stage, ContainerId id, SimDuration cold_ms);
+  /// Emits the per-stage batch-sizing decisions (offline B_size allocation)
+  /// and exports the recorded trace files when `params.trace_prefix` is set.
+  void trace_batch_profiles();
+  void export_trace_files();
 
   ExperimentParams params_;
   Simulation sim_;
@@ -110,6 +119,12 @@ class FiferFramework : public PolicyContext {
 
   std::deque<Job> jobs_;
   std::ofstream trace_log_;
+  /// Tracing state (null/empty when tracing is off). `sink_` receives spans
+  /// and decisions; `prof_` points at `profiler_` only while tracing so the
+  /// instrumented hot paths reduce to one null check when disabled.
+  std::shared_ptr<obs::TraceSink> sink_;
+  obs::Profiler profiler_;
+  obs::Profiler* prof_ = nullptr;
   std::uint64_t completed_jobs_ = 0;
   std::uint64_t next_job_id_ = 0;
   std::uint64_t next_container_id_ = 0;

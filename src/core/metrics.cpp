@@ -38,6 +38,7 @@ void MetricsCollector::on_task_executed(const std::string& stage_name,
   ++sm.tasks_executed;
   sm.queue_wait_ms.add(rec.queue_wait_ms());
   sm.exec_ms.add(rec.exec_ms);
+  executed_containers_[stage_name].insert(rec.container);
 }
 
 void MetricsCollector::on_container_spawned(const std::string& stage_name) {
@@ -62,6 +63,9 @@ ExperimentResult MetricsCollector::finish(SimDuration duration_ms,
                                           double energy_joules) {
   result_.duration_ms = duration_ms;
   result_.energy_joules = energy_joules;
+  for (const auto& [name, ids] : executed_containers_) {
+    stage(name).containers_executed = ids.size();
+  }
   if (!result_.timeline.empty()) {
     double acc = 0.0;
     for (const auto& s : result_.timeline) {

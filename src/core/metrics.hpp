@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -16,17 +17,26 @@ struct StageMetrics {
   std::string stage;
   std::uint64_t containers_spawned = 0;
   std::uint64_t cold_starts = 0;
+  /// Distinct containers that executed at least one task. Can be smaller
+  /// than `containers_spawned`: proactively pre-warmed containers that the
+  /// reaper collects before any work reaches them are spawned but never
+  /// executed on.
+  std::uint64_t containers_executed = 0;
   std::uint64_t tasks_executed = 0;
   std::uint64_t spawn_failures = 0;  ///< Cluster-full allocation rejections.
   RunningStats queue_wait_ms;
   RunningStats exec_ms;
 
   /// The paper's container-utilization metric: requests executed per
-  /// container (RPC / "jobs per container", Figure 12a).
+  /// container (RPC / "jobs per container", Figure 12a). Figure 12a counts
+  /// jobs *executed* per container, so the denominator is the containers
+  /// that ever ran a task — dividing by every spawn would deflate RPC for
+  /// policies that pre-warm speculatively (BPred/Fifer) and overstate their
+  /// underutilization relative to the paper.
   double requests_per_container() const {
-    return containers_spawned > 0
+    return containers_executed > 0
                ? static_cast<double>(tasks_executed) /
-                     static_cast<double>(containers_spawned)
+                     static_cast<double>(containers_executed)
                : 0.0;
   }
 };
@@ -107,6 +117,9 @@ class MetricsCollector {
 
   SimTime warmup_ms_;
   ExperimentResult result_;
+  /// Distinct containers seen executing per stage; folded into
+  /// StageMetrics::containers_executed at finish().
+  std::map<std::string, std::set<ContainerId>> executed_containers_;
 };
 
 }  // namespace fifer

@@ -9,6 +9,10 @@
 
 namespace fifer {
 
+namespace obs {
+class TraceSink;
+}
+
 struct ExperimentParams;
 class ProfileBook;
 class MicroserviceRegistry;
@@ -51,6 +55,16 @@ class PolicyContext {
   /// during `Scaler::install`. Registration order is part of the
   /// determinism contract: same-time events fire in registration order.
   virtual void every(SimDuration period_ms, std::function<void(SimTime)> cb) = 0;
+
+  /// The run's decision/span sink, or nullptr when tracing is off. Policy
+  /// strategies log their decisions (with the Algorithm-1 inputs they were
+  /// computed from) through this hook:
+  ///
+  ///   if (auto* t = ctx.trace()) t->on_decision({...});
+  ///
+  /// The null check is the entire disabled-tracing cost, which is what
+  /// keeps the hot path inside `bench_overheads`' ≤2% envelope.
+  virtual obs::TraceSink* trace() const { return nullptr; }
 };
 
 /// Fraction of arriving jobs whose chain includes `stage` under the run's

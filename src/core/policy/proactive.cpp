@@ -5,6 +5,7 @@
 
 #include "core/app_profile.hpp"
 #include "core/experiment_params.hpp"
+#include "obs/trace_sink.hpp"
 #include "predict/classic.hpp"
 #include "predict/window.hpp"
 
@@ -106,6 +107,18 @@ void ProactiveScaler::tick(PolicyContext& ctx) {
   }
   const std::vector<double> rates = ctx.sampler().window_rates(ctx.now());
   const double forecast_rps = predictor_->forecast(rates);
+  if (auto* t = ctx.trace()) {
+    obs::PolicyDecision d;
+    d.time = ctx.now();
+    d.kind = "forecast";
+    d.policy = name();
+    d.inputs = {{"history_windows", static_cast<double>(rates.size())},
+                {"last_window_rps", rates.empty() ? 0.0 : rates.back()},
+                {"wp_ms", params.rm.predict_window_ms}};
+    d.outcome = "wp_max_rps";
+    d.value = forecast_rps;
+    t->on_decision(d);
+  }
   if (forecast_rps <= 0.0) return;
 
   for (auto& [name, st] : ctx.stages()) {
@@ -128,8 +141,26 @@ void ProactiveScaler::tick(PolicyContext& ctx) {
                   static_cast<double>(st.profile().batch)));
     st.set_keep_warm_floor(needed);
     const int current = static_cast<int>(st.live_count());
+    int spawned = 0;
     for (int i = current; i < needed; ++i) {
       if (ctx.spawn_container(st) == nullptr) break;
+      ++spawned;
+    }
+    if (auto* t = ctx.trace()) {
+      obs::PolicyDecision d;
+      d.time = ctx.now();
+      d.kind = "keep-warm";
+      d.policy = this->name();
+      d.stage = name;
+      d.inputs = {{"stage_rps", stage_rps},
+                  {"window_ms", window_ms},
+                  {"in_flight", in_flight},
+                  {"headroom", params.rm.headroom},
+                  {"batch", static_cast<double>(st.profile().batch)},
+                  {"live", static_cast<double>(current)}};
+      d.outcome = "floor";
+      d.value = needed;
+      t->on_decision(d);
     }
   }
 }

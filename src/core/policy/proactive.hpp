@@ -12,9 +12,18 @@ struct ExperimentParams;
 
 /// Proactive provisioning (Algorithm 1e) as a decorator: wraps the RM's
 /// base scaler (reactive for Fifer, per-request for BPred, ...) and adds a
-/// forecast-driven keep-warm floor. Owns the load predictor, its offline
-/// pre-training on the trace prefix (paper: 60%), and optional online
-/// background retraining on the observed arrival-rate log (§8).
+/// forecast-driven keep-warm floor of
+///
+///   ceil(stage_rate * S_r * headroom / B_size)           (Algorithm 1e)
+///
+/// containers per stage, where stage_rate is the predicted Wp-max arrival
+/// rate times the stage's share of the mix, and S_r is the stage response
+/// window the in-flight requests must fit into (§4.5: arrivals sampled in
+/// Ws = 5 s windows, forecast horizon Wp = 10 min). Owns the load predictor, its offline pre-training
+/// on the trace prefix (paper: 60%), and optional online background
+/// retraining on the observed arrival-rate log (§8). Each forecast and the
+/// per-stage floor it implies are logged as "forecast"/"keep-warm"
+/// decisions when tracing is on (DESIGN.md §5d).
 class ProactiveScaler final : public Scaler {
  public:
   /// Builds the predictor `params.rm.predictor` names. Sets the forecast

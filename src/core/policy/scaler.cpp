@@ -5,6 +5,7 @@
 
 #include "core/app_profile.hpp"
 #include "core/experiment_params.hpp"
+#include "obs/trace_sink.hpp"
 
 namespace fifer {
 
@@ -28,9 +29,25 @@ void PerRequestScaler::on_arrival(PolicyContext& ctx, StageState& st) {
   // (paper §3). Containers already cold-starting count as future supply so
   // one backlog is not answered with two fleets.
   const int supply = st.warm_free_slots() + st.provisioning_slots();
-  int need = static_cast<int>(st.queue_length()) - supply;
-  while (need-- > 0) {
+  const int need = static_cast<int>(st.queue_length()) - supply;
+  int spawned = 0;
+  while (spawned < need) {
     if (ctx.spawn_container(st) == nullptr) break;
+    ++spawned;
+  }
+  if (spawned > 0) {
+    if (auto* t = ctx.trace()) {
+      obs::PolicyDecision d;
+      d.time = ctx.now();
+      d.kind = "scale-up";
+      d.policy = name();
+      d.stage = st.name();
+      d.inputs = {{"pq_len", static_cast<double>(st.queue_length())},
+                  {"supply_slots", static_cast<double>(supply)}};
+      d.outcome = "spawned";
+      d.value = spawned;
+      t->on_decision(d);
+    }
   }
 }
 
@@ -55,8 +72,23 @@ void StaticScaler::on_start(PolicyContext& ctx) {
                           std::ceil(in_flight * ctx.params().rm.headroom /
                                     static_cast<double>(st.profile().batch))));
     }
+    int spawned = 0;
     for (int i = 0; i < n; ++i) {
       if (ctx.spawn_container(st) == nullptr) break;
+      ++spawned;
+    }
+    if (auto* t = ctx.trace()) {
+      obs::PolicyDecision d;
+      d.time = ctx.now();
+      d.kind = "pool-size";
+      d.policy = this->name();
+      d.stage = name;
+      d.inputs = {{"avg_rps", avg_rps},
+                  {"stage_rps", stage_rps},
+                  {"target", static_cast<double>(n)}};
+      d.outcome = "spawned";
+      d.value = spawned;
+      t->on_decision(d);
     }
   }
 }
@@ -107,8 +139,36 @@ void ReactiveScaler::tick(PolicyContext& ctx) {
           4, static_cast<int>(ctx.params().rm.reactive_burst_factor *
                               static_cast<double>(st.live_count())));
       const int wanted = std::min(estimate_containers(ctx, st), cap);
+      int spawned = 0;
       for (int i = 0; i < wanted; ++i) {
         if (ctx.spawn_container(st) == nullptr) break;
+        ++spawned;
+      }
+      if (auto* t = ctx.trace()) {
+        // Algorithm 1b's inputs, reconstructed for the log: D_f =
+        // (PQ_len * S_r) / Σ B_size, weighed against the cold-start cost.
+        const double pq_len = static_cast<double>(st.queue_length());
+        const int capacity = st.total_capacity();
+        const double d_f =
+            capacity > 0
+                ? pq_len * st.profile().response_budget_ms() / capacity
+                : 0.0;
+        obs::PolicyDecision d;
+        d.time = ctx.now();
+        d.kind = "scale-up";
+        d.policy = this->name();
+        d.stage = name;
+        d.inputs = {{"pq_len", pq_len},
+                    {"s_r_ms", st.profile().response_budget_ms()},
+                    {"capacity_slots", static_cast<double>(capacity)},
+                    {"d_f_ms", d_f},
+                    {"observed_wait_ms", observed},
+                    {"projected_wait_ms", projected},
+                    {"slack_ms", st.profile().slack_ms},
+                    {"burst_cap", static_cast<double>(cap)}};
+        d.outcome = "spawned";
+        d.value = spawned;
+        t->on_decision(d);
       }
     }
   }
@@ -116,8 +176,22 @@ void ReactiveScaler::tick(PolicyContext& ctx) {
 
 void ReactiveScaler::on_starved(PolicyContext& ctx, StageState& st) {
   const int wanted = std::max(1, estimate_containers(ctx, st));
+  int spawned = 0;
   for (int i = 0; i < wanted; ++i) {
     if (ctx.spawn_container(st) == nullptr) break;
+    ++spawned;
+  }
+  if (auto* t = ctx.trace()) {
+    obs::PolicyDecision d;
+    d.time = ctx.now();
+    d.kind = "starved-spawn";
+    d.policy = name();
+    d.stage = st.name();
+    d.inputs = {{"pq_len", static_cast<double>(st.queue_length())},
+                {"wanted", static_cast<double>(wanted)}};
+    d.outcome = "spawned";
+    d.value = spawned;
+    t->on_decision(d);
   }
 }
 
@@ -151,9 +225,11 @@ void UtilizationScaler::tick(PolicyContext& ctx) {
     desired += static_cast<int>(st.queue_length()) > 0 ? 1 : 0;
     desired = std::clamp(desired, std::max(1, live / 2), 2 * live);
 
+    int delta = 0;
     if (desired > live) {
       for (int i = live; i < desired; ++i) {
         if (ctx.spawn_container(st) == nullptr) break;
+        ++delta;
       }
     } else if (desired < live) {
       int to_remove = live - desired;
@@ -162,8 +238,26 @@ void UtilizationScaler::tick(PolicyContext& ctx) {
         if (c->state() != ContainerState::kIdle || c->queued() > 0) continue;
         ctx.terminate_container(st, *c);
         --to_remove;
+        --delta;
       }
       st.erase_terminated();
+    }
+    if (delta != 0) {
+      if (auto* t = ctx.trace()) {
+        obs::PolicyDecision d;
+        d.time = ctx.now();
+        d.kind = delta > 0 ? "scale-up" : "scale-down";
+        d.policy = this->name();
+        d.stage = name;
+        d.inputs = {{"live", static_cast<double>(live)},
+                    {"utilization", utilization},
+                    {"hpa_target", ctx.params().rm.hpa_target},
+                    {"desired", static_cast<double>(desired)},
+                    {"queue_len", static_cast<double>(st.queue_length())}};
+        d.outcome = delta > 0 ? "spawned" : "terminated";
+        d.value = std::abs(delta);
+        t->on_decision(d);
+      }
     }
   }
 }

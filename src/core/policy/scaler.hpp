@@ -59,9 +59,16 @@ class StaticScaler final : public Scaler {
   bool reaps_idle() const override { return false; }
 };
 
-/// RScale: Algorithm 1a/1b — a periodic load monitor spawns
-/// ceil(deficit / B_size) containers when the projected queueing delay
-/// exceeds the stage's slack (and a cold start is worth paying).
+/// RScale: Algorithm 1a/1b — a periodic load monitor projects each stage's
+/// queueing delay as
+///
+///   D_f = (PQ_len * S_r) / Σ B_size            (Algorithm 1, line 5)
+///
+/// (pending-queue length × per-request service time, divided by the warm
+/// fleet's total batch slots) and spawns ceil(deficit / B_size) containers
+/// when D_f exceeds the stage's slack and a cold start is worth paying.
+/// Each tick's inputs and verdict are logged as a "scale-up" decision when
+/// tracing is on (DESIGN.md §5d).
 class ReactiveScaler final : public Scaler {
  public:
   const char* name() const override { return "reactive"; }

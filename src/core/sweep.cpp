@@ -8,6 +8,29 @@ namespace fifer {
 
 namespace {
 
+/// File-name-safe form of a run label: anything outside [A-Za-z0-9._-]
+/// (the '/' and '=' of grid labels, mostly) becomes '-'.
+std::string sanitize_label(const std::string& label) {
+  std::string out = label;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) c = '-';
+  }
+  return out;
+}
+
+/// Per-run tracing params (DESIGN.md §5d): a custom sink in the base would
+/// be shared mutable state across workers, so sweeps drop it; a
+/// trace_prefix fans out to one file set per grid cell, keyed by the
+/// sanitized run label — byte-identical at any `jobs` value.
+void derive_run_tracing(ExperimentParams& params, const std::string& label) {
+  params.trace_sink = nullptr;
+  if (!params.trace_prefix.empty()) {
+    params.trace_prefix += "." + sanitize_label(label);
+  }
+}
+
 /// Shared run loop: materializes params per grid index, runs sequentially
 /// or on a pool, and writes each result at its own index so the output
 /// order never depends on worker scheduling. The progress callback is
@@ -57,6 +80,7 @@ std::vector<ExperimentResult> PolicySweep::run() {
       [this](std::size_t i) {
         ExperimentParams params = base_;
         params.rm = policies_[i];
+        derive_run_tracing(params, policies_[i].name);
         return params;
       },
       [this](std::size_t i) { return policies_[i].name; }, progress_);
@@ -145,6 +169,9 @@ std::vector<ExperimentResult> GridSweep::run() {
       params.trace = traces_[ti].second;
       params.trace_name = traces_[ti].first;
     }
+    derive_run_tracing(params, params.trace_name + "/" + params.mix.name() +
+                                   "/seed=" + std::to_string(params.seed) +
+                                   "/" + params.rm.name);
     return params;
   };
   const auto label_at = [&](std::size_t i) {

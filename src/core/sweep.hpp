@@ -21,6 +21,12 @@ namespace fifer {
 /// insertion order and byte-identical to the sequential path regardless of
 /// which worker finished first; only the progress-callback interleaving
 /// differs. The default is jobs(1) — fully sequential.
+///
+/// Tracing composes the same way: a `trace_prefix` in the base params fans
+/// out to one file set per run (`<prefix>.<sanitized-label>.*`), each fed
+/// by that run's own sink, so trace output is also byte-identical at any
+/// jobs value (DESIGN.md §5d). A custom `trace_sink` in the base is
+/// dropped — it would be shared mutable state across workers.
 class PolicySweep {
  public:
   /// `base` supplies everything except the RM (mix, trace, cluster, seed,

@@ -1,0 +1,20 @@
+#include "obs/profiler.hpp"
+
+#include "common/csv.hpp"
+
+namespace fifer::obs {
+
+void Profiler::export_csv(const std::string& path) const {
+  CsvWriter csv(path, {"scope", "calls", "total_us", "mean_ns", "max_ns"});
+  for (const auto& [label, s] : scopes_) {
+    const double mean_ns =
+        s.calls > 0 ? static_cast<double>(s.total_ns) / static_cast<double>(s.calls)
+                    : 0.0;
+    csv.write_row({label, std::to_string(s.calls),
+                   std::to_string(s.total_ns / 1000),
+                   std::to_string(static_cast<std::uint64_t>(mean_ns)),
+                   std::to_string(s.max_ns)});
+  }
+}
+
+}  // namespace fifer::obs

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace fifer::obs {
+
+/// Wall-clock scoped profiling for the simulator's hot paths (event loop,
+/// LSF pick, bin-pack placement). Aggregates per label: call count, total
+/// and max nanoseconds. Unlike spans and decisions — which are simulated
+/// time and deterministic — profiler data is *host* time and therefore
+/// excluded from the byte-reproducible trace exports; it lands in its own
+/// `<prefix>.profile.csv`.
+///
+/// A Profiler belongs to one run (one framework); it is not thread-safe and
+/// does not need to be, per the sink determinism contract (DESIGN.md §5d).
+class Profiler {
+ public:
+  struct ScopeStats {
+    std::uint64_t calls = 0;
+    std::uint64_t total_ns = 0;
+    std::uint64_t max_ns = 0;
+  };
+
+  void record(const char* label, std::uint64_t ns) {
+    ScopeStats& s = scopes_[label];
+    ++s.calls;
+    s.total_ns += ns;
+    if (ns > s.max_ns) s.max_ns = ns;
+  }
+
+  const std::map<std::string, ScopeStats>& scopes() const { return scopes_; }
+  bool empty() const { return scopes_.empty(); }
+
+  /// Writes one row per scope: label, calls, total_us, mean_ns, max_ns.
+  void export_csv(const std::string& path) const;
+
+ private:
+  std::map<std::string, ScopeStats> scopes_;
+};
+
+/// RAII timer: times the enclosing scope into `profiler` under `label`.
+/// A null profiler makes construction and destruction a single predicted
+/// branch each — the instrumented hot paths stay near-zero-cost when
+/// tracing is off (held to ≤2% by `bench_overheads`' event-loop case).
+class ScopedTimer {
+ public:
+  ScopedTimer(Profiler* profiler, const char* label)
+      : profiler_(profiler), label_(label) {
+    if (profiler_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (profiler_ != nullptr) {
+      const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+      profiler_->record(label_, static_cast<std::uint64_t>(ns));
+    }
+  }
+
+ private:
+  Profiler* profiler_;
+  const char* label_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace fifer::obs

@@ -1,0 +1,176 @@
+#include "obs/recording_sink.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "common/csv.hpp"
+#include "common/json.hpp"
+
+namespace fifer::obs {
+
+namespace {
+
+/// Fixed decimal formatting (µs precision) so exports are byte-stable.
+std::string fmt_ms(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+/// General numeric formatting matching Json's integral/compact style.
+std::string fmt_num(double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.10g", v);
+  }
+  return buf;
+}
+
+constexpr double kMsToUs = 1000.0;  // trace_event timestamps are µs.
+
+Json meta_event(const char* what, int pid, int tid, const std::string& name) {
+  Json m = Json::object();
+  m["ph"] = "M";
+  m["name"] = what;
+  m["pid"] = pid;
+  m["tid"] = tid;
+  m["ts"] = 0.0;
+  Json args = Json::object();
+  args["name"] = name;
+  m["args"] = std::move(args);
+  return m;
+}
+
+}  // namespace
+
+void RecordingTraceSink::export_chrome_trace(const std::string& path) const {
+  // Stable pid assignment: stages sorted by name, pid 0 reserved for
+  // cluster-wide (stage-less) decisions.
+  std::map<std::string, int> stage_pid;
+  for (const auto& s : spans_) stage_pid.emplace(s.stage, 0);
+  for (const auto& d : decisions_) {
+    if (!d.stage.empty()) stage_pid.emplace(d.stage, 0);
+  }
+  int next_pid = 1;
+  for (auto& [name, pid] : stage_pid) pid = next_pid++;
+
+  Json events = Json::array();
+  events.push_back(meta_event("process_name", 0, 0, "cluster"));
+  for (const auto& [name, pid] : stage_pid) {
+    events.push_back(meta_event("process_name", pid, 0, "stage " + name));
+    events.push_back(meta_event("thread_name", pid, 0, "queue"));
+  }
+  // One named thread per container that executed on each stage.
+  std::set<std::pair<int, std::uint64_t>> container_tids;
+  for (const auto& s : spans_) {
+    container_tids.emplace(stage_pid.at(s.stage), s.container);
+  }
+  for (const auto& [pid, cid] : container_tids) {
+    events.push_back(meta_event("thread_name", pid, static_cast<int>(cid) + 1,
+                                "container " + std::to_string(cid)));
+  }
+
+  for (const auto& s : spans_) {
+    const int pid = stage_pid.at(s.stage);
+    // Queue phase: a slice on the stage's "queue" thread from enqueue to
+    // execution start (overlapping slices render as nesting depth).
+    Json wait = Json::object();
+    wait["ph"] = "X";
+    wait["name"] = "wait " + s.app;
+    wait["cat"] = "queue";
+    wait["pid"] = pid;
+    wait["tid"] = 0;
+    wait["ts"] = s.enqueued * kMsToUs;
+    wait["dur"] = s.wait_ms() * kMsToUs;
+    Json wargs = Json::object();
+    wargs["job"] = s.job;
+    wargs["cold_wait_ms"] = s.cold_wait_ms;
+    wait["args"] = std::move(wargs);
+    events.push_back(std::move(wait));
+
+    // Execution phase: a slice on the executing container's thread.
+    Json exec = Json::object();
+    exec["ph"] = "X";
+    exec["name"] = s.app + "#" + std::to_string(s.job);
+    exec["cat"] = "exec";
+    exec["pid"] = pid;
+    exec["tid"] = static_cast<int>(s.container) + 1;
+    exec["ts"] = s.exec_start * kMsToUs;
+    exec["dur"] = s.exec_ms * kMsToUs;
+    Json eargs = Json::object();
+    eargs["job"] = s.job;
+    eargs["stage_index"] = static_cast<std::uint64_t>(s.stage_index);
+    eargs["batch_slot"] = s.batch_slot;
+    eargs["slack_at_dispatch_ms"] = s.slack_at_dispatch_ms;
+    eargs["cold_wait_ms"] = s.cold_wait_ms;
+    exec["args"] = std::move(eargs);
+    events.push_back(std::move(exec));
+  }
+
+  for (const auto& d : decisions_) {
+    Json e = Json::object();
+    e["ph"] = "i";
+    e["s"] = "t";
+    e["name"] = d.kind + " (" + d.policy + ")";
+    e["cat"] = "decision";
+    e["pid"] = d.stage.empty() ? 0 : stage_pid.at(d.stage);
+    e["tid"] = 0;
+    e["ts"] = d.time * kMsToUs;
+    Json args = Json::object();
+    for (const auto& [key, value] : d.inputs) args[key] = value;
+    args["outcome"] = d.outcome;
+    args["value"] = d.value;
+    e["args"] = std::move(args);
+    events.push_back(std::move(e));
+  }
+
+  Json root = Json::object();
+  root["displayTimeUnit"] = "ms";
+  root["traceEvents"] = std::move(events);
+
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("RecordingTraceSink: cannot open " + path);
+  }
+  out << root.dump() << '\n';
+}
+
+void RecordingTraceSink::export_spans_csv(const std::string& path) const {
+  CsvWriter csv(path,
+                {"job", "app", "stage", "stage_index", "enqueued_ms",
+                 "dispatched_ms", "exec_start_ms", "exec_end_ms", "exec_ms",
+                 "wait_ms", "cold_wait_ms", "slack_at_dispatch_ms", "container",
+                 "batch_slot"});
+  for (const auto& s : spans_) {
+    csv.write_row({std::to_string(s.job), s.app, s.stage,
+                   std::to_string(s.stage_index), fmt_ms(s.enqueued),
+                   fmt_ms(s.dispatched), fmt_ms(s.exec_start),
+                   fmt_ms(s.exec_end), fmt_ms(s.exec_ms), fmt_ms(s.wait_ms()),
+                   fmt_ms(s.cold_wait_ms), fmt_ms(s.slack_at_dispatch_ms),
+                   std::to_string(s.container), std::to_string(s.batch_slot)});
+  }
+}
+
+void RecordingTraceSink::export_decisions_csv(const std::string& path) const {
+  CsvWriter csv(path,
+                {"time_ms", "kind", "policy", "stage", "outcome", "value",
+                 "inputs"});
+  for (const auto& d : decisions_) {
+    std::string inputs;
+    for (const auto& [key, value] : d.inputs) {
+      if (!inputs.empty()) inputs += ';';
+      inputs += key + "=" + fmt_num(value);
+    }
+    csv.write_row({fmt_ms(d.time), d.kind, d.policy, d.stage, d.outcome,
+                   fmt_num(d.value), inputs});
+  }
+}
+
+}  // namespace fifer::obs

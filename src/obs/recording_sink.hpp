@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace_sink.hpp"
+
+namespace fifer::obs {
+
+/// A TraceSink that buffers everything in memory and exports it after the
+/// run:
+///
+///   * `export_chrome_trace` — Chrome `trace_event` JSON (loadable in
+///     `chrome://tracing` / Perfetto): one process per stage, one thread per
+///     container (execution slices) plus a "queue" thread (wait slices),
+///     and policy decisions as instant events with their inputs as args.
+///   * `export_spans_csv` — one row per stage visit (the per-request CSV
+///     `examples/trace_analyzer` mines; span count = completed requests ×
+///     stages they ran).
+///   * `export_decisions_csv` — one row per policy decision.
+///
+/// All exported values are simulated time, so for a fixed seed the files
+/// are byte-identical regardless of sweep parallelism (DESIGN.md §5d).
+class RecordingTraceSink final : public TraceSink {
+ public:
+  void on_span(const SpanRecord& span) override { spans_.push_back(span); }
+  void on_decision(const PolicyDecision& decision) override {
+    decisions_.push_back(decision);
+  }
+
+  const std::vector<SpanRecord>& spans() const { return spans_; }
+  const std::vector<PolicyDecision>& decisions() const { return decisions_; }
+
+  void export_chrome_trace(const std::string& path) const;
+  void export_spans_csv(const std::string& path) const;
+  void export_decisions_csv(const std::string& path) const;
+
+ private:
+  std::vector<SpanRecord> spans_;
+  std::vector<PolicyDecision> decisions_;
+};
+
+}  // namespace fifer::obs

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fifer::obs {
+
+/// One **span**: a single stage visit of a single request, from entering the
+/// stage's global queue to finishing execution (the per-request unit behind
+/// the paper's Fig. 9 tail breakdown and Fig. 16 cold-start attribution).
+/// All times are simulated milliseconds; negative means "never happened".
+struct SpanRecord {
+  std::uint64_t job = 0;        ///< JobId of the owning request.
+  std::string app;              ///< Application chain name (Table 4).
+  std::string stage;            ///< Microservice / function name (Table 3).
+  std::uint32_t stage_index = 0;  ///< Position in the chain, 0-based.
+  SimTime enqueued = -1.0;      ///< Entered the stage's global queue.
+  SimTime dispatched = -1.0;    ///< Bound to a container's local batch queue.
+  SimTime exec_start = -1.0;    ///< Began executing in the container.
+  SimTime exec_end = -1.0;      ///< Finished executing.
+  SimDuration exec_ms = 0.0;    ///< Sampled service time (excl. overheads).
+  /// Share of the pre-execution wait attributable to the executing
+  /// container's cold start (vs. queuing behind other requests) — the
+  /// quantity Fig. 16 counts and the LSTM provisioner tries to hide.
+  SimDuration cold_wait_ms = 0.0;
+  /// Remaining slack when the task was bound to its container: deadline −
+  /// now − remaining busy time, i.e. exactly the LSF ordering quantity of
+  /// paper §4.3 evaluated at dispatch. Negative = the SLO was already lost.
+  SimDuration slack_at_dispatch_ms = 0.0;
+  std::uint64_t container = 0;  ///< ContainerId the task executed on.
+  /// Batch slot the task occupied at dispatch (0 = the container was empty;
+  /// B_size − 1 = it filled the batch). −1 when tracing recorded no dispatch.
+  int batch_slot = -1;
+
+  /// Total wait between entering the stage queue and starting to execute.
+  SimDuration wait_ms() const {
+    return (exec_start >= 0.0 && enqueued >= 0.0) ? exec_start - enqueued : 0.0;
+  }
+};
+
+/// One **policy decision**: a Scaler / Scheduler / Placer / BatchSizer /
+/// proactive-provisioner action together with the inputs it saw — e.g. a
+/// reactive scale-up records Algorithm 1's `PQ_len`, the delay factor
+/// `D_f = (PQ_len * S_r) / Σ B_size`, and how many containers it spawned.
+struct PolicyDecision {
+  SimTime time = 0.0;
+  /// Decision class: "scale-up", "scale-down", "pool-size", "keep-warm",
+  /// "forecast", "schedule", "place", "batch-size", "starved-spawn".
+  std::string kind;
+  std::string policy;  ///< Strategy name() that made the decision.
+  std::string stage;   ///< Affected stage; empty for cluster-wide decisions.
+  /// Named numeric inputs the decision was computed from, in a stable order
+  /// (e.g. {"pq_len", 12}, {"d_f_ms", 840}, {"cold_ms", 4100}).
+  std::vector<std::pair<std::string, double>> inputs;
+  std::string outcome;  ///< What happened ("spawned", "floor", "enqueued", ...).
+  double value = 0.0;   ///< Outcome magnitude (containers spawned, B_size, ...).
+};
+
+/// Consumer interface for the tracing subsystem. The framework (and the
+/// policy strategies, through `PolicyContext::trace()`) emit spans and
+/// decisions into a sink when tracing is enabled; when it is disabled the
+/// sink pointer is null and every emission site reduces to one predicted
+/// branch (the `bench_overheads` event-loop case pins that cost at ≤2%).
+///
+/// Determinism contract (DESIGN.md §5d): sinks are **per run** — one
+/// framework owns one sink, sweeps derive one sink per grid cell — and sink
+/// methods are called only from that run's thread, so recording requires no
+/// locks and parallel `GridSweep` output is byte-identical to sequential.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  /// A task finished executing: its complete stage-visit span.
+  virtual void on_span(const SpanRecord& span) = 0;
+
+  /// A policy strategy made a decision.
+  virtual void on_decision(const PolicyDecision& decision) = 0;
+};
+
+}  // namespace fifer::obs

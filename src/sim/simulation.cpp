@@ -49,7 +49,10 @@ std::uint64_t Simulation::run_until(SimTime deadline) {
     // The clock only moves forward: every fired event lies at or after now().
     FIFER_DCHECK_GE(fired.time, now_, kSim);
     now_ = fired.time;
-    fired.callback();
+    {
+      obs::ScopedTimer timer(profiler_, "sim.event");
+      fired.callback();
+    }
     ++executed;
   }
   // Advance the clock to the deadline so back-to-back run_until calls
@@ -65,7 +68,10 @@ std::uint64_t Simulation::run_to_completion() {
     auto fired = queue_.pop();
     FIFER_DCHECK_GE(fired.time, now_, kSim);
     now_ = fired.time;
-    fired.callback();
+    {
+      obs::ScopedTimer timer(profiler_, "sim.event");
+      fired.callback();
+    }
     ++executed;
   }
   events_executed_ += executed;

@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "common/types.hpp"
+#include "obs/profiler.hpp"
 #include "sim/event_queue.hpp"
 
 namespace fifer {
@@ -54,11 +55,17 @@ class Simulation {
   std::uint64_t events_executed() const { return events_executed_; }
   std::size_t pending_events() const { return queue_.size(); }
 
+  /// Attaches a hot-path profiler: every fired event callback is timed under
+  /// the "sim.event" scope. Null (the default) keeps the loop uninstrumented
+  /// apart from one predicted branch per event (see `bench_overheads`).
+  void set_profiler(obs::Profiler* profiler) { profiler_ = profiler; }
+
  private:
   EventQueue queue_;
   SimTime now_ = 0.0;
   bool stopped_ = false;
   std::uint64_t events_executed_ = 0;
+  obs::Profiler* profiler_ = nullptr;
 };
 
 }  // namespace fifer

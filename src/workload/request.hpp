@@ -20,6 +20,12 @@ struct StageRecord {
   /// container still cold-starting (vs. ordinary queuing behind others).
   SimDuration cold_start_wait_ms = 0.0;
   ContainerId container{0};
+  /// Tracing-only fields, captured at dispatch when a TraceSink is active
+  /// (defaults otherwise): remaining slack (LSF's ordering quantity,
+  /// §4.3) and the batch slot occupied in the container (0 = container was
+  /// empty, B_size − 1 = the batch was filled).
+  SimDuration slack_at_dispatch_ms = 0.0;
+  int batch_slot = -1;
 
   /// Total wait between entering the stage queue and starting to execute.
   SimDuration wait_ms() const {

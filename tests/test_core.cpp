@@ -329,22 +329,31 @@ TEST(Metrics, StageAggregatesAndRpc) {
   MetricsCollector mc;
   mc.on_container_spawned("ASR");
   mc.on_container_spawned("ASR");
+  mc.on_container_spawned("ASR");  // pre-warmed; never executes a task
   StageRecord rec;
   rec.enqueued = 0.0;
   rec.dispatched = 0.0;
   rec.exec_start = 10.0;
   rec.exec_end = 56.0;
   rec.exec_ms = 46.0;
-  for (int i = 0; i < 6; ++i) mc.on_task_executed("ASR", rec);
+  rec.container = static_cast<ContainerId>(1);
+  for (int i = 0; i < 4; ++i) mc.on_task_executed("ASR", rec);
+  rec.container = static_cast<ContainerId>(2);
+  for (int i = 0; i < 2; ++i) mc.on_task_executed("ASR", rec);
   mc.on_spawn_failure("ASR");
   const auto r = mc.finish(1000.0, 500.0);
   const auto& sm = r.stages.at("ASR");
-  EXPECT_EQ(sm.containers_spawned, 2u);
+  EXPECT_EQ(sm.containers_spawned, 3u);
   EXPECT_EQ(sm.tasks_executed, 6u);
   EXPECT_EQ(sm.spawn_failures, 1u);
+  // Fig. 12a's RPC ("jobs per container") counts containers *used*: the
+  // denominator is the 2 distinct containers that executed, not the 3
+  // spawns — a speculatively pre-warmed container that the reaper collects
+  // before any work reaches it must not dilute the utilization metric.
+  EXPECT_EQ(sm.containers_executed, 2u);
   EXPECT_DOUBLE_EQ(sm.requests_per_container(), 3.0);
   EXPECT_DOUBLE_EQ(r.mean_rpc(), 3.0);
-  EXPECT_EQ(r.containers_spawned, 2u);
+  EXPECT_EQ(r.containers_spawned, 3u);
 }
 
 TEST(Metrics, TimelineAveragesAndPeak) {

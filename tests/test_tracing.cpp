@@ -1,0 +1,193 @@
+// The observability layer end to end: span accounting against the metrics,
+// tracing inertness (recording must not perturb the simulation), Chrome
+// trace_event validity, CSV export shape, and the §5d determinism contract
+// (parallel GridSweep trace files byte-identical to the sequential run).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "core/framework.hpp"
+#include "core/sweep.hpp"
+#include "obs/recording_sink.hpp"
+#include "workload/generators.hpp"
+
+namespace fifer {
+namespace {
+
+ExperimentParams traced_params(const RmConfig& rm, double duration_s = 30.0,
+                               double lambda = 10.0) {
+  ExperimentParams p;
+  p.rm = rm;
+  p.mix = WorkloadMix::heavy();
+  p.trace = poisson_trace(duration_s, lambda);
+  p.trace_name = "poisson";
+  p.seed = 7;
+  p.train.epochs = 3;
+  return p;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::size_t count_lines(const std::string& text) {
+  std::size_t n = 0;
+  for (char c : text) n += c == '\n' ? 1 : 0;
+  return n;
+}
+
+std::uint64_t total_tasks_executed(const ExperimentResult& r) {
+  std::uint64_t total = 0;
+  for (const auto& [name, sm] : r.stages) total += sm.tasks_executed;
+  return total;
+}
+
+TEST(Tracing, SpanCountMatchesExecutedTasks) {
+  auto sink = std::make_shared<obs::RecordingTraceSink>();
+  auto p = traced_params(RmConfig::fifer());
+  p.trace_sink = sink;
+  const auto r = run_experiment(std::move(p));
+
+  // One span per stage visit: span count == tasks executed across stages ==
+  // completed requests × the stages each of them ran.
+  ASSERT_GT(r.jobs_completed, 0u);
+  EXPECT_EQ(r.jobs_completed, r.jobs_submitted);
+  EXPECT_EQ(sink->spans().size(), total_tasks_executed(r));
+  EXPECT_GE(sink->spans().size(), r.jobs_completed);
+
+  for (const auto& s : sink->spans()) {
+    EXPECT_GE(s.dispatched, s.enqueued);
+    EXPECT_GE(s.exec_start, s.dispatched);
+    EXPECT_GE(s.exec_end, s.exec_start);
+    EXPECT_GE(s.batch_slot, 0);  // captured at dispatch while tracing is on
+    EXPECT_FALSE(s.app.empty());
+    EXPECT_FALSE(s.stage.empty());
+  }
+}
+
+TEST(Tracing, DecisionLogCoversSchedulingAndPlacement) {
+  auto sink = std::make_shared<obs::RecordingTraceSink>();
+  auto p = traced_params(RmConfig::fifer());
+  p.trace_sink = sink;
+  const auto r = run_experiment(std::move(p));
+
+  std::size_t schedule = 0, place = 0, batch_size = 0, scale_like = 0;
+  for (const auto& d : sink->decisions()) {
+    if (d.kind == "schedule") ++schedule;
+    if (d.kind == "place") ++place;
+    if (d.kind == "batch-size") ++batch_size;
+    if (d.kind == "scale-up" || d.kind == "keep-warm" ||
+        d.kind == "starved-spawn" || d.kind == "forecast") {
+      ++scale_like;
+    }
+  }
+  // Every executed task was enqueued (one schedule decision) and dispatched
+  // (one place decision) exactly once; every stage got its offline B_size.
+  EXPECT_EQ(schedule, total_tasks_executed(r));
+  EXPECT_EQ(place, total_tasks_executed(r));
+  EXPECT_EQ(batch_size, r.stages.size());
+  EXPECT_GT(scale_like, 0u);
+}
+
+TEST(Tracing, RecordingSinkIsInert) {
+  const auto plain = run_experiment(traced_params(RmConfig::fifer()));
+  auto p = traced_params(RmConfig::fifer());
+  p.trace_sink = std::make_shared<obs::RecordingTraceSink>();
+  const auto traced = run_experiment(std::move(p));
+
+  // Tracing observes; it must not steer. Same seed, same results.
+  EXPECT_EQ(plain.jobs_completed, traced.jobs_completed);
+  EXPECT_EQ(plain.slo_violations, traced.slo_violations);
+  EXPECT_EQ(plain.containers_spawned, traced.containers_spawned);
+  EXPECT_DOUBLE_EQ(plain.response_ms.median(), traced.response_ms.median());
+  EXPECT_DOUBLE_EQ(plain.response_ms.p99(), traced.response_ms.p99());
+  EXPECT_DOUBLE_EQ(plain.energy_joules, traced.energy_joules);
+}
+
+TEST(Tracing, ExportsChromeTraceAndCsvs) {
+  const std::string prefix = testing::TempDir() + "/fifer_tracing_export";
+  auto p = traced_params(RmConfig::rscale());
+  p.trace_prefix = prefix;
+  const auto r = run_experiment(std::move(p));
+  const auto tasks = total_tasks_executed(r);
+
+  // Chrome trace: parses as JSON, and carries one "exec" slice per span.
+  const Json root = Json::parse(read_file(prefix + ".trace.json"));
+  ASSERT_TRUE(root.is_object());
+  ASSERT_TRUE(root.contains("traceEvents"));
+  const Json& events = root.at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  ASSERT_GT(events.size(), 0u);
+  std::size_t exec_slices = 0, wait_slices = 0, instants = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Json& e = events.at(i);
+    ASSERT_TRUE(e.is_object());
+    const std::string& ph = e.at("ph").as_string();
+    if (ph == "X" && e.at("cat").as_string() == "exec") ++exec_slices;
+    if (ph == "X" && e.at("cat").as_string() == "queue") ++wait_slices;
+    if (ph == "i") ++instants;
+  }
+  EXPECT_EQ(exec_slices, tasks);
+  EXPECT_EQ(wait_slices, tasks);
+  EXPECT_GT(instants, 0u);
+
+  // Spans CSV: header + one row per stage visit.
+  EXPECT_EQ(count_lines(read_file(prefix + ".spans.csv")), tasks + 1);
+  // Decision CSV: header + at least the offline batch-size decisions.
+  EXPECT_GT(count_lines(read_file(prefix + ".decisions.csv")),
+            r.stages.size());
+}
+
+TEST(Tracing, GridSweepTraceFilesAreParallelInvariant) {
+  namespace fs = std::filesystem;
+  const fs::path seq_dir = fs::path(testing::TempDir()) / "fifer_trace_seq";
+  const fs::path par_dir = fs::path(testing::TempDir()) / "fifer_trace_par";
+  for (const auto& dir : {seq_dir, par_dir}) {
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+  }
+
+  const auto sweep_results = [&](const fs::path& dir, std::size_t jobs) {
+    auto base = traced_params(RmConfig::bline(), 20.0, 8.0);
+    base.trace_prefix = (dir / "run").string();
+    GridSweep sweep(std::move(base));
+    sweep.add(RmConfig::bline()).add(RmConfig::rscale());
+    sweep.seeds({1, 2});
+    return sweep.jobs(jobs).run();
+  };
+  const auto seq = sweep_results(seq_dir, 1);
+  const auto par = sweep_results(par_dir, 4);
+  ASSERT_EQ(seq.size(), par.size());
+
+  // §5d determinism contract: per-run sinks, simulated-time-only exports —
+  // every trace file must be byte-identical regardless of jobs. The
+  // wall-clock .profile.csv is the documented exception.
+  std::size_t compared = 0;
+  for (const auto& entry : fs::directory_iterator(seq_dir)) {
+    const std::string file = entry.path().filename().string();
+    if (file.size() >= 12 &&
+        file.compare(file.size() - 12, 12, ".profile.csv") == 0) {
+      continue;
+    }
+    EXPECT_EQ(read_file(entry.path().string()),
+              read_file((par_dir / file).string()))
+        << file;
+    ++compared;
+  }
+  // 4 grid cells × {trace.json, spans.csv, decisions.csv}.
+  EXPECT_EQ(compared, seq.size() * 3);
+}
+
+}  // namespace
+}  // namespace fifer
