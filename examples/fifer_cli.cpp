@@ -1,6 +1,7 @@
 // fifer_cli — the kitchen-sink runner: every experiment knob on the command
-// line, optional JSON/CSV report output, and optional trace file I/O. The
-// programmatic equivalent of the paper's evaluation harness.
+// line, optional JSON/CSV report output, optional trace file I/O, and a live
+// execution mode. The programmatic equivalent of the paper's evaluation
+// harness.
 //
 // Usage examples:
 //   fifer_cli policy=fifer mix=heavy trace=wits duration_s=900
@@ -12,6 +13,9 @@
 //   fifer_cli policy=fifer --trace=out/run # request-level tracing: writes
 //                                          # out/run.trace.json (Chrome),
 //                                          # out/run.spans.csv, .decisions.csv
+//   fifer_cli policy=fifer --live trace=poisson duration_s=120
+//                                          # live mode at the default 100x
+//   fifer_cli policy=fifer --live=50       # live mode, 50x compression
 //
 // Keys (defaults in brackets):
 //   policy [fifer]        bline|sbatch|rscale|bpred|fifer|hpa — or a
@@ -23,9 +27,16 @@
 //   --trace PREFIX / trace_out=PREFIX []
 //                         per-request tracing: exports PREFIX.trace.json
 //                         (chrome://tracing / Perfetto), PREFIX.spans.csv,
-//                         PREFIX.decisions.csv, PREFIX.profile.csv; multi-
-//                         policy runs write one set per policy. (Not to be
-//                         confused with trace=, the arrival-trace kind.)
+//                         PREFIX.decisions.csv; single-policy sim runs add
+//                         PREFIX.profile.csv. (Not to be confused with
+//                         trace=, the arrival-trace kind.)
+//   --live[=SCALE] / live=SCALE []
+//                         execute on the live multithreaded runtime instead
+//                         of the simulator, compressing time by SCALE
+//                         (default 100: 1 wall s = 100 trace s). Multi-
+//                         policy lists run live sequentially. See
+//                         EXPERIMENTS.md "Live mode".
+//   max_wall_s [derived]  hard wall-clock budget for a live run
 //   mix [heavy]           heavy|medium|light
 //   trace [wits]          poisson|drift|wits|wiki|step|file
 //   trace_file            input path when trace=file
@@ -35,23 +46,41 @@
 //   slack [prop]          prop|ed        scheduler [lsf]  lsf|fifo
 //   placement [pack]      pack|spread    predictor []     override model
 //   batch_cap [64]  epochs [30]  retrain_s [0]  report []  verbose [false]
+//
+// Unknown or malformed flags fail fast: usage on stderr, exit status 2.
 
 #include <exception>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/cli.hpp"
 #include "common/config.hpp"
 #include "common/logging.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
 #include "core/report.hpp"
 #include "core/sweep.hpp"
+#include "runtime/live_runtime.hpp"
 #include "workload/analysis.hpp"
 #include "workload/generators.hpp"
 
 namespace {
+
+constexpr const char* kUsage =
+    "usage: fifer_cli [key=value ...] [--jobs N] [--trace PREFIX] [--live[=SCALE]]\n"
+    "  policy=bline|sbatch|rscale|bpred|fifer|hpa|all|paper|<list>\n"
+    "  mix=heavy|medium|light   trace=poisson|drift|wits|wiki|step|file\n"
+    "  duration_s=600 lambda=20 seed=1 warmup_s=100 nodes=5 cores=16\n"
+    "  idle_timeout_s=120 jitter=0.15 batch_cap=64 epochs=30 report=PREFIX\n"
+    "  --jobs N            sweep worker threads (multi-policy simulation)\n"
+    "  --trace PREFIX      export request-level trace files under PREFIX\n"
+    "  --live[=SCALE]      run on the live wall-clock runtime, SCALE-fold\n"
+    "                      time compression (default 100)\n"
+    "  --help              show this message\n"
+    "see the header comment of examples/fifer_cli.cpp for the full key list\n";
 
 fifer::RateTrace build_trace(const fifer::Config& cfg, double duration_s,
                              double lambda, fifer::Rng& rng) {
@@ -84,7 +113,7 @@ fifer::RateTrace build_trace(const fifer::Config& cfg, double duration_s,
   if (kind == "file") {
     return fifer::RateTrace::from_file(cfg.get_string("trace_file", "trace.txt"));
   }
-  throw std::invalid_argument("unknown trace kind: " + kind);
+  throw fifer::CliError("unknown trace kind: " + kind);
 }
 
 /// Splits the `policy` value into preset names: a comma-separated list, or
@@ -101,39 +130,51 @@ std::vector<std::string> policy_list(const std::string& value) {
   return names;
 }
 
-/// Accepts the conventional `--jobs N` / `--jobs=N` and `--trace PREFIX` /
-/// `--trace=PREFIX` spellings alongside the harness's `key=value` idiom by
-/// rewriting them before Config parses argv. `--trace` maps to the
-/// `trace_out` key because bare `trace=` already names the arrival-trace
-/// kind (wits/poisson/...).
-std::vector<std::string> canonicalize_args(int argc, char** argv) {
-  std::vector<std::string> args;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--jobs" && i + 1 < argc) {
-      args.push_back(std::string("jobs=") + argv[++i]);
-    } else if (arg.rfind("--jobs=", 0) == 0) {
-      args.push_back("jobs=" + arg.substr(7));
-    } else if (arg == "--trace" && i + 1 < argc) {
-      args.push_back(std::string("trace_out=") + argv[++i]);
-    } else if (arg.rfind("--trace=", 0) == 0) {
-      args.push_back("trace_out=" + arg.substr(8));
-    } else {
-      args.push_back(arg);
-    }
-  }
-  return args;
+/// The conventional long flags this CLI accepts alongside key=value tokens.
+/// `--trace` maps to `trace_out` because bare `trace=` already names the
+/// arrival-trace kind; `--live` carries an implicit 100x compression.
+const std::vector<fifer::CliFlag>& cli_flags() {
+  static const std::vector<fifer::CliFlag> flags = {
+      {"--jobs", "jobs", true, ""},
+      {"--trace", "trace_out", true, ""},
+      {"--live", "live", false, "100"},
+      {"--help", "help", false, "true"},
+  };
+  return flags;
 }
 
-}  // namespace
+void print_result_table(const fifer::ExperimentResult& r, std::ostream& out) {
+  fifer::Table t("results");
+  t.set_columns({"metric", "value"});
+  t.add_row({"jobs completed", std::to_string(r.jobs_completed)});
+  t.add_row({"SLO compliance %", fifer::fmt(100.0 - r.slo_violation_pct(), 2)});
+  t.add_row({"median latency ms", fifer::fmt(r.response_ms.median(), 1)});
+  t.add_row({"P95 latency ms", fifer::fmt(r.response_ms.p95(), 1)});
+  t.add_row({"P99 latency ms", fifer::fmt(r.response_ms.p99(), 1)});
+  t.add_row({"median queuing ms", fifer::fmt(r.queuing_ms.median(), 1)});
+  t.add_row({"P99 cold wait ms", fifer::fmt(r.cold_wait_ms.p99(), 1)});
+  t.add_row({"containers spawned", std::to_string(r.containers_spawned)});
+  t.add_row({"avg active containers", fifer::fmt(r.avg_active_containers, 1)});
+  t.add_row({"requests/container", fifer::fmt(r.mean_rpc(), 1)});
+  t.add_row({"energy kJ", fifer::fmt(r.energy_joules / 1000.0, 1)});
+  t.add_row({"avg power W", fifer::fmt(r.avg_power_watts(), 0)});
+  t.add_row({"bus transitions", std::to_string(r.bus_transitions)});
+  t.add_row({"predictor retrains", std::to_string(r.predictor_retrains)});
+  t.print(out);
+}
 
-int main(int argc, char** argv) try {
-  const std::vector<std::string> args = canonicalize_args(argc, argv);
+int run_cli(int argc, char** argv) {
+  const std::vector<std::string> args =
+      fifer::canonicalize_flags(argc, argv, cli_flags());
   std::vector<const char*> argv2{argv[0]};
   for (const auto& a : args) argv2.push_back(a.c_str());
   const fifer::Config cfg =
       fifer::Config::from_args(static_cast<int>(argv2.size()), argv2.data());
 
+  if (cfg.get_bool("help", false)) {
+    std::cout << kUsage;
+    return 0;
+  }
   if (cfg.get_bool("verbose", false)) {
     fifer::Logging::set_level(fifer::LogLevel::kInfo);
   }
@@ -143,10 +184,15 @@ int main(int argc, char** argv) try {
   const auto seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
   const std::vector<std::string> policies =
       policy_list(cfg.get_string("policy", "fifer"));
-  if (policies.empty()) throw std::invalid_argument("policy list is empty");
+  if (policies.empty()) throw fifer::CliError("policy list is empty");
   const std::int64_t jobs_arg =
       cfg.get_int("jobs", static_cast<std::int64_t>(fifer::default_jobs()));
   const std::size_t jobs = jobs_arg < 1 ? 1 : static_cast<std::size_t>(jobs_arg);
+  const bool live = cfg.has("live");
+  const double live_scale = cfg.get_double("live", 100.0);
+  if (live && live_scale <= 0.0) {
+    throw fifer::CliError("--live scale must be positive");
+  }
 
   fifer::ExperimentParams p;
   p.rm = fifer::RmConfig::by_name(policies.front());
@@ -197,12 +243,15 @@ int main(int argc, char** argv) try {
 
   const std::string report_prefix = cfg.get_string("report", "");
 
+  fifer::LiveOptions live_opts;
+  live_opts.time_scale = live_scale;
+  live_opts.max_wall_seconds = cfg.get_double("max_wall_s", 0.0);
+
   // Reject typos before burning cycles.
   if (const auto unused = cfg.unused_keys(); !unused.empty()) {
-    std::cerr << "unknown option(s):";
-    for (const auto& k : unused) std::cerr << ' ' << k;
-    std::cerr << "\n";
-    return 2;
+    std::string message = "unknown option(s):";
+    for (const auto& k : unused) message += ' ' + k;
+    throw fifer::CliError(message);
   }
 
   const auto trace_profile = fifer::profile_trace(p.trace);
@@ -211,8 +260,32 @@ int main(int argc, char** argv) try {
             << fifer::fmt(trace_profile.peak_to_median, 1) << "x, dispersion "
             << fifer::fmt(trace_profile.index_of_dispersion, 1) << ")\n";
 
-  // Multi-policy mode: fan the comparison out over the parallel sweep and
-  // print the standard table. Results are byte-identical for any jobs value.
+  // Live multi-policy mode: the live runtime owns the machine's threads, so
+  // policies run back-to-back rather than through the parallel sweep; the
+  // comparison table is the same.
+  if (live && policies.size() > 1) {
+    std::cout << "running " << policies.size() << " policies live ("
+              << fifer::fmt(live_scale, 0) << "x compression) / " << p.mix.name()
+              << " on " << fifer::fmt(p.cluster.total_cores(), 0) << " cores for "
+              << fifer::fmt(duration_s, 0) << " trace s...\n\n";
+    std::vector<fifer::ExperimentResult> results;
+    for (const auto& name : policies) {
+      fifer::ExperimentParams run = p;
+      run.rm = fifer::RmConfig::by_name(name);
+      apply_rm_overrides(run.rm);
+      if (!p.trace_prefix.empty()) run.trace_prefix = p.trace_prefix + "." + name;
+      std::cerr << "  running " << run.rm.name << " live ...\n";
+      results.push_back(fifer::run_live(std::move(run), live_opts).result);
+    }
+    const std::string title = "live policy comparison — " + p.mix.name() +
+                              " mix on " + p.trace_name;
+    fifer::PolicySweep::comparison_table(results, title).print(std::cout);
+    return 0;
+  }
+
+  // Multi-policy simulation: fan the comparison out over the parallel sweep
+  // and print the standard table. Results are byte-identical for any jobs
+  // value.
   if (policies.size() > 1) {
     std::cout << "running " << policies.size() << " policies / " << p.mix.name()
               << " on " << fifer::fmt(p.cluster.total_cores(), 0) << " cores for "
@@ -231,30 +304,50 @@ int main(int argc, char** argv) try {
     return 0;
   }
 
+  const std::string trace_prefix = p.trace_prefix;
+
+  if (live) {
+    std::cout << "running " << p.rm.name << " / " << p.mix.name() << " LIVE at "
+              << fifer::fmt(live_scale, 0) << "x compression on "
+              << fifer::fmt(p.cluster.total_cores(), 0) << " cores for "
+              << fifer::fmt(duration_s, 0) << " trace s ("
+              << fifer::fmt(duration_s / live_scale, 1) << " wall s + drain)...\n\n";
+    const fifer::LiveRunReport report = fifer::run_live(std::move(p), live_opts);
+    print_result_table(report.result, std::cout);
+
+    fifer::Table lt("live execution");
+    lt.set_columns({"metric", "value"});
+    lt.add_row({"drained cleanly", report.drained ? "yes" : "NO (wall budget hit)"});
+    lt.add_row({"time compression", fifer::fmt(report.time_scale, 0) + "x"});
+    lt.add_row({"trace time replayed s", fifer::fmt(report.sim_duration_ms / 1000.0, 1)});
+    lt.add_row({"wall time s", fifer::fmt(report.wall_seconds, 2)});
+    lt.add_row({"peak worker threads", std::to_string(report.peak_worker_threads)});
+    lt.add_row({"timer events", std::to_string(report.timer_events)});
+    lt.add_row({"stats-store writes", std::to_string(report.stats_writes)});
+    std::cout << "\n";
+    lt.print(std::cout);
+
+    if (!report_prefix.empty()) {
+      const auto paths = fifer::write_report(report.result, report_prefix);
+      std::cout << "\nreport written:";
+      for (const auto& path : paths) std::cout << "\n  " << path;
+      std::cout << "\n";
+    }
+    if (!trace_prefix.empty()) {
+      std::cout << "\ntrace written:\n  " << trace_prefix << ".trace.json"
+                << "  (open in chrome://tracing or ui.perfetto.dev)\n  "
+                << trace_prefix << ".spans.csv\n  " << trace_prefix
+                << ".decisions.csv\n";
+    }
+    return report.drained ? 0 : 1;
+  }
+
   std::cout << "running " << p.rm.name << " / " << p.mix.name() << " on "
             << fifer::fmt(p.cluster.total_cores(), 0) << " cores for "
             << fifer::fmt(duration_s, 0) << " s...\n\n";
 
-  const std::string trace_prefix = p.trace_prefix;
   const auto r = fifer::run_experiment(std::move(p));
-
-  fifer::Table t("results");
-  t.set_columns({"metric", "value"});
-  t.add_row({"jobs completed", std::to_string(r.jobs_completed)});
-  t.add_row({"SLO compliance %", fifer::fmt(100.0 - r.slo_violation_pct(), 2)});
-  t.add_row({"median latency ms", fifer::fmt(r.response_ms.median(), 1)});
-  t.add_row({"P95 latency ms", fifer::fmt(r.response_ms.p95(), 1)});
-  t.add_row({"P99 latency ms", fifer::fmt(r.response_ms.p99(), 1)});
-  t.add_row({"median queuing ms", fifer::fmt(r.queuing_ms.median(), 1)});
-  t.add_row({"P99 cold wait ms", fifer::fmt(r.cold_wait_ms.p99(), 1)});
-  t.add_row({"containers spawned", std::to_string(r.containers_spawned)});
-  t.add_row({"avg active containers", fifer::fmt(r.avg_active_containers, 1)});
-  t.add_row({"requests/container", fifer::fmt(r.mean_rpc(), 1)});
-  t.add_row({"energy kJ", fifer::fmt(r.energy_joules / 1000.0, 1)});
-  t.add_row({"avg power W", fifer::fmt(r.avg_power_watts(), 0)});
-  t.add_row({"bus transitions", std::to_string(r.bus_transitions)});
-  t.add_row({"predictor retrains", std::to_string(r.predictor_retrains)});
-  t.print(std::cout);
+  print_result_table(r, std::cout);
 
   if (!report_prefix.empty()) {
     const auto paths = fifer::write_report(r, report_prefix);
@@ -269,7 +362,23 @@ int main(int argc, char** argv) try {
               << ".decisions.csv\n  " << trace_prefix << ".profile.csv\n";
   }
   return 0;
-} catch (const std::exception& e) {
-  std::cerr << "error: " << e.what() << "\n";
-  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run_cli(argc, argv);
+  } catch (const fifer::CliError& e) {
+    std::cerr << "error: " << e.what() << "\n" << kUsage;
+    return 2;
+  } catch (const std::invalid_argument& e) {
+    // Malformed values (jobs=abc, policy=knative, ...) are bad invocations
+    // too — same usage + status 2 contract as unknown flags.
+    std::cerr << "error: " << e.what() << "\n" << kUsage;
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
 }

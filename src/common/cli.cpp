@@ -1,0 +1,55 @@
+#include "common/cli.hpp"
+
+namespace fifer {
+
+std::vector<std::string> canonicalize_flags(int argc, const char* const* argv,
+                                            const std::vector<CliFlag>& flags) {
+  std::vector<std::string> out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+
+    const CliFlag* match = nullptr;
+    std::string inline_value;
+    bool has_inline = false;
+    for (const CliFlag& f : flags) {
+      if (arg == f.flag) {
+        match = &f;
+        break;
+      }
+      if (arg.size() > f.flag.size() + 1 && arg.compare(0, f.flag.size(), f.flag) == 0 &&
+          arg[f.flag.size()] == '=') {
+        match = &f;
+        inline_value = arg.substr(f.flag.size() + 1);
+        has_inline = true;
+        break;
+      }
+    }
+
+    if (match != nullptr) {
+      if (has_inline) {
+        out.push_back(match->key + "=" + inline_value);
+      } else if (match->takes_value) {
+        if (i + 1 >= argc) {
+          throw CliError("flag " + match->flag + " expects a value");
+        }
+        out.push_back(match->key + "=" + std::string(argv[++i]));
+      } else {
+        out.push_back(match->key + "=" + match->implicit_value);
+      }
+      continue;
+    }
+
+    // `--flag=` with an empty value never matched above (size guard), and
+    // any other dashed token is a typo; both are bad invocations.
+    if (!arg.empty() && arg.front() == '-') {
+      throw CliError("unknown flag: " + arg);
+    }
+    if (arg.find('=') == std::string::npos) {
+      throw CliError("malformed argument (expected key=value): " + arg);
+    }
+    out.push_back(arg);
+  }
+  return out;
+}
+
+}  // namespace fifer

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace fifer {
+
+/// A user error on the command line: an unrecognized flag, a flag missing
+/// its required value, or a bare word that is neither a flag nor key=value.
+/// CLIs catch this at the top level, print their usage string, and exit with
+/// status 2 — the conventional "bad invocation" code, distinct from the
+/// status-1 runtime failures.
+class CliError : public std::runtime_error {
+ public:
+  explicit CliError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// One recognized long flag and the `key=value` token it canonicalizes to.
+struct CliFlag {
+  std::string flag;         ///< The spelling, e.g. "--jobs".
+  std::string key;          ///< Config key it maps to, e.g. "jobs".
+  bool takes_value = true;  ///< Accepts `--flag N` in addition to `--flag=N`.
+  /// Value substituted when a value-optional flag (takes_value = false)
+  /// appears bare, e.g. `--live` -> `live=100`. An explicit `--flag=V`
+  /// always wins.
+  std::string implicit_value;
+};
+
+/// Rewrites argv (excluding argv[0]) into Config-ready `key=value` tokens.
+/// Known `--flag` spellings are canonicalized through `flags`; plain
+/// `key=value` tokens pass through untouched. Everything else fails fast
+/// with CliError: an unrecognized `-`/`--` token, a flag with a required
+/// value missing, or a bare word with no `=`. Typos die here with usage and
+/// exit code 2 instead of surfacing as a half-configured run.
+std::vector<std::string> canonicalize_flags(int argc, const char* const* argv,
+                                            const std::vector<CliFlag>& flags);
+
+}  // namespace fifer

@@ -1,0 +1,111 @@
+#include "runtime/gateway.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <mutex>
+
+#include "common/check.hpp"
+#include "core/policy/scaler.hpp"
+#include "runtime/live_runtime.hpp"
+
+namespace fifer {
+
+void Gateway::pump(std::size_t i) {
+  {
+    std::lock_guard<std::mutex> lock(rt_.mu_);
+    rt_.submit_job(arrivals_[i]);
+    if (i + 1 >= arrivals_.size()) rt_.arrivals_done_ = true;
+  }
+  if (i + 1 < arrivals_.size()) {
+    rt_.timers_.at(arrivals_[i + 1].time, [this, i](SimTime) { pump(i + 1); });
+  }
+}
+
+LiveRunReport Gateway::run() {
+  // Arrival plan: the same RNG split the simulator uses (and at the same
+  // point in the seed's draw sequence — after Scaler::on_start), so a
+  // sim/live pair with one seed replays the identical request sequence.
+  Rng arrival_rng = rt_.rng_.split(0xA221);
+  arrivals_ = generate_arrivals(rt_.params_.trace, rt_.params_.mix, arrival_rng,
+                                rt_.params_.input_scale_jitter);
+  rt_.end_of_arrivals_ = arrivals_.empty() ? 0.0 : arrivals_.back().time;
+  rt_.trace_end_ =
+      std::max(rt_.params_.trace.duration_ms(), rt_.end_of_arrivals_);
+  rt_.arrivals_done_ = arrivals_.empty();
+
+  // Anchor simulated t = 0, then release the workers spawned during offline
+  // setup: their cold-start sleeps are measured from the anchor.
+  rt_.clock_.start();
+  rt_.start_pending_workers();
+
+  // Registration order matches the simulator's determinism contract:
+  // arrival pump, then the scaler's ticks, then housekeeping.
+  if (!arrivals_.empty()) {
+    rt_.timers_.at(arrivals_.front().time, [this](SimTime) { pump(0); });
+  }
+  rt_.engine_.scaler->install(rt_);
+  rt_.timers_.every(rt_.params_.housekeeping_interval_ms, [this](SimTime) {
+    std::lock_guard<std::mutex> lock(rt_.mu_);
+    rt_.housekeeping_tick();
+  });
+
+  // Bounded shutdown: the hard wall deadline caps the run even if the
+  // workload wedges. Derived budget = trace + drain grace on the scaled
+  // clock, plus a fixed margin for thread scheduling noise.
+  LiveClock::WallTime hard_deadline;
+  if (rt_.opts_.max_wall_seconds > 0.0) {
+    hard_deadline =
+        LiveClock::WallClock::now() +
+        std::chrono::nanoseconds(
+            static_cast<std::int64_t>(rt_.opts_.max_wall_seconds * 1e9));
+  } else {
+    hard_deadline =
+        rt_.clock_.wall_deadline(rt_.trace_end_ + rt_.opts_.drain_grace_ms) +
+        std::chrono::seconds(2);
+  }
+
+  // Drain condition: trace replayed to its end (zero-rate tails included —
+  // that is where scale-down shows), every submitted request completed.
+  // Checked between timer callbacks and on completion wakeups; retired
+  // worker threads are joined here, off the state lock.
+  const auto done = [this] {
+    rt_.cluster_.join_retired();
+    std::lock_guard<std::mutex> lock(rt_.mu_);
+    return rt_.arrivals_done_ && rt_.clock_.now_ms() >= rt_.trace_end_ &&
+           rt_.completed_jobs_ == rt_.jobs_.size();
+  };
+  const std::uint64_t fired = rt_.timers_.run(done, hard_deadline);
+
+  // Shutdown: stop and join every worker (no locks held — a worker may be
+  // blocked on the state lock in a callback, which must complete first).
+  rt_.cluster_.stop_and_join_all();
+
+  // Single-threaded from here on.
+  const SimTime end = rt_.clock_.now_ms();
+  rt_.cluster_.metal().advance_energy(end);
+  ExperimentResult result =
+      rt_.recorder_.finish(end, rt_.cluster_.metal().energy_joules());
+  result.policy = rt_.params_.rm.name;
+  result.mix = rt_.params_.mix.name();
+  result.trace = rt_.params_.trace_name;
+  result.bus_transitions = rt_.bus_.total_transitions();
+  result.bus_peak_congestion = rt_.bus_.peak_congestion();
+  result.predictor_retrains = rt_.engine_.scaler->predictor_retrains();
+  rt_.export_trace_files();
+
+  LiveRunReport report;
+  report.result = std::move(result);
+  report.drained =
+      rt_.arrivals_done_ && rt_.completed_jobs_ == rt_.jobs_.size();
+  report.sim_duration_ms = end;
+  report.wall_seconds = (end / rt_.clock_.scale()) / 1000.0;
+  report.time_scale = rt_.clock_.scale();
+  report.timer_events = fired;
+  report.stats_reads = rt_.recorder_.db().reads();
+  report.stats_writes = rt_.recorder_.db().writes();
+  report.peak_worker_threads = rt_.cluster_.peak_workers();
+  return report;
+}
+
+}  // namespace fifer

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "workload/arrival.hpp"
+
+namespace fifer {
+
+class LiveRuntime;
+struct LiveRunReport;
+
+/// The live runtime's front door, mirroring the prototype's load-generator +
+/// gateway pair: it materializes the arrival plan from the trace (same RNG
+/// split as the simulator, so a sim/live pair replays the *identical*
+/// request sequence), anchors the compressed clock, replays arrivals through
+/// the timer queue in scaled real time, keeps the periodic policy ticks and
+/// housekeeping running, and supervises the end of the run — graceful drain
+/// once the trace is exhausted, bounded shutdown when the wall budget runs
+/// out first.
+///
+/// The gateway drives; the LiveRuntime decides. It is constructed by
+/// LiveRuntime::run() on the calling thread and lives for exactly one run.
+class Gateway {
+ public:
+  explicit Gateway(LiveRuntime& rt) : rt_(rt) {}
+
+  /// Replays the trace to completion (or the wall budget) and returns the
+  /// assembled report. Called once, on the thread that owns the run.
+  LiveRunReport run();
+
+ private:
+  /// Submits arrival `i` and schedules arrival `i + 1`. Self-scheduling, so
+  /// the timer queue holds at most one pending arrival at a time — the live
+  /// analogue of the simulator's lazy arrival pump.
+  void pump(std::size_t i);
+
+  LiveRuntime& rt_;
+  std::vector<Arrival> arrivals_;
+};
+
+}  // namespace fifer

@@ -1,0 +1,60 @@
+#include "runtime/live_cluster.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace fifer {
+
+LiveContainer& LiveCluster::adopt(NodeId node, std::unique_ptr<LiveContainer> worker) {
+  const std::uint64_t key = value_of(worker->id());
+  FIFER_CHECK(workers_.find(key) == workers_.end(), kCluster)
+      << "duplicate live container id " << key;
+  LiveContainer& ref = *worker;
+  workers_.emplace(key, std::move(worker));
+  worker_node_.emplace(key, node);
+  peak_workers_ = std::max(peak_workers_, workers_.size());
+  return ref;
+}
+
+LiveContainer* LiveCluster::worker(ContainerId id) {
+  const auto it = workers_.find(value_of(id));
+  return it == workers_.end() ? nullptr : it->second.get();
+}
+
+void LiveCluster::retire(ContainerId id) {
+  const auto it = workers_.find(value_of(id));
+  FIFER_CHECK(it != workers_.end(), kCluster)
+      << "retiring unknown live container " << value_of(id);
+  std::unique_ptr<LiveContainer> worker = std::move(it->second);
+  workers_.erase(it);
+  worker_node_.erase(value_of(id));
+  worker->request_stop();
+  std::lock_guard<std::mutex> lock(retired_mu_);
+  retired_.push_back(std::move(worker));
+}
+
+std::size_t LiveCluster::node_workers(NodeId node) const {
+  std::size_t n = 0;
+  for (const auto& [id, nid] : worker_node_) n += (nid == node) ? 1 : 0;
+  return n;
+}
+
+void LiveCluster::join_retired() {
+  std::vector<std::unique_ptr<LiveContainer>> to_join;
+  {
+    std::lock_guard<std::mutex> lock(retired_mu_);
+    to_join.swap(retired_);
+  }
+  for (auto& w : to_join) w->join();
+}
+
+void LiveCluster::stop_and_join_all() {
+  // Signal everything first so workers wind down in parallel, then join.
+  for (auto& [id, w] : workers_) w->request_stop();
+  for (auto& [id, w] : workers_) w->join();
+  join_retired();
+}
+
+}  // namespace fifer

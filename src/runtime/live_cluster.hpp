@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/types.hpp"
+#include "runtime/live_container.hpp"
+
+namespace fifer {
+
+/// The live runtime's compute substrate: the simulator's slot-accounted
+/// `Cluster` (nodes, placement, power/energy integration) plus ownership of
+/// the per-node worker-thread groups that animate its containers.
+///
+/// Two concerns, two locking domains:
+///  - Resource accounting (`allocate`/`release`/power/energy) mutates the
+///    wrapped `Cluster` and the node->worker grouping. Callers hold the
+///    runtime state lock for these, exactly as the simulator's framework
+///    serializes them on the event loop — so the bin-packing placer sees a
+///    consistent free-core view.
+///  - Thread lifecycle (`retire` hand-off, `join_retired`, shutdown) has its
+///    own small mutex, because joins must happen *without* the runtime lock:
+///    a worker blocked on that lock in a callback would deadlock a joiner
+///    holding it.
+class LiveCluster {
+ public:
+  explicit LiveCluster(const ClusterSpec& spec) : cluster_(spec) {}
+
+  // ----- resource accounting (caller holds the runtime state lock) -----
+
+  std::optional<NodeId> allocate(double cpu, double memory_mb, NodeSelection policy,
+                                 SimTime now) {
+    return cluster_.allocate(cpu, memory_mb, policy, now);
+  }
+  void release(NodeId id, double cpu, double memory_mb, SimTime now) {
+    cluster_.release(id, cpu, memory_mb, now);
+  }
+
+  /// The wrapped accounting cluster (power, energy, node introspection).
+  Cluster& metal() { return cluster_; }
+  const Cluster& metal() const { return cluster_; }
+
+  // ----- worker-thread groups (caller holds the runtime state lock) -----
+
+  /// Takes ownership of a freshly spawned worker, filed under its node.
+  LiveContainer& adopt(NodeId node, std::unique_ptr<LiveContainer> worker);
+
+  /// Lookup; nullptr once retired.
+  LiveContainer* worker(ContainerId id);
+
+  /// Stops `id`'s worker and moves it to the retirement list; the thread is
+  /// joined later by `join_retired` (off the runtime lock). Called for
+  /// idle-reap and scale-down terminations.
+  void retire(ContainerId id);
+
+  /// Threads currently animating containers (live, not yet retired).
+  std::size_t live_workers() const { return workers_.size(); }
+  /// Live workers on one node — the node's "thread group" size.
+  std::size_t node_workers(NodeId node) const;
+  /// High-water mark of concurrently live worker threads.
+  std::size_t peak_workers() const { return peak_workers_; }
+
+  // ----- thread lifecycle (call WITHOUT the runtime state lock) -----
+
+  /// Joins retired workers. Cheap when none are pending; call it from the
+  /// gateway loop so long runs do not accumulate exited threads.
+  void join_retired();
+
+  /// Shutdown: stop every remaining worker, then join them all.
+  void stop_and_join_all();
+
+ private:
+  Cluster cluster_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<LiveContainer>> workers_;
+  std::unordered_map<std::uint64_t, NodeId> worker_node_;
+  std::size_t peak_workers_ = 0;
+
+  mutable std::mutex retired_mu_;
+  std::vector<std::unique_ptr<LiveContainer>> retired_;
+};
+
+}  // namespace fifer

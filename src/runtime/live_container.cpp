@@ -1,0 +1,91 @@
+#include "runtime/live_container.hpp"
+
+#include <utility>
+
+namespace fifer {
+
+LiveContainer::LiveContainer(ContainerId id, std::string stage,
+                             const LiveClock& clock, SimTime spawned_at,
+                             SimDuration cold_ms, std::size_t batch_capacity,
+                             LiveContainerHost* host)
+    : id_(id),
+      stage_(std::move(stage)),
+      clock_(clock),
+      spawned_at_(spawned_at),
+      cold_ms_(cold_ms < 0.0 ? 0.0 : cold_ms),
+      capacity_(batch_capacity < 1 ? 1 : batch_capacity),
+      host_(host) {}
+
+LiveContainer::~LiveContainer() {
+  request_stop();
+  join();
+}
+
+void LiveContainer::start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_ || stop_) return;
+  started_ = true;
+  thread_ = std::thread([this] { thread_main(); });
+}
+
+bool LiveContainer::submit(TaskRef task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_ || queue_.size() >= capacity_) return false;
+    queue_.push_back(task);
+  }
+  cv_.notify_all();
+  return true;
+}
+
+void LiveContainer::request_stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+}
+
+void LiveContainer::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+std::size_t LiveContainer::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+bool LiveContainer::interruptible_sleep_until(LiveClock::WallTime deadline) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait_until(lock, deadline, [this] { return stop_; });
+  return !stop_;
+}
+
+void LiveContainer::thread_main() {
+  // Cold start: the provisioning sleep, on the compressed clock.
+  if (!interruptible_sleep_until(clock_.wall_deadline(spawned_at_ + cold_ms_))) {
+    return;
+  }
+  host_->on_container_ready(id_);
+
+  while (true) {
+    TaskRef task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_) return;
+      task = queue_.front();
+      queue_.pop_front();
+    }
+    // Bookkeeping happens host-side under the runtime lock; the sleep — the
+    // emulated service time — happens here, off every lock.
+    const SimDuration exec_ms = host_->on_task_begin(id_, task);
+    if (!interruptible_sleep_until(LiveClock::WallClock::now() +
+                                   clock_.wall_duration(exec_ms))) {
+      return;  // shutdown mid-execution: no finish callback by design
+    }
+    host_->on_task_finish(id_, task);
+  }
+}
+
+}  // namespace fifer

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/types.hpp"
+#include "runtime/clock.hpp"
+#include "workload/request.hpp"
+
+namespace fifer {
+
+/// Host-side hooks a live container worker calls back into. Implemented by
+/// LiveRuntime; every hook takes the runtime's state lock internally, so a
+/// worker must never hold its own queue lock across one of these calls (the
+/// lock order is runtime-state -> worker-queue, established by `submit`).
+class LiveContainerHost {
+ public:
+  virtual ~LiveContainerHost() = default;
+
+  /// Cold start finished; the container can pull work.
+  virtual void on_container_ready(ContainerId id) = 0;
+
+  /// A task is about to execute. The host performs the passive bookkeeping
+  /// (pop from the mirrored container queue, begin_execution, timestamps)
+  /// and returns the sampled service time the worker should sleep for.
+  virtual SimDuration on_task_begin(ContainerId id, TaskRef task) = 0;
+
+  /// The task's emulated execution finished.
+  virtual void on_task_finish(ContainerId id, TaskRef task) = 0;
+};
+
+/// One live container: a worker thread with a bounded batch queue that
+/// emulates the container lifecycle in compressed wall-clock time. The
+/// thread sleeps out the cold start, reports ready, then serially drains its
+/// queue — sleeping each task's sampled service time — exactly the
+/// one-executor-plus-B_size-slots semantics the simulator's passive
+/// `Container` models and the paper's batched pods implement.
+///
+/// Decisions stay out of this class: which task lands here is the
+/// Scheduler/Placer's call, made in the runtime under its state lock; the
+/// worker only paces execution. The queue bound equals the stage's B_size,
+/// so a policy bug that overfills a batch fails loudly here too.
+class LiveContainer {
+ public:
+  LiveContainer(ContainerId id, std::string stage, const LiveClock& clock,
+                SimTime spawned_at, SimDuration cold_ms, std::size_t batch_capacity,
+                LiveContainerHost* host);
+
+  /// Joins the worker; callers stop it first (or it exits on its own at
+  /// shutdown via request_stop()).
+  ~LiveContainer();
+
+  LiveContainer(const LiveContainer&) = delete;
+  LiveContainer& operator=(const LiveContainer&) = delete;
+
+  ContainerId id() const { return id_; }
+  const std::string& stage() const { return stage_; }
+
+  /// Launches the worker thread. Separate from construction so containers
+  /// spawned during offline setup (static pools, pre-training) can be held
+  /// back until the clock is anchored. Idempotent.
+  void start();
+
+  /// Hands the worker a task. Returns false when the bounded queue is full —
+  /// the caller's slot accounting should make that impossible.
+  bool submit(TaskRef task);
+
+  /// Asks the worker to exit: interrupts the cold-start sleep, the idle
+  /// wait, and any in-flight execution sleep (the latter exits without the
+  /// finish callback — used only at shutdown). Safe from any thread.
+  void request_stop();
+
+  /// Joins the thread if joinable. Never call while holding the runtime
+  /// state lock: the worker may be blocked acquiring it in a callback.
+  void join();
+
+  std::size_t queued() const;
+
+ private:
+  void thread_main();
+  /// Sleeps until `deadline` or stop; returns false when stopped.
+  bool interruptible_sleep_until(LiveClock::WallTime deadline);
+
+  const ContainerId id_;
+  const std::string stage_;
+  const LiveClock& clock_;
+  const SimTime spawned_at_;
+  const SimDuration cold_ms_;
+  const std::size_t capacity_;
+  LiveContainerHost* const host_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<TaskRef> queue_;
+  bool stop_ = false;
+  bool started_ = false;
+  std::thread thread_;
+};
+
+}  // namespace fifer

@@ -1,0 +1,426 @@
+#include "runtime/live_runtime.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+#include "core/policy/batch_sizer.hpp"
+#include "core/policy/placer.hpp"
+#include "core/policy/scaler.hpp"
+#include "core/policy/scheduler.hpp"
+#include "obs/recording_sink.hpp"
+#include "runtime/gateway.hpp"
+
+namespace fifer {
+
+namespace {
+
+std::shared_ptr<obs::TraceSink> make_sink(const ExperimentParams& params) {
+  if (params.trace_sink != nullptr) return params.trace_sink;
+  if (!params.trace_prefix.empty()) {
+    return std::make_shared<obs::RecordingTraceSink>();
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+LiveRuntime::LiveRuntime(ExperimentParams params, LiveOptions opts)
+    : params_(std::move(params)),
+      opts_(opts),
+      clock_(opts.time_scale),
+      timers_(clock_),
+      cluster_(params_.cluster),
+      services_(params_.services),
+      apps_(params_.applications),
+      engine_(assemble_policy_engine(params_)),
+      profiles_(params_.mix, apps_, services_, *engine_.batch_sizer,
+                params_.rm.batch_cap),
+      rng_(params_.seed),
+      bus_(params_.bus),
+      recorder_(params_.warmup_ms, make_sink(params_)) {
+  for (const auto& [name, profile] : profiles_.stages()) {
+    stages_.emplace(name, StageState(profile, engine_.scheduler->policy()));
+  }
+}
+
+LiveRuntime::~LiveRuntime() {
+  // Normally a no-op (the gateway joined everything); the backstop keeps a
+  // throwing run from destroying state under live worker threads.
+  cluster_.stop_and_join_all();
+}
+
+LiveRunReport LiveRuntime::run() {
+  FIFER_CHECK(!ran_, kCore) << "LiveRuntime::run is single-shot";
+  ran_ = true;
+
+  // Offline steps, single-threaded, clock still reading 0: surface the
+  // static B_size configuration, then let the scaler pre-train predictors
+  // and size static pools. Workers spawned here are held back (deferred
+  // start) so their cold-start sleeps begin at the anchor.
+  trace_batch_profiles();
+  engine_.scaler->on_start(*this);
+
+  Gateway gateway(*this);
+  return gateway.run();
+}
+
+StageState& LiveRuntime::stage_of(const std::string& name) {
+  const auto it = stages_.find(name);
+  FIFER_CHECK(it != stages_.end(), kCore) << "unknown stage " << name;
+  return it->second;
+}
+
+const std::string& LiveRuntime::stage_name_of(ContainerId id) const {
+  const auto it = container_stage_.find(value_of(id));
+  FIFER_CHECK(it != container_stage_.end(), kCore)
+      << "callback from unknown container " << value_of(id);
+  return it->second;
+}
+
+void LiveRuntime::start_pending_workers() {
+  FIFER_CHECK(clock_.started(), kCore)
+      << "workers must start after the clock anchor";
+  for (LiveContainer* w : pending_start_) w->start();
+  pending_start_.clear();
+}
+
+void LiveRuntime::trace_batch_profiles() {
+  obs::TraceSink* t = recorder_.sink();
+  if (t == nullptr) return;
+  for (const auto& [name, st] : stages_) {
+    const StageProfile& prof = st.profile();
+    obs::PolicyDecision d;
+    d.time = clock_.now_ms();
+    d.kind = "batch-size";
+    d.policy = engine_.batch_sizer->name();
+    d.stage = name;
+    d.inputs = {{"exec_ms", prof.exec_ms}, {"slack_ms", prof.slack_ms}};
+    d.outcome = "B_size";
+    d.value = prof.batch;
+    t->on_decision(d);
+  }
+}
+
+void LiveRuntime::export_trace_files() {
+  if (params_.trace_prefix.empty()) return;
+  if (const auto* rec =
+          dynamic_cast<const obs::RecordingTraceSink*>(recorder_.sink())) {
+    rec->export_chrome_trace(params_.trace_prefix + ".trace.json");
+    rec->export_spans_csv(params_.trace_prefix + ".spans.csv");
+    rec->export_decisions_csv(params_.trace_prefix + ".decisions.csv");
+  }
+  // No .profile.csv in live mode: the host-time profiler instruments the
+  // simulator's hot paths; here wall time *is* the experiment.
+}
+
+// ------------------------------------------------------------- workload path
+
+void LiveRuntime::submit_job(const Arrival& arrival) {
+  jobs_.emplace_back();
+  Job& job = jobs_.back();
+  job.id = static_cast<JobId>(next_job_id_++);
+  job.app = &apps_.at(arrival.app);
+  // Stamped with the actual (scaled) wall instant, not the planned arrival
+  // time: an overloaded gateway admitting late is part of what a live run
+  // measures. SLO deadlines count from this stamp.
+  job.arrival = clock_.now_ms();
+  job.input_scale = arrival.input_scale;
+  job.records.resize(job.app->stages.size());
+  if (job.app->is_dynamic()) {
+    job.stage_active.resize(job.app->stages.size());
+    for (std::size_t i = 0; i < job.stage_active.size(); ++i) {
+      job.stage_active[i] = rng_.bernoulli(job.app->stage_prob(i));
+    }
+  }
+
+  recorder_.on_job_submitted(job);
+  sampler_.record_arrival(job.arrival);
+  transition_to_stage(job, 0);
+}
+
+void LiveRuntime::transition_to_stage(Job& job, std::size_t stage_index) {
+  std::size_t idx = stage_index;
+  while (idx < job.app->stages.size() && !job.stage_runs(idx)) ++idx;
+  if (idx >= job.app->stages.size()) {
+    complete_job(job);
+    return;
+  }
+
+  const SimDuration latency =
+      bus_.begin_transition(job.app->stage_overhead_ms, rng_);
+  Job* jp = &job;  // deque: stable address for the job's lifetime
+  timers_.at(clock_.now_ms() + latency, [this, jp, idx](SimTime) {
+    std::lock_guard<std::mutex> lock(mu_);
+    bus_.end_transition();
+    enqueue_task(*jp, idx);
+  });
+}
+
+void LiveRuntime::enqueue_task(Job& job, std::size_t stage_index) {
+  StageState& st = stage_of(job.app->stages[stage_index]);
+  StageRecord& rec = job.records[stage_index];
+  rec.enqueued = clock_.now_ms();
+  const double key = engine_.scheduler->priority_key(*this, job, stage_index);
+  st.enqueue(TaskRef{&job, stage_index}, key);
+  if (obs::TraceSink* t = recorder_.sink()) {
+    obs::PolicyDecision d;
+    d.time = rec.enqueued;
+    d.kind = "schedule";
+    d.policy = engine_.scheduler->name();
+    d.stage = st.name();
+    d.inputs = {{"job", static_cast<double>(value_of(job.id))},
+                {"priority_key", key},
+                {"queue_len", static_cast<double>(st.queue_length())}};
+    d.outcome = "enqueued";
+    d.value = key;
+    t->on_decision(d);
+  }
+
+  engine_.scaler->on_arrival(*this, st);
+  dispatch_stage(st);
+}
+
+void LiveRuntime::dispatch_stage(StageState& st) {
+  while (!st.queue_empty()) {
+    Container* c = engine_.placer->select_container(st);
+    if (c == nullptr) break;  // No free slot anywhere; scaling will react.
+    TaskRef task = st.pop_next();
+    StageRecord& rec = task.record();
+    rec.dispatched = clock_.now_ms();
+    rec.container = c->id();
+    if (obs::TraceSink* t = recorder_.sink()) {
+      rec.batch_slot = c->occupied();
+      rec.slack_at_dispatch_ms = task.job->remaining_slack_ms(
+          rec.dispatched,
+          profiles_.app(task.job->app->name).suffix_busy_ms[task.stage_index]);
+      obs::PolicyDecision d;
+      d.time = rec.dispatched;
+      d.kind = "place";
+      d.policy = engine_.placer->name();
+      d.stage = st.name();
+      d.inputs = {{"job", static_cast<double>(value_of(task.job->id))},
+                  {"batch_slot", static_cast<double>(rec.batch_slot)},
+                  {"slack_ms", rec.slack_at_dispatch_ms}};
+      d.outcome = "container";
+      d.value = static_cast<double>(value_of(c->id()));
+      t->on_decision(d);
+    }
+    // Mirror first, then hand the task to the worker: its queue bound equals
+    // the batch, so the passive slot accounting above makes overflow
+    // impossible — hence the hard check.
+    c->enqueue(task);
+    LiveContainer* worker = cluster_.worker(c->id());
+    FIFER_CHECK(worker != nullptr, kCore)
+        << "dispatch to retired container " << value_of(c->id());
+    FIFER_CHECK(worker->submit(task), kCore)
+        << "live batch queue overflow on container " << value_of(c->id());
+  }
+}
+
+void LiveRuntime::complete_job(Job& job) {
+  job.completion = clock_.now_ms();
+  FIFER_DCHECK_GE(job.completion, job.arrival, kCore);
+  ++completed_jobs_;
+  recorder_.on_job_completed(job);
+  job.records.clear();
+  job.records.shrink_to_fit();
+  // Wake the gateway loop so the drain check sees the completion promptly.
+  timers_.notify();
+}
+
+// --------------------------------------------- worker callbacks (data plane)
+
+void LiveRuntime::on_container_ready(ContainerId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  StageState& st = stage_of(stage_name_of(id));
+  Container& c = st.container(id);
+  const SimTime now = clock_.now_ms();
+  c.mark_warm(now);
+  recorder_.on_container_ready(id, now);
+  // Tasks dispatched during provisioning already sit in the worker's queue;
+  // it drains them by itself. Re-dispatch only for placers that pass over
+  // provisioning containers.
+  dispatch_stage(st);
+}
+
+SimDuration LiveRuntime::on_task_begin(ContainerId id, TaskRef task) {
+  std::lock_guard<std::mutex> lock(mu_);
+  StageState& st = stage_of(stage_name_of(id));
+  Container& c = st.container(id);
+  // Pop the mirrored queue; live and passive queues move in lockstep.
+  TaskRef popped = c.pop();
+  FIFER_CHECK(popped.job == task.job && popped.stage_index == task.stage_index,
+              kCore)
+      << "live/passive queue divergence on container " << value_of(id);
+
+  StageRecord& rec = task.record();
+  rec.exec_start = clock_.now_ms();
+  FIFER_DCHECK_GE(rec.dispatched, rec.enqueued, kCore);
+  FIFER_DCHECK_GE(rec.exec_start, rec.dispatched, kCore);
+  // Same cold-start attribution as the simulator: the overlap of the wait
+  // [enqueued, exec_start] with the container's provisioning interval.
+  rec.cold_start_wait_ms =
+      std::max(0.0, std::min(rec.exec_start, c.ready_at()) -
+                        std::max(rec.enqueued, c.spawned_at()));
+  FIFER_DCHECK_LE(rec.cold_start_wait_ms, rec.wait_ms(), kCore);
+  st.record_wait(rec.exec_start, rec.wait_ms());
+
+  rec.exec_ms =
+      services_.at(st.name()).sample_exec_ms(rng_, task.job->input_scale);
+  c.begin_execution(rec.exec_start);
+  return rec.exec_ms;
+}
+
+void LiveRuntime::on_task_finish(ContainerId id, TaskRef task) {
+  std::lock_guard<std::mutex> lock(mu_);
+  StageState& st = stage_of(stage_name_of(id));
+  Container& c = st.container(id);
+  StageRecord& rec = task.record();
+  rec.exec_end = clock_.now_ms();
+  FIFER_DCHECK_GE(rec.exec_end, rec.exec_start, kCore);
+  c.end_execution(rec.exec_end);
+  // Record the stage visit before the transition: chain completion frees the
+  // job's records.
+  recorder_.on_task_executed(st.name(), *task.job, task.stage_index);
+  transition_to_stage(*task.job, task.stage_index + 1);
+  dispatch_stage(st);  // a batch slot opened up
+}
+
+// ------------------------------------------------------ container lifecycle
+
+Container* LiveRuntime::spawn_container(StageState& st) {
+  const MicroserviceSpec& spec = services_.at(st.name());
+  auto node = cluster_.allocate(spec.cpu_cores, spec.memory_mb,
+                                engine_.placer->node_selection(), clock_.now_ms());
+  if (!node && params_.rm.enable_reclamation && reclaim_idle_capacity()) {
+    node = cluster_.allocate(spec.cpu_cores, spec.memory_mb,
+                             engine_.placer->node_selection(), clock_.now_ms());
+  }
+  if (!node) {
+    recorder_.on_spawn_failure(st.name());
+    return nullptr;
+  }
+  const auto id = static_cast<ContainerId>(next_container_id_++);
+  const SimDuration cold = params_.cold_start.sample_cold_start_ms(spec, rng_);
+  const SimTime now = clock_.now_ms();
+  const int batch = st.profile().batch;
+  Container& c = st.add_container(
+      std::make_unique<Container>(id, st.name(), *node, batch, now, cold));
+  recorder_.on_container_spawned(st.name(), id, now, cold, batch);
+  container_stage_.emplace(value_of(id), st.name());
+
+  LiveContainer& worker = cluster_.adopt(
+      *node, std::make_unique<LiveContainer>(
+                 id, st.name(), clock_, now, cold,
+                 static_cast<std::size_t>(batch), this));
+  if (clock_.started()) {
+    worker.start();
+  } else {
+    pending_start_.push_back(&worker);
+  }
+  return &c;
+}
+
+void LiveRuntime::terminate_container(StageState& st, Container& c) {
+  const MicroserviceSpec& spec = services_.at(st.name());
+  const SimTime now = clock_.now_ms();
+  cluster_.release(c.node(), spec.cpu_cores, spec.memory_mb, now);
+  c.terminate(now);
+  recorder_.on_container_terminated(c.id(), now);
+  container_stage_.erase(value_of(c.id()));
+  // Stops the worker (it is idle or still provisioning — policies only
+  // terminate containers without resident work); joined off the state lock.
+  cluster_.retire(c.id());
+}
+
+void LiveRuntime::every(SimDuration period_ms, std::function<void(SimTime)> cb) {
+  timers_.every(period_ms, [this, cb = std::move(cb)](SimTime) {
+    std::lock_guard<std::mutex> lock(mu_);
+    cb(clock_.now_ms());
+  });
+}
+
+bool LiveRuntime::reclaim_idle_capacity() {
+  StageState* victim_stage = nullptr;
+  Container* victim = nullptr;
+  for (auto& [name, st] : stages_) {
+    if (st.queue_length() > 0 || st.live_count() <= 1) continue;
+    for (Container* c : st.live_containers()) {
+      if (c->state() != ContainerState::kIdle || c->queued() > 0) continue;
+      if (victim == nullptr || c->last_used_at() < victim->last_used_at()) {
+        victim = c;
+        victim_stage = &st;
+      }
+    }
+  }
+  if (victim == nullptr) return false;
+  terminate_container(*victim_stage, *victim);
+  victim_stage->erase_terminated();
+  return true;
+}
+
+void LiveRuntime::reap_idle_containers() {
+  if (!engine_.scaler->reaps_idle()) return;  // fixed pool
+  for (auto& [name, st] : stages_) {
+    auto live = static_cast<int>(st.live_count());
+    for (Container* c : st.live_containers()) {
+      if (live <= st.keep_warm_floor()) break;
+      if (c->idle_expired(clock_.now_ms(), params_.rm.idle_timeout_ms)) {
+        terminate_container(st, *c);
+        --live;
+      }
+    }
+    st.erase_terminated();
+  }
+}
+
+void LiveRuntime::check_request_conservation() const {
+  // Same invariant as the simulator's event boundaries; here mu_ quiesces
+  // the system. A worker between pop and on_task_begin does not disturb it:
+  // its task still counts as container-queued until the host pops the
+  // mirror, executing after.
+  std::uint64_t resident = 0;
+  for (const auto& [name, st] : stages_) {
+    resident += st.queue_length();
+    for (const Container* c : st.live_containers()) {
+      resident += c->queued() + (c->executing() ? 1 : 0);
+    }
+  }
+  FIFER_CHECK_EQ(jobs_.size() - completed_jobs_, resident + bus_.inflight(),
+                 kCore)
+      << "submitted=" << jobs_.size() << " completed=" << completed_jobs_
+      << " resident=" << resident << " in-transition=" << bus_.inflight();
+}
+
+void LiveRuntime::housekeeping_tick() {
+  check_request_conservation();
+  reap_idle_containers();
+  cluster_.metal().power_down_idle_nodes(clock_.now_ms());
+
+  for (auto& [name, st] : stages_) {
+    if (st.queue_length() > 0 &&
+        st.warm_free_slots() + st.provisioning_slots() == 0) {
+      engine_.scaler->on_starved(*this, st);
+    }
+  }
+
+  TimelineSample sample;
+  sample.time = clock_.now_ms();
+  for (auto& [name, st] : stages_) {
+    sample.active_containers += static_cast<std::uint32_t>(st.warm_count());
+    sample.provisioning_containers +=
+        static_cast<std::uint32_t>(st.provisioning_count());
+    sample.queued_tasks += st.queue_length();
+  }
+  sample.powered_on_nodes = cluster_.metal().powered_on_nodes();
+  sample.power_watts = cluster_.metal().power_watts();
+  recorder_.record_timeline(sample);
+}
+
+LiveRunReport run_live(ExperimentParams params, LiveOptions opts) {
+  LiveRuntime rt(std::move(params), opts);
+  return rt.run();
+}
+
+}  // namespace fifer

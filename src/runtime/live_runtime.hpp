@@ -1,0 +1,190 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/event_bus.hpp"
+#include "common/rng.hpp"
+#include "core/app_profile.hpp"
+#include "core/experiment_params.hpp"
+#include "core/metrics.hpp"
+#include "core/policy/policy_context.hpp"
+#include "core/policy/policy_engine.hpp"
+#include "core/stage.hpp"
+#include "core/stats_db.hpp"
+#include "predict/window.hpp"
+#include "runtime/clock.hpp"
+#include "runtime/live_cluster.hpp"
+#include "runtime/live_container.hpp"
+#include "runtime/recorder.hpp"
+#include "runtime/timer_queue.hpp"
+#include "workload/arrival.hpp"
+
+namespace fifer {
+
+class Gateway;
+
+/// Knobs specific to live execution; everything about the *experiment*
+/// (workload, policies, cluster) still comes from ExperimentParams, so a
+/// sim/live pair differs only in these.
+struct LiveOptions {
+  /// Simulated ms per wall ms. 100 compresses the paper's 1000 ms SLO to a
+  /// 10 ms wall budget and its 10 s monitoring interval to 100 ms of wall
+  /// time; 1 is real time.
+  double time_scale = 100.0;
+  /// Graceful-drain window after the trace ends: in-flight requests get this
+  /// much *simulated* time to finish before the gateway gives up. Matches
+  /// the simulator's hang backstop.
+  SimDuration drain_grace_ms = minutes(10.0);
+  /// Hard wall-clock budget for the whole run; <= 0 derives it from the
+  /// trace length, drain grace, and time scale. The bounded-shutdown
+  /// guarantee: run() returns within this budget even if the workload
+  /// wedges, with `drained = false` in the report.
+  double max_wall_seconds = 0.0;
+};
+
+/// What a live run produced: the same ExperimentResult the simulator emits,
+/// plus live-execution facts the fidelity harness and CI budget checks read.
+struct LiveRunReport {
+  ExperimentResult result;
+  /// True when every submitted request completed before shutdown; false
+  /// means the hard wall deadline cut the run short.
+  bool drained = false;
+  /// Simulated duration of the run (== result window), for convenience.
+  SimTime sim_duration_ms = 0.0;
+  /// Wall seconds the driving loop spent between clock anchor and shutdown.
+  double wall_seconds = 0.0;
+  double time_scale = 1.0;
+  /// Timer callbacks fired (arrivals, bus deliveries, ticks, housekeeping).
+  std::uint64_t timer_events = 0;
+  /// Stats-store traffic (the paper's §6.1.5 access-cost view).
+  std::uint64_t stats_reads = 0;
+  std::uint64_t stats_writes = 0;
+  /// High-water mark of concurrently live container worker threads.
+  std::size_t peak_worker_threads = 0;
+};
+
+/// The live-mode executor: the same Fifer control plane as FiferFramework —
+/// identical PolicyContext surface, identical workload path, the *same*
+/// PolicyEngine strategies byte-for-byte — but the data plane is real
+/// threads pacing real (compressed) wall-clock time instead of a discrete
+/// event queue. Containers are worker threads that sleep out cold starts and
+/// service times (LiveContainer); nodes are slot-accounted thread groups
+/// (LiveCluster); events (arrivals, bus deliveries, policy ticks) ride a
+/// wall-clock timer queue (WallTimerQueue).
+///
+/// Concurrency model — one writer domain, many pacers:
+///  - All decision state (stages, queues, passive containers, cluster
+///    accounting, rng, metrics) is guarded by a single state mutex `mu_`;
+///    policies never see concurrency, exactly as on the simulator's event
+///    loop. Worker threads only *pace*: they sleep, then call back into the
+///    host, which takes `mu_` and runs the same bookkeeping the simulator
+///    runs at its event boundaries.
+///  - Lock order: `mu_` -> worker queue lock (via submit/retire) and
+///    `mu_` -> timer lock (via at/every/notify). Host callbacks from workers
+///    take `mu_` with no worker lock held. Thread joins happen with no locks
+///    held (LiveCluster's retirement list).
+///
+/// One instance runs one experiment, like the framework:
+///
+///   LiveRunReport r = LiveRuntime(params, {.time_scale = 100}).run();
+class LiveRuntime : public PolicyContext, public LiveContainerHost {
+ public:
+  LiveRuntime(ExperimentParams params, LiveOptions opts);
+  ~LiveRuntime() override;
+
+  /// Replays the trace in scaled real time and returns the collected
+  /// metrics. Single-shot. Returns within the wall budget (see LiveOptions).
+  LiveRunReport run();
+
+  // --- introspection (tests; call only before run() or after it returns) ---
+  const LiveClock& clock() const { return clock_; }
+  const StatsDb& stats_db() const { return recorder_.db(); }
+  const LiveCluster& live_cluster() const { return cluster_; }
+  const ProfileBook& profiles() const override { return profiles_; }
+
+  // --- PolicyContext view (called by the policy strategies, under mu_) ---
+  SimTime now() const override { return clock_.now_ms(); }
+  const ExperimentParams& params() const override { return params_; }
+  std::map<std::string, StageState>& stages() override { return stages_; }
+  const MicroserviceRegistry& services() const override { return services_; }
+  const ApplicationRegistry& apps() const override { return apps_; }
+  const WindowSampler& sampler() const override { return sampler_; }
+  Container* spawn_container(StageState& st) override;
+  void terminate_container(StageState& st, Container& c) override;
+  void every(SimDuration period_ms, std::function<void(SimTime)> cb) override;
+  obs::TraceSink* trace() const override { return recorder_.sink(); }
+
+  // --- LiveContainerHost hooks (called from worker threads; take mu_) ---
+  void on_container_ready(ContainerId id) override;
+  SimDuration on_task_begin(ContainerId id, TaskRef task) override;
+  void on_task_finish(ContainerId id, TaskRef task) override;
+
+ private:
+  friend class Gateway;  // the run driver: arrival pump, drain, shutdown
+
+  // Workload path; all assume mu_ is held (or pre-concurrency setup).
+  void submit_job(const Arrival& arrival);
+  void transition_to_stage(Job& job, std::size_t stage_index);
+  void enqueue_task(Job& job, std::size_t stage_index);
+  void dispatch_stage(StageState& st);
+  void complete_job(Job& job);
+
+  // Container lifecycle / housekeeping; mirror the framework's, mu_ held.
+  bool reclaim_idle_capacity();
+  void reap_idle_containers();
+  void housekeeping_tick();
+  void check_request_conservation() const;
+
+  StageState& stage_of(const std::string& name);
+  const std::string& stage_name_of(ContainerId id) const;
+  /// Starts workers spawned during offline setup (static pools): their
+  /// cold-start sleeps must be measured from the clock anchor, not before.
+  void start_pending_workers();
+  void trace_batch_profiles();
+  void export_trace_files();
+
+  ExperimentParams params_;
+  LiveOptions opts_;
+  LiveClock clock_;
+  WallTimerQueue timers_;
+  LiveCluster cluster_;
+  MicroserviceRegistry services_;
+  ApplicationRegistry apps_;
+  /// The assembled policy strategies; must precede profiles_ (the batch
+  /// sizer shapes the stage profiles), exactly as in FiferFramework.
+  PolicyEngine engine_;
+  ProfileBook profiles_;
+  std::map<std::string, StageState> stages_;
+  Rng rng_;
+  WindowSampler sampler_;
+  EventBus bus_;
+  LiveStatsRecorder recorder_;
+
+  std::deque<Job> jobs_;
+  /// Passive container id -> stage name, for worker callbacks.
+  std::unordered_map<std::uint64_t, std::string> container_stage_;
+  /// Workers created before the clock anchor, started by the gateway.
+  std::vector<LiveContainer*> pending_start_;
+  std::uint64_t completed_jobs_ = 0;
+  std::uint64_t next_job_id_ = 0;
+  std::uint64_t next_container_id_ = 0;
+  SimTime end_of_arrivals_ = 0.0;
+  SimTime trace_end_ = 0.0;
+  bool arrivals_done_ = false;
+  bool ran_ = false;
+
+  /// The single state lock (see the class comment for the lock order).
+  mutable std::mutex mu_;
+};
+
+/// Convenience wrapper: builds the live runtime and runs it.
+LiveRunReport run_live(ExperimentParams params, LiveOptions opts = {});
+
+}  // namespace fifer

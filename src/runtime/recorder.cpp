@@ -1,0 +1,80 @@
+#include "runtime/recorder.hpp"
+
+namespace fifer {
+
+std::string LiveStatsRecorder::job_key(const Job& job) {
+  return "job/" + std::to_string(value_of(job.id));
+}
+
+std::string LiveStatsRecorder::container_key(ContainerId id) {
+  return "container/" + std::to_string(value_of(id));
+}
+
+void LiveStatsRecorder::on_job_submitted(const Job& job) {
+  metrics_.on_job_submitted(job);
+  db_.write(job_key(job), "creationTime", job.arrival);
+}
+
+void LiveStatsRecorder::on_job_completed(const Job& job) {
+  metrics_.on_job_completed(job);
+  const std::string key = job_key(job);
+  db_.write(key, "completionTime", job.completion);
+  db_.write(key, "responseTime", job.response_ms());
+  db_.write(key, "violatedSlo", job.violated_slo() ? 1.0 : 0.0);
+}
+
+void LiveStatsRecorder::on_task_executed(const std::string& stage, const Job& job,
+                                         std::size_t stage_index) {
+  const StageRecord& rec = job.records[stage_index];
+  metrics_.on_task_executed(stage, rec);
+  // scheduleTime is the prototype's per-stage dispatch stamp; one field per
+  // stage keeps the document count linear in jobs, as in the paper's store.
+  db_.write(job_key(job), "scheduleTime." + stage, rec.dispatched);
+  if (sink_ != nullptr) {
+    obs::SpanRecord span;
+    span.job = value_of(job.id);
+    span.app = job.app->name;
+    span.stage = stage;
+    span.stage_index = static_cast<std::uint32_t>(stage_index);
+    span.enqueued = rec.enqueued;
+    span.dispatched = rec.dispatched;
+    span.exec_start = rec.exec_start;
+    span.exec_end = rec.exec_end;
+    span.exec_ms = rec.exec_ms;
+    span.cold_wait_ms = rec.cold_start_wait_ms;
+    span.slack_at_dispatch_ms = rec.slack_at_dispatch_ms;
+    span.container = value_of(rec.container);
+    span.batch_slot = rec.batch_slot;
+    sink_->on_span(span);
+  }
+}
+
+void LiveStatsRecorder::on_container_spawned(const std::string& stage, ContainerId id,
+                                             SimTime now, SimDuration cold_ms,
+                                             int batch) {
+  metrics_.on_container_spawned(stage);
+  const std::string key = container_key(id);
+  db_.write(key, "spawnTime", now);
+  db_.write(key, "coldStartMs", cold_ms);
+  db_.write(key, "batchSize", static_cast<double>(batch));
+  db_.write(key, "freeSlots", static_cast<double>(batch));
+}
+
+void LiveStatsRecorder::on_container_ready(ContainerId id, SimTime now) {
+  db_.write(container_key(id), "readyTime", now);
+}
+
+void LiveStatsRecorder::on_container_terminated(ContainerId id, SimTime now) {
+  db_.write(container_key(id), "lastUsedTime", now);
+  db_.write(container_key(id), "terminated", 1.0);
+}
+
+void LiveStatsRecorder::on_spawn_failure(const std::string& stage) {
+  metrics_.on_spawn_failure(stage);
+}
+
+void LiveStatsRecorder::record_timeline(TimelineSample sample) {
+  metrics_.record_timeline(sample);
+}
+
+}  // namespace fifer

@@ -1,0 +1,82 @@
+#include "runtime/timer_queue.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+namespace fifer {
+
+void WallTimerQueue::at(SimTime when, Callback cb) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push(Entry{when < 0.0 ? 0.0 : when, seq_++, 0.0,
+                      std::make_shared<Callback>(std::move(cb))});
+    ++wake_generation_;
+  }
+  cv_.notify_all();
+}
+
+void WallTimerQueue::every(SimDuration period, Callback cb) {
+  const SimDuration p = std::max(period, 1e-9);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push(Entry{clock_.now_ms() + p, seq_++, p,
+                      std::make_shared<Callback>(std::move(cb))});
+    ++wake_generation_;
+  }
+  cv_.notify_all();
+}
+
+void WallTimerQueue::notify() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++wake_generation_;
+  }
+  cv_.notify_all();
+}
+
+std::uint64_t WallTimerQueue::run(const std::function<bool()>& done,
+                                  LiveClock::WallTime hard_deadline) {
+  const std::uint64_t start_executed = executed_;
+  while (true) {
+    if (done()) break;
+    if (LiveClock::WallClock::now() >= hard_deadline) break;
+
+    Entry due{};
+    bool have_due = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (queue_.empty()) {
+        const std::uint64_t gen = wake_generation_;
+        cv_.wait_until(lock, hard_deadline,
+                       [&] { return wake_generation_ != gen; });
+        continue;  // re-evaluate done / deadline
+      }
+      const LiveClock::WallTime fire_at = clock_.wall_deadline(queue_.top().when);
+      if (fire_at > LiveClock::WallClock::now()) {
+        const std::uint64_t gen = wake_generation_;
+        cv_.wait_until(lock, std::min(fire_at, hard_deadline),
+                       [&] { return wake_generation_ != gen; });
+        continue;  // an earlier timer or external progress may have landed
+      }
+      due = queue_.top();
+      queue_.pop();
+      have_due = true;
+    }
+    if (!have_due) continue;
+
+    (*due.cb)(clock_.now_ms());
+    ++executed_;
+
+    if (due.period > 0.0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      // Skip-missed-ticks rescheduling (see header).
+      due.when = std::max(due.when + due.period, clock_.now_ms());
+      due.seq = seq_++;
+      queue_.push(std::move(due));
+    }
+  }
+  return executed_ - start_executed;
+}
+
+}  // namespace fifer

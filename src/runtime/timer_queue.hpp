@@ -1,0 +1,84 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+#include "runtime/clock.hpp"
+
+namespace fifer {
+
+/// Wall-clock analogue of `sim/event_queue`: callbacks scheduled at
+/// simulated deadlines, fired on the driving thread when the scaled wall
+/// clock reaches them. This is what carries everything in the live runtime
+/// that is an *event* rather than a container's own work: arrival replay,
+/// event-bus transition deliveries, the scaler's periodic ticks, and
+/// housekeeping.
+///
+/// Threading contract:
+///  - `at` / `every` / `notify` may be called from any thread (timer
+///    callbacks and container worker threads both schedule follow-ups).
+///  - `run` executes callbacks on the calling thread only, with no internal
+///    lock held — callbacks are free to take the runtime's state lock and to
+///    schedule further timers.
+///  - Same-deadline callbacks fire in registration order (the determinism
+///    contract the simulator's event queue established; under wall-clock
+///    jitter this is best-effort rather than exact, but the tie-break keeps
+///    the common case — periodic ticks registered back-to-back — stable).
+class WallTimerQueue {
+ public:
+  using Callback = std::function<void(SimTime)>;
+
+  explicit WallTimerQueue(const LiveClock& clock) : clock_(clock) {}
+
+  /// Schedules `cb` at simulated time `when` (past deadlines fire at the
+  /// next loop iteration).
+  void at(SimTime when, Callback cb);
+
+  /// Schedules `cb` every `period` simulated ms, first at now + period.
+  /// When the loop falls behind (a callback overran the period), missed
+  /// occurrences are skipped rather than replayed in a burst — a live
+  /// monitoring tick wants "at this cadence", not "this many times".
+  void every(SimDuration period, Callback cb);
+
+  /// Wakes `run` so it re-evaluates `done` (call after externally visible
+  /// progress, e.g. a job completing on a worker thread).
+  void notify();
+
+  /// Runs callbacks in deadline order on the calling thread until `done()`
+  /// returns true (checked between callbacks and on every wakeup) or the
+  /// wall deadline passes. `done` is called with no queue lock held.
+  /// Returns the number of callbacks executed.
+  std::uint64_t run(const std::function<bool()>& done, LiveClock::WallTime hard_deadline);
+
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;
+    SimDuration period;  ///< 0 = one-shot.
+    // Shared so the priority queue's value type stays copyable; each entry
+    // has exactly one owner at a time.
+    std::shared_ptr<Callback> cb;
+    bool operator>(const Entry& o) const {
+      if (when != o.when) return when > o.when;
+      return seq > o.seq;
+    }
+  };
+
+  const LiveClock& clock_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t wake_generation_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace fifer

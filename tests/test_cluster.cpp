@@ -137,6 +137,36 @@ TEST(Container, IdleExpiry) {
   EXPECT_TRUE(c.idle_expired(2600.0, 1000.0));
 }
 
+// Boundary semantics of the paper's 10-minute keep-alive (§4.1): a container
+// idle for *exactly* the timeout is reaped (>=, not >), and one touched even
+// 1 ms before the boundary survives the reap pass at the boundary.
+TEST(Container, KeepAliveReapsAtExactTenMinuteBoundary) {
+  const SimDuration timeout = minutes(10.0);
+  Container c = make_container(4, 0.0, 0.0);
+  c.mark_warm(0.0);
+  EXPECT_FALSE(c.idle_expired(timeout - 1.0, timeout));  // 1 ms shy: keep
+  EXPECT_TRUE(c.idle_expired(timeout, timeout));         // exactly 10 min: reap
+}
+
+TEST(Container, KeepAliveTouchJustBeforeBoundarySurvivesNextPass) {
+  const SimDuration timeout = minutes(10.0);
+  Container c = make_container(4, 0.0, 0.0);
+  c.mark_warm(0.0);
+
+  // A task retires 1 ms before the container's original expiry point.
+  Job job;
+  c.enqueue({&job, 0});
+  (void)c.pop();
+  c.begin_execution(timeout - 1.0);
+  c.end_execution(timeout - 1.0);
+
+  // The reap pass at the original boundary must now spare it...
+  EXPECT_FALSE(c.idle_expired(timeout, timeout));
+  // ...until a full keep-alive window elapses from the touch.
+  EXPECT_FALSE(c.idle_expired(2.0 * timeout - 2.0, timeout));
+  EXPECT_TRUE(c.idle_expired(2.0 * timeout - 1.0, timeout));
+}
+
 TEST(Container, LocalQueueIsFifo) {
   Container c = make_container(3);
   c.mark_warm(0.0);

@@ -7,6 +7,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/cli.hpp"
 #include "common/config.hpp"
 #include "common/csv.hpp"
 #include "common/logging.hpp"
@@ -264,6 +265,61 @@ TEST(Config, BoolSynonyms) {
   EXPECT_FALSE(cfg.get_bool("b", true));
   EXPECT_TRUE(cfg.get_bool("c", false));
   EXPECT_FALSE(cfg.get_bool("d", true));
+}
+
+// ------------------------------------------------------------ cli flags
+
+std::vector<CliFlag> test_flags() {
+  return {
+      {"--jobs", "jobs", /*takes_value=*/true, ""},
+      {"--live", "live", /*takes_value=*/false, "100"},
+  };
+}
+
+TEST(CliFlags, CanonicalizesKnownFlagSpellings) {
+  const char* argv[] = {"prog", "--jobs", "4", "--jobs=8", "policy=fifer"};
+  const auto out = canonicalize_flags(5, argv, test_flags());
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], "jobs=4");        // separate-token value
+  EXPECT_EQ(out[1], "jobs=8");        // inline value
+  EXPECT_EQ(out[2], "policy=fifer");  // key=value passes through untouched
+}
+
+TEST(CliFlags, ValueOptionalFlagEmitsImplicitValue) {
+  const char* bare[] = {"prog", "--live"};
+  EXPECT_EQ(canonicalize_flags(2, bare, test_flags()).at(0), "live=100");
+  // An explicit value always wins over the implicit one, and a bare
+  // value-optional flag must NOT consume the next token.
+  const char* inline_v[] = {"prog", "--live=50", "--live", "lambda=5"};
+  const auto out = canonicalize_flags(4, inline_v, test_flags());
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], "live=50");
+  EXPECT_EQ(out[1], "live=100");
+  EXPECT_EQ(out[2], "lambda=5");
+}
+
+TEST(CliFlags, UnknownFlagFailsFast) {
+  const char* argv[] = {"prog", "--frobnicate"};
+  EXPECT_THROW(canonicalize_flags(2, argv, test_flags()), CliError);
+  // `--live=` (empty inline value) is not a match either — it's a typo.
+  const char* empty[] = {"prog", "--live="};
+  EXPECT_THROW(canonicalize_flags(2, empty, test_flags()), CliError);
+  const char* dash[] = {"prog", "-j"};
+  EXPECT_THROW(canonicalize_flags(2, dash, test_flags()), CliError);
+}
+
+TEST(CliFlags, MissingRequiredValueFailsFast) {
+  const char* argv[] = {"prog", "--jobs"};
+  EXPECT_THROW(canonicalize_flags(2, argv, test_flags()), CliError);
+}
+
+TEST(CliFlags, BareWordWithoutEqualsFailsFast) {
+  const char* argv[] = {"prog", "fifer"};
+  EXPECT_THROW(canonicalize_flags(2, argv, test_flags()), CliError);
+  // CliError is a runtime_error: top-level catch blocks that print usage and
+  // exit 2 can catch either spelling.
+  const char* typo[] = {"prog", "polcy"};
+  EXPECT_THROW(canonicalize_flags(2, typo, test_flags()), std::runtime_error);
 }
 
 // ---------------------------------------------------------------- table

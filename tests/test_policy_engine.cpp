@@ -14,7 +14,9 @@
 #include "core/policy/proactive.hpp"
 #include "core/policy/scaler.hpp"
 #include "core/policy/scheduler.hpp"
+#include "workload/application.hpp"
 #include "workload/generators.hpp"
+#include "workload/request.hpp"
 
 namespace fifer {
 namespace {
@@ -110,6 +112,60 @@ TEST(PolicyEngineFactory, FrameworkExposesAssembledEngine) {
   EXPECT_STREQ(fw.engine().scaler->name(), "reactive");
   EXPECT_STREQ(fw.engine().scheduler->name(), "lsf");
   EXPECT_STREQ(fw.engine().placer->name(), "bin-pack");
+}
+
+// ------------------------------------------- LSF ordering & tie-breaking
+
+/// Two same-app requests arriving at the same instant have byte-identical
+/// remaining slack at every stage, so the LSF key cannot order them — the
+/// queue's arrival-sequence tie-break must, deterministically.
+TEST(LsfSchedulerOrdering, EqualSlackPopsInArrivalOrder) {
+  FiferFramework fw(small_params(RmConfig::rscale()));
+  const LsfScheduler lsf;
+  const ApplicationChain& app = fw.apps().at("IPA");
+
+  Job a, b;
+  a.id = JobId{1};
+  a.app = &app;
+  a.arrival = 0.0;
+  b.id = JobId{2};
+  b.app = &app;
+  b.arrival = 0.0;
+
+  const double key_a = lsf.priority_key(fw, a, 0);
+  const double key_b = lsf.priority_key(fw, b, 0);
+  ASSERT_DOUBLE_EQ(key_a, key_b);  // equal slack: the key is a genuine tie
+
+  StageState& st = fw.stages().at(app.stages[0]);
+  st.enqueue({&a, 0}, key_a);
+  st.enqueue({&b, 0}, key_b);
+  EXPECT_EQ(st.pop_next().job, &a);  // first enqueued wins the tie
+  EXPECT_EQ(st.pop_next().job, &b);
+}
+
+TEST(LsfSchedulerOrdering, LessSlackBeatsArrivalOrder) {
+  FiferFramework fw(small_params(RmConfig::rscale()));
+  const LsfScheduler lsf;
+  const ApplicationChain& app = fw.apps().at("IPA");
+
+  Job early, late;
+  early.id = JobId{1};
+  early.app = &app;
+  early.arrival = 0.0;  // earlier deadline -> less slack -> smaller key
+  late.id = JobId{2};
+  late.app = &app;
+  late.arrival = 250.0;
+
+  const double key_early = lsf.priority_key(fw, early, 0);
+  const double key_late = lsf.priority_key(fw, late, 0);
+  ASSERT_LT(key_early, key_late);
+
+  // Enqueue in the "wrong" order: the genuinely tighter job still pops first.
+  StageState& st = fw.stages().at(app.stages[0]);
+  st.enqueue({&late, 0}, key_late);
+  st.enqueue({&early, 0}, key_early);
+  EXPECT_EQ(st.pop_next().job, &early);
+  EXPECT_EQ(st.pop_next().job, &late);
 }
 
 // ------------------------------------------------- custom drop-in policy

@@ -10,16 +10,20 @@
 #                                               zero reports tolerated
 #                                               (-fno-sanitize-recover=all).
 #   leg 3  TSan, -Werror, DCHECKs ON          — the parallel sweep runner
+#                                               and the live-mode runtime
 #                                               must be race-free; runs the
 #                                               sweep-determinism, thread-
-#                                               pool, and framework suites
-#                                               (TSan is ~10x, so not the
-#                                               full matrix).
+#                                               pool, framework, and live
+#                                               runtime suites (TSan is
+#                                               ~10x, so not the full
+#                                               matrix).
 #
 # Legs 1-2 run the full ctest suite; the release leg additionally runs the
 # tracing-overhead benchmark (the ≤2% null-sink contract of DESIGN.md §5d
-# only holds in an optimized build). Docs hygiene (markdown link check +
-# stale-path / TODO scan) and lint run once at the end; lint uses the
+# only holds in an optimized build) and a wall-budgeted live-mode smoke run
+# (a 100x-compressed trace must finish inside its real-time envelope — only
+# meaningful without sanitizer slowdown). Docs hygiene (markdown link check
+# + stale-path / TODO scan) and lint run once at the end; lint uses the
 # sanitizer build's compile database.
 set -euo pipefail
 
@@ -88,6 +92,14 @@ echo "==== [release] tracing overhead (null-sink event loop vs recording)"
 "$ROOT/build-ci-release/bench/bench_overheads" \
   --benchmark_filter='BM_EventLoopTracing'
 
+# Live-mode wall budget: 60 s of trace at 100x compression is 0.6 s of
+# replay; with cold-start drain and process startup the whole run must stay
+# under 30 s of wall time or the runtime is pacing far off its clock.
+echo "==== [release] live-mode wall budget (100x compression under timeout)"
+timeout 30 "$ROOT/build-ci-release/examples/fifer_cli" \
+  policy=fifer trace=poisson duration_s=60 lambda=10 warmup_s=10 epochs=2 \
+  --live=100 >/dev/null
+
 run_leg asan-ubsan "$ROOT/build-ci-asan" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DFIFER_WERROR=ON \
@@ -102,9 +114,9 @@ cmake -B "$ROOT/build-ci-tsan" -S "$ROOT" \
   -DFIFER_SANITIZE=thread
 echo "==== [tsan] build"
 cmake --build "$ROOT/build-ci-tsan" -j "$JOBS"
-echo "==== [tsan] test (thread pool + parallel sweeps + framework)"
+echo "==== [tsan] test (thread pool + parallel sweeps + framework + live runtime)"
 ctest --test-dir "$ROOT/build-ci-tsan" --output-on-failure -j "$JOBS" \
-  -R 'ThreadPool|ParallelForIndex|SweepParallel|GridSweep|Sweep\.|Framework\.'
+  -R 'ThreadPool|ParallelForIndex|SweepParallel|GridSweep|Sweep\.|Framework\.|LiveClock|WallTimerQueue|LiveContainer|LiveRuntime'
 
 echo "==== docs hygiene"
 docs_hygiene
