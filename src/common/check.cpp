@@ -4,8 +4,9 @@
 #include <atomic>
 #include <cstdlib>
 #include <iostream>
-#include <mutex>
 #include <utility>
+
+#include "common/sync.hpp"
 
 namespace fifer::check {
 
@@ -16,8 +17,13 @@ std::array<std::atomic<std::uint64_t>, kCategoryCount>& counters() {
   return c;
 }
 
-std::mutex& handler_mutex() {
-  static std::mutex m;
+// Rank kReport: a violation may fire while any other lock is held, so the
+// handler lock must be acquirable last from anywhere. (The lock-order
+// registry itself suppresses instrumentation while reporting, which keeps
+// this from recursing.)
+Mutex& handler_mutex() {
+  static const LockClass cls{"check.handler", sync::lock_rank::kReport};
+  static Mutex m{&cls};
   return m;
 }
 
@@ -36,6 +42,7 @@ const char* to_string(Category c) {
     case Category::kCluster: return "cluster";
     case Category::kCore: return "core";
     case Category::kPredict: return "predict";
+    case Category::kSync: return "sync";
   }
   return "?";
 }
@@ -48,7 +55,7 @@ std::string Violation::to_string() const {
 }
 
 FailHandler set_fail_handler(FailHandler h) {
-  const std::lock_guard<std::mutex> lock(handler_mutex());
+  const MutexLock lock(&handler_mutex());
   FailHandler previous = std::move(handler());
   handler() = std::move(h);
   return previous;
@@ -81,7 +88,7 @@ void fail(Category cat, const char* file, int line, const std::string& message) 
   const Violation v{cat, message, file, line};
   FailHandler h;
   {
-    const std::lock_guard<std::mutex> lock(handler_mutex());
+    const MutexLock lock(&handler_mutex());
     h = handler();
   }
   if (h) {

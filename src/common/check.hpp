@@ -39,8 +39,9 @@ enum class Category : int {
   kCluster,
   kCore,
   kPredict,
+  kSync,  ///< Lock-order / thread-safety contract violations (common/sync).
 };
-inline constexpr int kCategoryCount = 6;
+inline constexpr int kCategoryCount = 7;
 
 const char* to_string(Category c);
 

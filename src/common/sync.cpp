@@ -1,0 +1,183 @@
+#include "common/sync.hpp"
+
+#if FIFER_LOCK_ORDER_ENABLED
+
+#include <array>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace fifer::sync {
+
+namespace {
+
+// Lock roles are a small fixed vocabulary (one per mutex *field* in the
+// codebase plus test-local classes); the matrix keeps cycle checks
+// allocation-free on the acquisition path.
+constexpr int kMaxClasses = 64;
+
+/// Global happens-before state. Guarded by a raw std::mutex on purpose: the
+/// registry cannot instrument itself, and tools/lint.sh exempts this module.
+struct Registry {
+  std::mutex mu;
+  int count = 0;
+  std::array<const char*, kMaxClasses> names{};
+  std::array<int, kMaxClasses> ranks{};
+  /// edge[a][b]: a lock of class `a` was held while one of class `b` was
+  /// acquired — the sanctioned order a-then-b.
+  std::array<std::array<bool, kMaxClasses>, kMaxClasses> edge{};
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+/// Held-lock stack of this thread, as class ids (a class appears once per
+/// concurrently held instance).
+thread_local std::vector<int> t_held;
+
+/// Set while a violation is being reported: the contract machinery takes
+/// its own fifer::Mutex (the fail-handler lock), which must not re-enter
+/// the registry mid-report.
+thread_local bool t_reporting = false;
+
+/// DFS over the recorded order edges: is `to` reachable from `from`?
+/// Called with registry().mu held.
+bool reachable(const Registry& r, int from, int to) {
+  if (from == to) return true;
+  std::array<bool, kMaxClasses> seen{};
+  std::array<int, kMaxClasses> stack{};
+  int top = 0;
+  stack[top++] = from;
+  seen[static_cast<std::size_t>(from)] = true;
+  while (top > 0) {
+    const int node = stack[--top];
+    for (int next = 0; next < r.count; ++next) {
+      if (!r.edge[static_cast<std::size_t>(node)][static_cast<std::size_t>(next)] ||
+          seen[static_cast<std::size_t>(next)]) {
+        continue;
+      }
+      if (next == to) return true;
+      seen[static_cast<std::size_t>(next)] = true;
+      stack[top++] = next;
+    }
+  }
+  return false;
+}
+
+std::string describe(const Registry& r, int id) {
+  std::ostringstream os;
+  os << "'" << r.names[static_cast<std::size_t>(id)] << "'";
+  const int rank = r.ranks[static_cast<std::size_t>(id)];
+  if (rank >= 0) os << " (rank " << rank << ")";
+  return os.str();
+}
+
+/// RAII so a throwing fail handler (check::ScopedTrap) cannot leave the
+/// recursion guard latched.
+struct ReportingScope {
+  ReportingScope() { t_reporting = true; }
+  ~ReportingScope() { t_reporting = false; }
+};
+
+}  // namespace
+
+LockClass::LockClass(const char* class_name, int class_rank)
+    : id(-1), name(class_name), rank(class_rank) {
+  Registry& r = registry();
+  std::string overflow;
+  {
+    std::lock_guard<std::mutex> g(r.mu);
+    if (r.count < kMaxClasses) {
+      id = r.count++;
+      r.names[static_cast<std::size_t>(id)] = class_name;
+      r.ranks[static_cast<std::size_t>(id)] = class_rank;
+    } else {
+      overflow = class_name;
+    }
+  }
+  if (!overflow.empty()) {
+    ReportingScope scope;
+    check::detail::fail(check::Category::kSync, __FILE__, __LINE__,
+                        "lock-order registry: too many lock classes, '" +
+                            overflow + "' is untracked");
+  }
+}
+
+namespace lock_order {
+
+void on_acquire(const LockClass* cls) {
+  if (cls == nullptr || cls->id < 0 || t_reporting) return;
+  Registry& r = registry();
+  std::string diag;
+  {
+    std::lock_guard<std::mutex> g(r.mu);
+    for (const int held : t_held) {
+      if (held == cls->id) {
+        diag = "recursive acquisition of lock class " + describe(r, held) +
+               " (fifer mutexes are non-recursive; a second instance of the "
+               "same class counts too)";
+        break;
+      }
+      const int held_rank = r.ranks[static_cast<std::size_t>(held)];
+      if (cls->rank >= 0 && held_rank >= 0 && cls->rank < held_rank) {
+        diag = "lock-rank inversion: acquiring " + describe(r, cls->id) +
+               " while holding " + describe(r, held);
+        break;
+      }
+      if (reachable(r, cls->id, held)) {
+        diag = "lock-order cycle (potential deadlock): acquiring " +
+               describe(r, cls->id) + " while holding " + describe(r, held) +
+               ", but the opposite order is already established";
+        break;
+      }
+    }
+    if (diag.empty()) {
+      for (const int held : t_held) {
+        r.edge[static_cast<std::size_t>(held)][
+            static_cast<std::size_t>(cls->id)] = true;
+      }
+      t_held.push_back(cls->id);
+    }
+  }
+  if (!diag.empty()) {
+    // Report off the registry lock: the handler takes the fail-handler
+    // mutex and may throw (ScopedTrap) or block. The inverting edge is
+    // *not* recorded and the held stack is unchanged, so a soft handler
+    // continues with the registry still describing the sanctioned order.
+    ReportingScope scope;
+    check::detail::fail(check::Category::kSync, __FILE__, __LINE__, diag);
+    {
+      std::lock_guard<std::mutex> g(r.mu);
+      t_held.push_back(cls->id);
+    }
+  }
+}
+
+void on_release(const LockClass* cls) {
+  if (cls == nullptr || cls->id < 0 || t_reporting) return;
+  // Early unlock releases out of stack order; remove the most recent entry
+  // wherever it sits.
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (*it == cls->id) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+std::size_t held_depth() { return t_held.size(); }
+
+void reset_edges_for_testing() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> g(r.mu);
+  for (auto& row : r.edge) row.fill(false);
+}
+
+}  // namespace lock_order
+}  // namespace fifer::sync
+
+#endif  // FIFER_LOCK_ORDER_ENABLED

@@ -5,9 +5,26 @@
 #include <exception>
 #include <utility>
 
+#include "common/check.hpp"
+
 namespace fifer {
 
-ThreadPool::ThreadPool(std::size_t threads) {
+namespace {
+
+const LockClass& pool_lock_class() {
+  static const LockClass cls{"common.thread_pool", sync::lock_rank::kToolLeaf};
+  return cls;
+}
+
+const LockClass& parallel_error_lock_class() {
+  static const LockClass cls{"common.parallel_error",
+                             sync::lock_rank::kToolLeaf};
+  return cls;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) : mu_(&pool_lock_class()) {
   const std::size_t n = std::max<std::size_t>(1, threads);
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -17,7 +34,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -26,21 +43,28 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
+    FIFER_CHECK(!stop_, kCommon)
+        << "ThreadPool::submit after stop: the task would be dropped";
     queue_.push_back(std::move(task));
   }
   work_cv_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+  MutexLock lock(&mu_);
+  while (!(queue_.empty() && running_ == 0)) idle_cv_.wait(lock);
+}
+
+bool ThreadPool::stopping() const {
+  MutexLock lock(&mu_);
+  return stop_;
 }
 
 void ThreadPool::worker_loop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (;;) {
-    work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    while (!stop_ && queue_.empty()) work_cv_.wait(lock);
     // Drain before honoring stop so ~ThreadPool is a barrier, not a drop.
     if (queue_.empty()) return;
     std::function<void()> task = std::move(queue_.front());
@@ -69,7 +93,7 @@ void parallel_for_index(std::size_t count, std::size_t jobs,
 
   std::atomic<std::size_t> next{0};
   std::atomic<bool> failed{false};
-  std::mutex err_mu;
+  Mutex err_mu{&parallel_error_lock_class()};
   std::exception_ptr first_error;
 
   ThreadPool pool(std::min(jobs, count));
@@ -82,7 +106,7 @@ void parallel_for_index(std::size_t count, std::size_t jobs,
         try {
           fn(i);
         } catch (...) {
-          std::lock_guard<std::mutex> lock(err_mu);
+          MutexLock lock(&err_mu);
           if (!first_error) first_error = std::current_exception();
           failed.store(true, std::memory_order_relaxed);
           return;

@@ -1,12 +1,12 @@
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sync.hpp"
 
 namespace fifer {
 
@@ -25,22 +25,31 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
+  /// Enqueues a task. Submitting after the destructor has begun (stop
+  /// signalled) is a `FIFER_CHECK` contract violation: the drain-then-stop
+  /// worker loop guarantees every *accepted* task runs, and a task slipped
+  /// in behind the last worker's exit would be dropped silently.
   void submit(std::function<void()> task);
 
   /// Blocks until the queue is empty and no worker is mid-task.
   void wait_idle();
+
+  /// True once the destructor has signalled shutdown. Test hook for the
+  /// submit-after-stop contract; ordinary callers never race destruction.
+  bool stopping() const;
 
   std::size_t size() const { return workers_.size(); }
 
  private:
   void worker_loop();
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;   ///< Signals workers: task or stop.
-  std::condition_variable idle_cv_;   ///< Signals waiters: pool drained.
-  std::deque<std::function<void()>> queue_;
-  std::size_t running_ = 0;  ///< Tasks currently executing.
-  bool stop_ = false;
+  mutable Mutex mu_;
+  CondVar work_cv_;   ///< Signals workers: task or stop.
+  CondVar idle_cv_;   ///< Signals waiters: pool drained.
+  std::deque<std::function<void()>> queue_ FIFER_GUARDED_BY(mu_);
+  std::size_t running_ FIFER_GUARDED_BY(mu_) = 0;  ///< Tasks mid-execution.
+  bool stop_ FIFER_GUARDED_BY(mu_) = false;
+  /// Written once before the workers exist; read-only afterwards.
   std::vector<std::thread> workers_;
 };
 

@@ -1,7 +1,6 @@
 #include "core/sweep.hpp"
 
-#include <mutex>
-
+#include "common/sync.hpp"
 #include "common/thread_pool.hpp"
 
 namespace fifer {
@@ -41,10 +40,12 @@ std::vector<ExperimentResult> run_grid(
     const std::function<std::string(std::size_t)>& label_at,
     const std::function<void(const std::string&)>& progress) {
   std::vector<ExperimentResult> results(count);
-  std::mutex progress_mu;
+  static const LockClass progress_cls{"core.sweep_progress",
+                                      sync::lock_rank::kToolLeaf};
+  Mutex progress_mu{&progress_cls};
   parallel_for_index(count, jobs, [&](std::size_t i) {
     if (progress) {
-      std::lock_guard<std::mutex> lock(progress_mu);
+      MutexLock lock(&progress_mu);
       progress(label_at(i));
     }
     results[i] = run_experiment(params_at(i));

@@ -20,6 +20,13 @@ namespace fifer {
 /// load-bearing: offline work (LSTM pre-training, static pool sizing) runs
 /// before the anchor, so wall time spent there does not leak into the
 /// experiment's simulated timeline.
+///
+/// Thread-safety: deliberately lock-free and unannotated. The anchor is
+/// configuration written exactly once by the gateway before any worker
+/// thread is released (`start_pending_workers` runs after `start()`), and
+/// every later access is a read — the one shape of shared state the
+/// annotation contract of common/sync.hpp exempts. TSan verifies the
+/// publish ordering in CI.
 class LiveClock {
  public:
   using WallClock = std::chrono::steady_clock;

@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
-#include <mutex>
 
 #include "common/check.hpp"
+#include "common/sync.hpp"
 #include "core/policy/scaler.hpp"
 #include "runtime/live_runtime.hpp"
 
@@ -13,7 +13,7 @@ namespace fifer {
 
 void Gateway::pump(std::size_t i) {
   {
-    std::lock_guard<std::mutex> lock(rt_.mu_);
+    MutexLock lock(&rt_.mu_);
     rt_.submit_job(arrivals_[i]);
     if (i + 1 >= arrivals_.size()) rt_.arrivals_done_ = true;
   }
@@ -26,18 +26,29 @@ LiveRunReport Gateway::run() {
   // Arrival plan: the same RNG split the simulator uses (and at the same
   // point in the seed's draw sequence — after Scaler::on_start), so a
   // sim/live pair with one seed replays the identical request sequence.
-  Rng arrival_rng = rt_.rng_.split(0xA221);
-  arrivals_ = generate_arrivals(rt_.params_.trace, rt_.params_.mix, arrival_rng,
-                                rt_.params_.input_scale_jitter);
-  rt_.end_of_arrivals_ = arrivals_.empty() ? 0.0 : arrivals_.back().time;
-  rt_.trace_end_ =
-      std::max(rt_.params_.trace.duration_ms(), rt_.end_of_arrivals_);
-  rt_.arrivals_done_ = arrivals_.empty();
+  // Still single-threaded here; the lock satisfies the guarded-state
+  // contracts at zero contention.
+  SimTime trace_end = 0.0;
+  {
+    MutexLock lock(&rt_.mu_);
+    Rng arrival_rng = rt_.rng_.split(0xA221);
+    arrivals_ = generate_arrivals(rt_.params_.trace, rt_.params_.mix,
+                                  arrival_rng, rt_.params_.input_scale_jitter);
+    rt_.end_of_arrivals_ = arrivals_.empty() ? 0.0 : arrivals_.back().time;
+    rt_.trace_end_ =
+        std::max(rt_.params_.trace.duration_ms(), rt_.end_of_arrivals_);
+    rt_.arrivals_done_ = arrivals_.empty();
+    trace_end = rt_.trace_end_;
+  }
 
   // Anchor simulated t = 0, then release the workers spawned during offline
-  // setup: their cold-start sleeps are measured from the anchor.
+  // setup: their cold-start sleeps are measured from the anchor. Lock order
+  // here is the canonical one: runtime state -> worker queue locks.
   rt_.clock_.start();
-  rt_.start_pending_workers();
+  {
+    MutexLock lock(&rt_.mu_);
+    rt_.start_pending_workers();
+  }
 
   // Registration order matches the simulator's determinism contract:
   // arrival pump, then the scaler's ticks, then housekeeping.
@@ -46,7 +57,7 @@ LiveRunReport Gateway::run() {
   }
   rt_.engine_.scaler->install(rt_);
   rt_.timers_.every(rt_.params_.housekeeping_interval_ms, [this](SimTime) {
-    std::lock_guard<std::mutex> lock(rt_.mu_);
+    MutexLock lock(&rt_.mu_);
     rt_.housekeeping_tick();
   });
 
@@ -61,7 +72,7 @@ LiveRunReport Gateway::run() {
             static_cast<std::int64_t>(rt_.opts_.max_wall_seconds * 1e9));
   } else {
     hard_deadline =
-        rt_.clock_.wall_deadline(rt_.trace_end_ + rt_.opts_.drain_grace_ms) +
+        rt_.clock_.wall_deadline(trace_end + rt_.opts_.drain_grace_ms) +
         std::chrono::seconds(2);
   }
 
@@ -71,7 +82,7 @@ LiveRunReport Gateway::run() {
   // worker threads are joined here, off the state lock.
   const auto done = [this] {
     rt_.cluster_.join_retired();
-    std::lock_guard<std::mutex> lock(rt_.mu_);
+    MutexLock lock(&rt_.mu_);
     return rt_.arrivals_done_ && rt_.clock_.now_ms() >= rt_.trace_end_ &&
            rt_.completed_jobs_ == rt_.jobs_.size();
   };
@@ -81,7 +92,9 @@ LiveRunReport Gateway::run() {
   // blocked on the state lock in a callback, which must complete first).
   rt_.cluster_.stop_and_join_all();
 
-  // Single-threaded from here on.
+  // Single-threaded from here on; the lock closes the guarded-state
+  // contract over the report assembly.
+  MutexLock lock(&rt_.mu_);
   const SimTime end = rt_.clock_.now_ms();
   rt_.cluster_.metal().advance_energy(end);
   ExperimentResult result =

@@ -7,6 +7,19 @@
 
 namespace fifer {
 
+namespace {
+
+const LockClass& retired_lock_class() {
+  static const LockClass cls{"runtime.retired_workers",
+                             sync::lock_rank::kRuntimeLeaf};
+  return cls;
+}
+
+}  // namespace
+
+LiveCluster::LiveCluster(const ClusterSpec& spec)
+    : cluster_(spec), retired_mu_(&retired_lock_class()) {}
+
 LiveContainer& LiveCluster::adopt(NodeId node, std::unique_ptr<LiveContainer> worker) {
   const std::uint64_t key = value_of(worker->id());
   FIFER_CHECK(workers_.find(key) == workers_.end(), kCluster)
@@ -31,7 +44,7 @@ void LiveCluster::retire(ContainerId id) {
   workers_.erase(it);
   worker_node_.erase(value_of(id));
   worker->request_stop();
-  std::lock_guard<std::mutex> lock(retired_mu_);
+  MutexLock lock(&retired_mu_);
   retired_.push_back(std::move(worker));
 }
 
@@ -44,7 +57,7 @@ std::size_t LiveCluster::node_workers(NodeId node) const {
 void LiveCluster::join_retired() {
   std::vector<std::unique_ptr<LiveContainer>> to_join;
   {
-    std::lock_guard<std::mutex> lock(retired_mu_);
+    MutexLock lock(&retired_mu_);
     to_join.swap(retired_);
   }
   for (auto& w : to_join) w->join();

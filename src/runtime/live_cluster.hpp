@@ -2,12 +2,12 @@
 
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "common/sync.hpp"
 #include "common/types.hpp"
 #include "runtime/live_container.hpp"
 
@@ -29,7 +29,7 @@ namespace fifer {
 ///    holding it.
 class LiveCluster {
  public:
-  explicit LiveCluster(const ClusterSpec& spec) : cluster_(spec) {}
+  explicit LiveCluster(const ClusterSpec& spec);
 
   // ----- resource accounting (caller holds the runtime state lock) -----
 
@@ -69,19 +69,26 @@ class LiveCluster {
 
   /// Joins retired workers. Cheap when none are pending; call it from the
   /// gateway loop so long runs do not accumulate exited threads.
-  void join_retired();
+  void join_retired() FIFER_EXCLUDES(retired_mu_);
 
   /// Shutdown: stop every remaining worker, then join them all.
-  void stop_and_join_all();
+  void stop_and_join_all() FIFER_EXCLUDES(retired_mu_);
 
  private:
+  // The accounting members below (cluster_, workers_, worker_node_,
+  // peak_workers_) are serialized externally by the runtime state lock —
+  // LiveRuntime::mu_ — per the "caller holds the runtime state lock"
+  // sections above; a member annotation cannot name another object's
+  // mutex, so this is contract-by-comment, checked by the lock-order
+  // ranks at run time.
   Cluster cluster_;
   std::unordered_map<std::uint64_t, std::unique_ptr<LiveContainer>> workers_;
   std::unordered_map<std::uint64_t, NodeId> worker_node_;
   std::size_t peak_workers_ = 0;
 
-  mutable std::mutex retired_mu_;
-  std::vector<std::unique_ptr<LiveContainer>> retired_;
+  mutable Mutex retired_mu_;
+  std::vector<std::unique_ptr<LiveContainer>> retired_
+      FIFER_GUARDED_BY(retired_mu_);
 };
 
 }  // namespace fifer

@@ -4,6 +4,16 @@
 
 namespace fifer {
 
+namespace {
+
+const LockClass& container_lock_class() {
+  static const LockClass cls{"runtime.container_queue",
+                             sync::lock_rank::kRuntimeLeaf};
+  return cls;
+}
+
+}  // namespace
+
 LiveContainer::LiveContainer(ContainerId id, std::string stage,
                              const LiveClock& clock, SimTime spawned_at,
                              SimDuration cold_ms, std::size_t batch_capacity,
@@ -14,7 +24,8 @@ LiveContainer::LiveContainer(ContainerId id, std::string stage,
       spawned_at_(spawned_at),
       cold_ms_(cold_ms < 0.0 ? 0.0 : cold_ms),
       capacity_(batch_capacity < 1 ? 1 : batch_capacity),
-      host_(host) {}
+      host_(host),
+      mu_(&container_lock_class()) {}
 
 LiveContainer::~LiveContainer() {
   request_stop();
@@ -22,7 +33,7 @@ LiveContainer::~LiveContainer() {
 }
 
 void LiveContainer::start() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (started_ || stop_) return;
   started_ = true;
   thread_ = std::thread([this] { thread_main(); });
@@ -30,7 +41,7 @@ void LiveContainer::start() {
 
 bool LiveContainer::submit(TaskRef task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (stop_ || queue_.size() >= capacity_) return false;
     queue_.push_back(task);
   }
@@ -40,7 +51,7 @@ bool LiveContainer::submit(TaskRef task) {
 
 void LiveContainer::request_stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -51,13 +62,15 @@ void LiveContainer::join() {
 }
 
 std::size_t LiveContainer::queued() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return queue_.size();
 }
 
 bool LiveContainer::interruptible_sleep_until(LiveClock::WallTime deadline) {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait_until(lock, deadline, [this] { return stop_; });
+  MutexLock lock(&mu_);
+  while (!stop_) {
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+  }
   return !stop_;
 }
 
@@ -71,8 +84,8 @@ void LiveContainer::thread_main() {
   while (true) {
     TaskRef task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!stop_ && queue_.empty()) cv_.wait(lock);
       if (stop_) return;
       task = queue_.front();
       queue_.pop_front();

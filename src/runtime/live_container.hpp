@@ -1,12 +1,11 @@
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <thread>
 
+#include "common/sync.hpp"
 #include "common/types.hpp"
 #include "runtime/clock.hpp"
 #include "workload/request.hpp"
@@ -16,7 +15,10 @@ namespace fifer {
 /// Host-side hooks a live container worker calls back into. Implemented by
 /// LiveRuntime; every hook takes the runtime's state lock internally, so a
 /// worker must never hold its own queue lock across one of these calls (the
-/// lock order is runtime-state -> worker-queue, established by `submit`).
+/// lock order is runtime-state -> worker-queue, established by `submit` and
+/// enforced by the ranks in `sync::lock_rank` — the worker queue is a
+/// `kRuntimeLeaf`, so acquiring the `kRuntimeState` runtime lock on top of
+/// it trips the lock-order detector in debug builds).
 class LiveContainerHost {
  public:
   virtual ~LiveContainerHost() = default;
@@ -67,23 +69,24 @@ class LiveContainer {
 
   /// Hands the worker a task. Returns false when the bounded queue is full —
   /// the caller's slot accounting should make that impossible.
-  bool submit(TaskRef task);
+  bool submit(TaskRef task) FIFER_EXCLUDES(mu_);
 
   /// Asks the worker to exit: interrupts the cold-start sleep, the idle
   /// wait, and any in-flight execution sleep (the latter exits without the
   /// finish callback — used only at shutdown). Safe from any thread.
-  void request_stop();
+  void request_stop() FIFER_EXCLUDES(mu_);
 
   /// Joins the thread if joinable. Never call while holding the runtime
   /// state lock: the worker may be blocked acquiring it in a callback.
   void join();
 
-  std::size_t queued() const;
+  std::size_t queued() const FIFER_EXCLUDES(mu_);
 
  private:
   void thread_main();
   /// Sleeps until `deadline` or stop; returns false when stopped.
-  bool interruptible_sleep_until(LiveClock::WallTime deadline);
+  bool interruptible_sleep_until(LiveClock::WallTime deadline)
+      FIFER_EXCLUDES(mu_);
 
   const ContainerId id_;
   const std::string stage_;
@@ -93,11 +96,14 @@ class LiveContainer {
   const std::size_t capacity_;
   LiveContainerHost* const host_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<TaskRef> queue_;
-  bool stop_ = false;
-  bool started_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<TaskRef> queue_ FIFER_GUARDED_BY(mu_);
+  bool stop_ FIFER_GUARDED_BY(mu_) = false;
+  bool started_ FIFER_GUARDED_BY(mu_) = false;
+  /// Written once under mu_ in start(); join() reads it only after
+  /// request_stop() (or never concurrently with start) — deliberately
+  /// unannotated, as join must not take mu_ (the worker may hold it).
   std::thread thread_;
 };
 

@@ -23,10 +23,16 @@ std::shared_ptr<obs::TraceSink> make_sink(const ExperimentParams& params) {
   return nullptr;
 }
 
+const LockClass& runtime_state_lock_class() {
+  static const LockClass cls{"runtime.state", sync::lock_rank::kRuntimeState};
+  return cls;
+}
+
 }  // namespace
 
 LiveRuntime::LiveRuntime(ExperimentParams params, LiveOptions opts)
-    : params_(std::move(params)),
+    : mu_(&runtime_state_lock_class()),
+      params_(std::move(params)),
       opts_(opts),
       clock_(opts.time_scale),
       timers_(clock_),
@@ -57,8 +63,12 @@ LiveRunReport LiveRuntime::run() {
   // Offline steps, single-threaded, clock still reading 0: surface the
   // static B_size configuration, then let the scaler pre-train predictors
   // and size static pools. Workers spawned here are held back (deferred
-  // start) so their cold-start sleeps begin at the anchor.
-  trace_batch_profiles();
+  // start) so their cold-start sleeps begin at the anchor. The lock is
+  // uncontended here; it satisfies the REQUIRES contracts uniformly.
+  {
+    MutexLock lock(&mu_);
+    trace_batch_profiles();
+  }
   engine_.scaler->on_start(*this);
 
   Gateway gateway(*this);
@@ -151,7 +161,7 @@ void LiveRuntime::transition_to_stage(Job& job, std::size_t stage_index) {
       bus_.begin_transition(job.app->stage_overhead_ms, rng_);
   Job* jp = &job;  // deque: stable address for the job's lifetime
   timers_.at(clock_.now_ms() + latency, [this, jp, idx](SimTime) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     bus_.end_transition();
     enqueue_task(*jp, idx);
   });
@@ -232,7 +242,7 @@ void LiveRuntime::complete_job(Job& job) {
 // --------------------------------------------- worker callbacks (data plane)
 
 void LiveRuntime::on_container_ready(ContainerId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   StageState& st = stage_of(stage_name_of(id));
   Container& c = st.container(id);
   const SimTime now = clock_.now_ms();
@@ -245,7 +255,7 @@ void LiveRuntime::on_container_ready(ContainerId id) {
 }
 
 SimDuration LiveRuntime::on_task_begin(ContainerId id, TaskRef task) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   StageState& st = stage_of(stage_name_of(id));
   Container& c = st.container(id);
   // Pop the mirrored queue; live and passive queues move in lockstep.
@@ -273,7 +283,7 @@ SimDuration LiveRuntime::on_task_begin(ContainerId id, TaskRef task) {
 }
 
 void LiveRuntime::on_task_finish(ContainerId id, TaskRef task) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   StageState& st = stage_of(stage_name_of(id));
   Container& c = st.container(id);
   StageRecord& rec = task.record();
@@ -336,7 +346,7 @@ void LiveRuntime::terminate_container(StageState& st, Container& c) {
 
 void LiveRuntime::every(SimDuration period_ms, std::function<void(SimTime)> cb) {
   timers_.every(period_ms, [this, cb = std::move(cb)](SimTime) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     cb(clock_.now_ms());
   });
 }

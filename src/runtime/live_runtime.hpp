@@ -4,10 +4,11 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "common/sync.hpp"
 
 #include "cluster/event_bus.hpp"
 #include "common/rng.hpp"
@@ -89,7 +90,10 @@ struct LiveRunReport {
 ///  - Lock order: `mu_` -> worker queue lock (via submit/retire) and
 ///    `mu_` -> timer lock (via at/every/notify). Host callbacks from workers
 ///    take `mu_` with no worker lock held. Thread joins happen with no locks
-///    held (LiveCluster's retirement list).
+///    held (LiveCluster's retirement list). The order is machine-enforced:
+///    `mu_` is ranked `lock_rank::kRuntimeState`, every lock below it
+///    `kRuntimeLeaf`, and debug builds trap any inverted acquisition
+///    through the lock-order registry (common/sync.hpp).
 ///
 /// One instance runs one experiment, like the framework:
 ///
@@ -101,59 +105,84 @@ class LiveRuntime : public PolicyContext, public LiveContainerHost {
 
   /// Replays the trace in scaled real time and returns the collected
   /// metrics. Single-shot. Returns within the wall budget (see LiveOptions).
-  LiveRunReport run();
+  LiveRunReport run() FIFER_EXCLUDES(mu_);
 
-  // --- introspection (tests; call only before run() or after it returns) ---
+  // --- introspection (tests; call only before run() or after it returns —
+  // the documented single-threaded phases, hence exempt from analysis) ---
   const LiveClock& clock() const { return clock_; }
-  const StatsDb& stats_db() const { return recorder_.db(); }
+  const StatsDb& stats_db() const FIFER_NO_THREAD_SAFETY_ANALYSIS {
+    return recorder_.db();
+  }
   const LiveCluster& live_cluster() const { return cluster_; }
   const ProfileBook& profiles() const override { return profiles_; }
 
   // --- PolicyContext view (called by the policy strategies, under mu_) ---
   SimTime now() const override { return clock_.now_ms(); }
   const ExperimentParams& params() const override { return params_; }
-  std::map<std::string, StageState>& stages() override { return stages_; }
+  std::map<std::string, StageState>& stages() override FIFER_REQUIRES(mu_) {
+    return stages_;
+  }
   const MicroserviceRegistry& services() const override { return services_; }
   const ApplicationRegistry& apps() const override { return apps_; }
-  const WindowSampler& sampler() const override { return sampler_; }
-  Container* spawn_container(StageState& st) override;
-  void terminate_container(StageState& st, Container& c) override;
+  const WindowSampler& sampler() const override FIFER_REQUIRES(mu_) {
+    return sampler_;
+  }
+  Container* spawn_container(StageState& st) override FIFER_REQUIRES(mu_);
+  void terminate_container(StageState& st, Container& c) override
+      FIFER_REQUIRES(mu_);
   void every(SimDuration period_ms, std::function<void(SimTime)> cb) override;
-  obs::TraceSink* trace() const override { return recorder_.sink(); }
+  obs::TraceSink* trace() const override FIFER_NO_THREAD_SAFETY_ANALYSIS {
+    return recorder_.sink();
+  }
 
   // --- LiveContainerHost hooks (called from worker threads; take mu_) ---
-  void on_container_ready(ContainerId id) override;
-  SimDuration on_task_begin(ContainerId id, TaskRef task) override;
-  void on_task_finish(ContainerId id, TaskRef task) override;
+  void on_container_ready(ContainerId id) override FIFER_EXCLUDES(mu_);
+  SimDuration on_task_begin(ContainerId id, TaskRef task) override
+      FIFER_EXCLUDES(mu_);
+  void on_task_finish(ContainerId id, TaskRef task) override
+      FIFER_EXCLUDES(mu_);
 
  private:
   friend class Gateway;  // the run driver: arrival pump, drain, shutdown
 
-  // Workload path; all assume mu_ is held (or pre-concurrency setup).
-  void submit_job(const Arrival& arrival);
-  void transition_to_stage(Job& job, std::size_t stage_index);
-  void enqueue_task(Job& job, std::size_t stage_index);
-  void dispatch_stage(StageState& st);
-  void complete_job(Job& job);
+  // Workload path; all require mu_ (compile-enforced under clang TSA).
+  void submit_job(const Arrival& arrival) FIFER_REQUIRES(mu_);
+  void transition_to_stage(Job& job, std::size_t stage_index)
+      FIFER_REQUIRES(mu_);
+  void enqueue_task(Job& job, std::size_t stage_index) FIFER_REQUIRES(mu_);
+  void dispatch_stage(StageState& st) FIFER_REQUIRES(mu_);
+  void complete_job(Job& job) FIFER_REQUIRES(mu_);
 
   // Container lifecycle / housekeeping; mirror the framework's, mu_ held.
-  bool reclaim_idle_capacity();
-  void reap_idle_containers();
-  void housekeeping_tick();
-  void check_request_conservation() const;
+  bool reclaim_idle_capacity() FIFER_REQUIRES(mu_);
+  void reap_idle_containers() FIFER_REQUIRES(mu_);
+  void housekeeping_tick() FIFER_REQUIRES(mu_);
+  void check_request_conservation() const FIFER_REQUIRES(mu_);
 
-  StageState& stage_of(const std::string& name);
-  const std::string& stage_name_of(ContainerId id) const;
+  StageState& stage_of(const std::string& name) FIFER_REQUIRES(mu_);
+  const std::string& stage_name_of(ContainerId id) const FIFER_REQUIRES(mu_);
   /// Starts workers spawned during offline setup (static pools): their
   /// cold-start sleeps must be measured from the clock anchor, not before.
-  void start_pending_workers();
-  void trace_batch_profiles();
-  void export_trace_files();
+  void start_pending_workers() FIFER_REQUIRES(mu_);
+  void trace_batch_profiles() FIFER_REQUIRES(mu_);
+  void export_trace_files() FIFER_REQUIRES(mu_);
 
+  /// The single state lock (see the class comment for the lock order).
+  /// Declared first so guarded members below can name it in annotations.
+  mutable Mutex mu_;
+
+  // Immutable configuration / internally synchronized machinery: params_,
+  // opts_, clock_ (anchor written pre-concurrency), timers_ (own lock),
+  // services_, apps_, engine_ (strategy objects — their mutable state is
+  // only touched through calls made under mu_), profiles_ (shaped at
+  // construction, read-only after).
   ExperimentParams params_;
   LiveOptions opts_;
   LiveClock clock_;
   WallTimerQueue timers_;
+  /// Accounting half is serialized by mu_ (see LiveCluster); the thread
+  /// lifecycle half has its own internal lock and must be called with mu_
+  /// released, which is why the field itself cannot carry a GUARDED_BY.
   LiveCluster cluster_;
   MicroserviceRegistry services_;
   ApplicationRegistry apps_;
@@ -161,27 +190,26 @@ class LiveRuntime : public PolicyContext, public LiveContainerHost {
   /// sizer shapes the stage profiles), exactly as in FiferFramework.
   PolicyEngine engine_;
   ProfileBook profiles_;
-  std::map<std::string, StageState> stages_;
-  Rng rng_;
-  WindowSampler sampler_;
-  EventBus bus_;
-  LiveStatsRecorder recorder_;
+  std::map<std::string, StageState> stages_ FIFER_GUARDED_BY(mu_);
+  Rng rng_ FIFER_GUARDED_BY(mu_);
+  WindowSampler sampler_ FIFER_GUARDED_BY(mu_);
+  EventBus bus_ FIFER_GUARDED_BY(mu_);
+  LiveStatsRecorder recorder_ FIFER_GUARDED_BY(mu_);
 
-  std::deque<Job> jobs_;
+  std::deque<Job> jobs_ FIFER_GUARDED_BY(mu_);
   /// Passive container id -> stage name, for worker callbacks.
-  std::unordered_map<std::uint64_t, std::string> container_stage_;
+  std::unordered_map<std::uint64_t, std::string> container_stage_
+      FIFER_GUARDED_BY(mu_);
   /// Workers created before the clock anchor, started by the gateway.
-  std::vector<LiveContainer*> pending_start_;
-  std::uint64_t completed_jobs_ = 0;
-  std::uint64_t next_job_id_ = 0;
-  std::uint64_t next_container_id_ = 0;
-  SimTime end_of_arrivals_ = 0.0;
-  SimTime trace_end_ = 0.0;
-  bool arrivals_done_ = false;
+  std::vector<LiveContainer*> pending_start_ FIFER_GUARDED_BY(mu_);
+  std::uint64_t completed_jobs_ FIFER_GUARDED_BY(mu_) = 0;
+  std::uint64_t next_job_id_ FIFER_GUARDED_BY(mu_) = 0;
+  std::uint64_t next_container_id_ FIFER_GUARDED_BY(mu_) = 0;
+  SimTime end_of_arrivals_ FIFER_GUARDED_BY(mu_) = 0.0;
+  SimTime trace_end_ FIFER_GUARDED_BY(mu_) = 0.0;
+  bool arrivals_done_ FIFER_GUARDED_BY(mu_) = false;
+  /// Only touched by run() on the driving thread before any concurrency.
   bool ran_ = false;
-
-  /// The single state lock (see the class comment for the lock order).
-  mutable std::mutex mu_;
 };
 
 /// Convenience wrapper: builds the live runtime and runs it.

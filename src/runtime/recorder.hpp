@@ -26,7 +26,11 @@ namespace fifer {
 ///
 /// Thread-safety: every hook is called with the runtime state lock held (the
 /// live analogue of "only from that run's thread"), so the sink contract of
-/// DESIGN.md §5d carries over and no internal locking is needed.
+/// DESIGN.md §5d carries over and no internal locking is needed. That
+/// external serialization is machine-checked: the recorder lives in
+/// `LiveRuntime` as a field `FIFER_GUARDED_BY(mu_)` (common/sync.hpp), so a
+/// clang `-Wthread-safety` build rejects any hook call site that does not
+/// hold the runtime state lock.
 class LiveStatsRecorder {
  public:
   LiveStatsRecorder(SimTime warmup_ms, std::shared_ptr<obs::TraceSink> sink)

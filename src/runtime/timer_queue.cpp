@@ -6,9 +6,21 @@
 
 namespace fifer {
 
+namespace {
+
+const LockClass& timer_lock_class() {
+  static const LockClass cls{"runtime.timers", sync::lock_rank::kRuntimeLeaf};
+  return cls;
+}
+
+}  // namespace
+
+WallTimerQueue::WallTimerQueue(const LiveClock& clock)
+    : clock_(clock), mu_(&timer_lock_class()) {}
+
 void WallTimerQueue::at(SimTime when, Callback cb) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     queue_.push(Entry{when < 0.0 ? 0.0 : when, seq_++, 0.0,
                       std::make_shared<Callback>(std::move(cb))});
     ++wake_generation_;
@@ -19,7 +31,7 @@ void WallTimerQueue::at(SimTime when, Callback cb) {
 void WallTimerQueue::every(SimDuration period, Callback cb) {
   const SimDuration p = std::max(period, 1e-9);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     queue_.push(Entry{clock_.now_ms() + p, seq_++, p,
                       std::make_shared<Callback>(std::move(cb))});
     ++wake_generation_;
@@ -29,7 +41,7 @@ void WallTimerQueue::every(SimDuration period, Callback cb) {
 
 void WallTimerQueue::notify() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++wake_generation_;
   }
   cv_.notify_all();
@@ -45,18 +57,23 @@ std::uint64_t WallTimerQueue::run(const std::function<bool()>& done,
     Entry due{};
     bool have_due = false;
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (queue_.empty()) {
         const std::uint64_t gen = wake_generation_;
-        cv_.wait_until(lock, hard_deadline,
-                       [&] { return wake_generation_ != gen; });
+        while (wake_generation_ == gen) {
+          if (cv_.wait_until(lock, hard_deadline) == std::cv_status::timeout) {
+            break;
+          }
+        }
         continue;  // re-evaluate done / deadline
       }
       const LiveClock::WallTime fire_at = clock_.wall_deadline(queue_.top().when);
       if (fire_at > LiveClock::WallClock::now()) {
         const std::uint64_t gen = wake_generation_;
-        cv_.wait_until(lock, std::min(fire_at, hard_deadline),
-                       [&] { return wake_generation_ != gen; });
+        const LiveClock::WallTime until = std::min(fire_at, hard_deadline);
+        while (wake_generation_ == gen) {
+          if (cv_.wait_until(lock, until) == std::cv_status::timeout) break;
+        }
         continue;  // an earlier timer or external progress may have landed
       }
       due = queue_.top();
@@ -69,7 +86,7 @@ std::uint64_t WallTimerQueue::run(const std::function<bool()>& done,
     ++executed_;
 
     if (due.period > 0.0) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       // Skip-missed-ticks rescheduling (see header).
       due.when = std::max(due.when + due.period, clock_.now_ms());
       due.seq = seq_++;

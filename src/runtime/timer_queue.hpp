@@ -1,13 +1,12 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "common/types.hpp"
 #include "runtime/clock.hpp"
 
@@ -23,6 +22,8 @@ namespace fifer {
 /// Threading contract:
 ///  - `at` / `every` / `notify` may be called from any thread (timer
 ///    callbacks and container worker threads both schedule follow-ups).
+///    `mu_` is a `lock_rank::kRuntimeLeaf` lock: the runtime state lock may
+///    be held while scheduling, never the other way around.
 ///  - `run` executes callbacks on the calling thread only, with no internal
 ///    lock held — callbacks are free to take the runtime's state lock and to
 ///    schedule further timers.
@@ -34,27 +35,28 @@ class WallTimerQueue {
  public:
   using Callback = std::function<void(SimTime)>;
 
-  explicit WallTimerQueue(const LiveClock& clock) : clock_(clock) {}
+  explicit WallTimerQueue(const LiveClock& clock);
 
   /// Schedules `cb` at simulated time `when` (past deadlines fire at the
   /// next loop iteration).
-  void at(SimTime when, Callback cb);
+  void at(SimTime when, Callback cb) FIFER_EXCLUDES(mu_);
 
   /// Schedules `cb` every `period` simulated ms, first at now + period.
   /// When the loop falls behind (a callback overran the period), missed
   /// occurrences are skipped rather than replayed in a burst — a live
   /// monitoring tick wants "at this cadence", not "this many times".
-  void every(SimDuration period, Callback cb);
+  void every(SimDuration period, Callback cb) FIFER_EXCLUDES(mu_);
 
   /// Wakes `run` so it re-evaluates `done` (call after externally visible
   /// progress, e.g. a job completing on a worker thread).
-  void notify();
+  void notify() FIFER_EXCLUDES(mu_);
 
   /// Runs callbacks in deadline order on the calling thread until `done()`
   /// returns true (checked between callbacks and on every wakeup) or the
   /// wall deadline passes. `done` is called with no queue lock held.
   /// Returns the number of callbacks executed.
-  std::uint64_t run(const std::function<bool()>& done, LiveClock::WallTime hard_deadline);
+  std::uint64_t run(const std::function<bool()>& done,
+                    LiveClock::WallTime hard_deadline) FIFER_EXCLUDES(mu_);
 
   std::uint64_t executed() const { return executed_; }
 
@@ -73,11 +75,13 @@ class WallTimerQueue {
   };
 
   const LiveClock& clock_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
-  std::uint64_t seq_ = 0;
-  std::uint64_t wake_generation_ = 0;
+  Mutex mu_;
+  CondVar cv_;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_
+      FIFER_GUARDED_BY(mu_);
+  std::uint64_t seq_ FIFER_GUARDED_BY(mu_) = 0;
+  std::uint64_t wake_generation_ FIFER_GUARDED_BY(mu_) = 0;
+  /// Touched only by `run` on the driving thread; not shared.
   std::uint64_t executed_ = 0;
 };
 

@@ -13,10 +13,17 @@
 #                                               and the live-mode runtime
 #                                               must be race-free; runs the
 #                                               sweep-determinism, thread-
-#                                               pool, framework, and live
-#                                               runtime suites (TSan is
-#                                               ~10x, so not the full
-#                                               matrix).
+#                                               pool, framework, live
+#                                               runtime, and sync/lock-order
+#                                               suites (TSan is ~10x, so not
+#                                               the full matrix).
+#   leg 4  clang -Werror=thread-safety        — compile-time proof that every
+#                                               guarded field is accessed
+#                                               under its lock, plus a
+#                                               negative probe that must fail
+#                                               to compile; skipped with a
+#                                               notice when clang++ is not
+#                                               installed.
 #
 # Legs 1-2 run the full ctest suite; the release leg additionally runs the
 # tracing-overhead benchmark (the ≤2% null-sink contract of DESIGN.md §5d
@@ -116,7 +123,50 @@ echo "==== [tsan] build"
 cmake --build "$ROOT/build-ci-tsan" -j "$JOBS"
 echo "==== [tsan] test (thread pool + parallel sweeps + framework + live runtime)"
 ctest --test-dir "$ROOT/build-ci-tsan" --output-on-failure -j "$JOBS" \
-  -R 'ThreadPool|ParallelForIndex|SweepParallel|GridSweep|Sweep\.|Framework\.|LiveClock|WallTimerQueue|LiveContainer|LiveRuntime'
+  -R 'ThreadPool|ParallelForIndex|SweepParallel|GridSweep|Sweep\.|Framework\.|LiveClock|WallTimerQueue|LiveContainer|LiveRuntime|Sync'
+
+# Leg 4: clang compile-time thread-safety analysis. Builds everything with
+# -Wthread-safety promoted to errors (the FIFER_THREAD_SAFETY option), then
+# proves the analysis is actually engaged with a negative probe: a guarded
+# field written without its lock MUST fail to compile. Both DCHECKs and the
+# lock-order detector are on so the annotated-and-instrumented configuration
+# is the one analyzed. Skipped with a notice when clang++ is unavailable —
+# the gcc legs above still exercise the runtime lock-order detector.
+if command -v clang++ >/dev/null 2>&1; then
+  echo "==== [thread-safety] configure (clang, -Werror=thread-safety)"
+  cmake -B "$ROOT/build-ci-tsa" -S "$ROOT" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_COMPILER=clang++ \
+    -DFIFER_DCHECKS=ON \
+    -DFIFER_THREAD_SAFETY=ON
+  echo "==== [thread-safety] build (zero thread-safety warnings tolerated)"
+  cmake --build "$ROOT/build-ci-tsa" -j "$JOBS"
+  echo "==== [thread-safety] negative probe (mis-annotated code must not compile)"
+  PROBE="$ROOT/build-ci-tsa/tsa_negative_probe.cpp"
+  cat > "$PROBE" <<'EOF'
+// Mirrors the commented snippet in tests/test_sync.cpp: writing a guarded
+// field without holding its mutex. -Werror=thread-safety must reject it.
+#include "common/sync.hpp"
+struct MisAnnotated {
+  fifer::Mutex mu;
+  int value FIFER_GUARDED_BY(mu) = 0;
+  void bad_write() { value = 1; }
+};
+int main() {
+  MisAnnotated m;
+  m.bad_write();
+  return 0;
+}
+EOF
+  if clang++ -std=c++20 -I"$ROOT/src" -fsyntax-only \
+       -Wthread-safety -Werror=thread-safety "$PROBE" 2>/dev/null; then
+    echo "thread-safety: negative probe compiled cleanly — analysis not engaged" >&2
+    exit 1
+  fi
+  echo "==== [thread-safety] negative probe rejected, as required"
+else
+  echo "==== [thread-safety] clang++ not installed; skipping -Wthread-safety leg"
+fi
 
 echo "==== docs hygiene"
 docs_hygiene

@@ -59,6 +59,22 @@ if [ -n "$RAND_USE" ]; then
   printf '%s\n' "$RAND_USE" >&2
 fi
 
+# Raw synchronization primitives: all locking in src/ goes through the
+# annotated wrappers in common/sync.hpp (fifer::Mutex / MutexLock / CondVar)
+# so the thread-safety annotations and the lock-order registry see every
+# acquisition. The sync module itself is exempt: it wraps std::mutex, and
+# its registry deliberately uses an uninstrumented one. Comment lines are
+# filtered the same way the naked-new rule does.
+RAW_SYNC=$(grep -rnE \
+  'std::(mutex|timed_mutex|recursive_mutex|shared_mutex|condition_variable|lock_guard|unique_lock|scoped_lock|shared_lock)' \
+  "$ROOT/src" --include='*.cpp' --include='*.hpp' |
+  grep -v "^$ROOT/src/common/sync\.\(hpp\|cpp\):" |
+  grep -vE '^\s*[^:]*:[0-9]+:\s*(//|\*)' || true)
+if [ -n "$RAW_SYNC" ]; then
+  fail "raw std synchronization primitive in src/ (use fifer::Mutex/MutexLock/CondVar from common/sync.hpp):"
+  printf '%s\n' "$RAW_SYNC" >&2
+fi
+
 MISSING_PRAGMA=$(find "$ROOT/src" -name '*.hpp' -print0 |
   xargs -0 grep -L '#pragma once' || true)
 if [ -n "$MISSING_PRAGMA" ]; then
