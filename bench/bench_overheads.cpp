@@ -81,6 +81,56 @@ void BM_StatsDbRead(benchmark::State& state) {
 }
 BENCHMARK(BM_StatsDbRead);
 
+/// The hot path the runtime actually uses (DESIGN.md §5g): documents and
+/// fields interned once, steady-state traffic is two array indexings. The
+/// string benchmarks above measure the compat shim; the gap between the two
+/// pairs is the cost of key construction + hashing that interning removed.
+void BM_StatsDbWriteInterned(benchmark::State& state) {
+  fifer::StatsDb db;
+  const auto field = db.intern_field("completionTime");
+  std::vector<fifer::StatsDb::DocId> docs;
+  for (int i = 0; i < 1000; ++i) docs.push_back(db.create_doc());
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    db.write(docs[i % 1000], field, static_cast<double>(i));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StatsDbWriteInterned);
+
+void BM_StatsDbReadInterned(benchmark::State& state) {
+  fifer::StatsDb db;
+  const auto field = db.intern_field("completionTime");
+  std::vector<fifer::StatsDb::DocId> docs;
+  for (int i = 0; i < 1000; ++i) {
+    docs.push_back(db.create_doc());
+    db.write(docs.back(), field, i);
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.read(docs[i % 1000], field));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StatsDbReadInterned);
+
+/// The pod free-slot update pattern: pinned as exactly 1 read + 1 write.
+void BM_StatsDbIncrementInterned(benchmark::State& state) {
+  fifer::StatsDb db;
+  const auto field = db.intern_field("freeSlots");
+  const auto doc = db.create_doc();
+  db.write(doc, field, 0.0);
+  double delta = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.increment(doc, field, delta));
+    delta = -delta;  // keep the value bounded
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StatsDbIncrementInterned);
+
 /// One LSF scheduling decision: pop the least-slack task from a loaded
 /// stage queue (plus the re-insert to keep the queue stable across
 /// iterations).

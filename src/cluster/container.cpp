@@ -44,15 +44,6 @@ void Container::mark_warm(SimTime now) {
   last_used_at_ = now;
 }
 
-int Container::occupied() const {
-  return static_cast<int>(local_queue_.size()) + (executing_ ? 1 : 0);
-}
-
-int Container::free_slots() const {
-  if (terminated()) return 0;
-  return std::max(0, batch_size_ - occupied());
-}
-
 void Container::enqueue(TaskRef task) {
   if (terminated()) {
     throw std::logic_error("Container::enqueue: container terminated");
@@ -66,11 +57,21 @@ void Container::enqueue(TaskRef task) {
 }
 
 TaskRef Container::pop() {
-  if (local_queue_.empty()) {
+  if (queued() == 0) {
     throw std::logic_error("Container::pop: local queue empty");
   }
-  TaskRef t = local_queue_.front();
-  local_queue_.pop_front();
+  TaskRef t = local_queue_[queue_head_++];
+  if (queue_head_ == local_queue_.size()) {
+    local_queue_.clear();
+    queue_head_ = 0;
+  } else if (queue_head_ * 2 >= local_queue_.size()) {
+    // Compact the consumed prefix in place (no reallocation), so the buffer
+    // stays bounded by ~2x B_size even if the queue never fully drains.
+    local_queue_.erase(
+        local_queue_.begin(),
+        local_queue_.begin() + static_cast<std::ptrdiff_t>(queue_head_));
+    queue_head_ = 0;
+  }
   return t;
 }
 
@@ -99,7 +100,7 @@ void Container::end_execution(SimTime now) {
 }
 
 bool Container::idle_expired(SimTime now, SimDuration idle_timeout) const {
-  return state_ == ContainerState::kIdle && local_queue_.empty() &&
+  return state_ == ContainerState::kIdle && queued() == 0 &&
          now - last_used_at_ >= idle_timeout;
 }
 

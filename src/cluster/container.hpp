@@ -1,9 +1,10 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <string>
+#include <vector>
 
+#include "common/slab.hpp"
 #include "common/types.hpp"
 #include "workload/request.hpp"
 
@@ -35,6 +36,13 @@ class Container {
   const std::string& service() const { return service_; }
   NodeId node() const { return node_; }
 
+  /// This container's slot in its stage's slab registry (set by StageState
+  /// at admission). Lets records and policies address the container in O(1)
+  /// without a fleet scan, and goes stale the moment the container is
+  /// reaped — see common/slab.hpp.
+  SlabHandle<Container> handle() const { return handle_; }
+  void set_handle(SlabHandle<Container> h) { handle_ = h; }
+
   int batch_size() const { return batch_size_; }
   /// Allows the load balancer to retune B_size when slack policy changes.
   void set_batch_size(int b);
@@ -53,16 +61,24 @@ class Container {
   /// Marks the cold start finished (driver calls this at ready_at()).
   void mark_warm(SimTime now);
 
-  /// Slots currently in use: queued tasks plus the in-flight one.
-  int occupied() const;
+  /// Slots currently in use: queued tasks plus the in-flight one. Inline —
+  /// every fleet scan (placement, scaling snapshots) calls this per
+  /// container, and the call overhead dominated scan cost when out-of-line.
+  int occupied() const {
+    return static_cast<int>(queued()) + (executing_ ? 1 : 0);
+  }
 
   /// Slots still available in the local queue. A busy container's in-flight
   /// task occupies one slot, matching the paper's definition of free slots
   /// as batch size minus queued work.
-  int free_slots() const;
+  int free_slots() const {
+    if (terminated()) return 0;
+    const int n = batch_size_ - occupied();
+    return n > 0 ? n : 0;
+  }
 
   /// Number of tasks waiting in the local queue (excluding in-flight).
-  std::size_t queued() const { return local_queue_.size(); }
+  std::size_t queued() const { return local_queue_.size() - queue_head_; }
 
   /// Enqueues a task (precondition: free_slots() > 0).
   void enqueue(TaskRef task);
@@ -89,6 +105,7 @@ class Container {
 
  private:
   ContainerId id_;
+  SlabHandle<Container> handle_;
   std::string service_;
   NodeId node_;
   int batch_size_;
@@ -97,7 +114,12 @@ class Container {
   SimTime last_used_at_;
   ContainerState state_ = ContainerState::kProvisioning;
   bool executing_ = false;
-  std::deque<TaskRef> local_queue_;
+  /// FIFO local queue as a compacting vector ring: pops advance queue_head_
+  /// and the buffer resets when drained, so its capacity settles at B_size
+  /// and steady-state enqueue/pop never allocates (unlike the deque this
+  /// replaced, which churned block allocations under sustained cycling).
+  std::vector<TaskRef> local_queue_;
+  std::size_t queue_head_ = 0;
   std::uint64_t jobs_executed_ = 0;
   SimDuration busy_ms_ = 0.0;
   SimTime exec_started_at_ = 0.0;

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>  // std::bad_function_call
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace fifer {
+
+template <typename Signature, std::size_t Capacity = 64>
+class InlineFunction;
+
+/// Move-only type-erased callable with a fixed inline buffer and **no heap
+/// fallback**: a capture larger than `Capacity` is a compile error, not a
+/// hidden allocation. This is what lets `EventQueue` carry its callbacks
+/// inline in its recycled slot table — `std::function`'s small-buffer
+/// optimization tops out well below the event loop's largest capture, so
+/// every scheduled event used to pay one allocation (DESIGN.md §5g).
+///
+/// Callables must be nothrow-move-constructible (slot reuse and Fired
+/// hand-off move them; a throwing move would corrupt the event queue).
+template <typename R, typename... Args, std::size_t Capacity>
+class InlineFunction<R(Args...), Capacity> {
+ public:
+  InlineFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= Capacity,
+                  "capture exceeds the inline buffer; grow Capacity or trim "
+                  "the capture — InlineFunction never heap-allocates");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "over-aligned callables are not supported");
+    static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                  "callables must be nothrow-movable (heap sifts move them)");
+    ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+    ops_ = &OpsFor<Fn>::value;
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { steal(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  R operator()(Args... args) {
+    if (ops_ == nullptr) throw std::bad_function_call();
+    return ops_->invoke(buf_, std::forward<Args>(args)...);
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(void*, Args&&...);
+    void (*relocate)(void* src, void* dst) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename Fn>
+  struct OpsFor {
+    static R invoke(void* p, Args&&... args) {
+      return (*std::launder(static_cast<Fn*>(p)))(std::forward<Args>(args)...);
+    }
+    static void relocate(void* src, void* dst) noexcept {
+      Fn* from = std::launder(static_cast<Fn*>(src));
+      ::new (dst) Fn(std::move(*from));
+      from->~Fn();
+    }
+    static void destroy(void* p) noexcept {
+      std::launder(static_cast<Fn*>(p))->~Fn();
+    }
+    static constexpr Ops value{&invoke, &relocate, &destroy};
+  };
+
+  void steal(InlineFunction& other) noexcept {
+    if (other.ops_ != nullptr) {
+      other.ops_->relocate(other.buf_, buf_);
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[Capacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace fifer

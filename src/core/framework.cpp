@@ -167,6 +167,7 @@ ExperimentResult FiferFramework::run() {
   result.mix = params_.mix.name();
   result.trace = params_.trace_name;
   result.bus_transitions = bus_.total_transitions();
+  result.sim_events = sim_.events_executed();
   result.bus_peak_congestion = bus_.peak_congestion();
   result.predictor_retrains = engine_.scaler->predictor_retrains();
   export_trace_files();
@@ -206,8 +207,7 @@ void FiferFramework::export_trace_files() {
 // ------------------------------------------------------------- workload path
 
 void FiferFramework::submit_job(const Arrival& arrival) {
-  jobs_.emplace_back();
-  Job& job = jobs_.back();
+  Job& job = jobs_[jobs_.emplace()];
   job.id = static_cast<JobId>(next_job_id_++);
   job.app = &apps_.at(arrival.app);
   job.arrival = sim_.now();
@@ -285,6 +285,7 @@ void FiferFramework::dispatch_stage(StageState& st) {
     StageRecord& rec = task.record();
     rec.dispatched = sim_.now();
     rec.container = c->id();
+    rec.container_handle = c->handle();
     if (obs::TraceSink* t = sink_.get()) {
       rec.batch_slot = c->occupied();
       rec.slack_at_dispatch_ms = task.job->remaining_slack_ms(
@@ -357,6 +358,7 @@ void FiferFramework::finish_task(StageState& st, Container& c, TaskRef task) {
     span.cold_wait_ms = rec.cold_start_wait_ms;
     span.slack_at_dispatch_ms = rec.slack_at_dispatch_ms;
     span.container = value_of(rec.container);
+    span.container_handle = rec.container_handle;
     span.batch_slot = rec.batch_slot;
     t->on_span(span);
   }
@@ -389,13 +391,14 @@ Container* FiferFramework::spawn_container(StageState& st) {
   }
   const auto id = static_cast<ContainerId>(next_container_id_++);
   const SimDuration cold = params_.cold_start.sample_cold_start_ms(spec, rng_);
-  Container& c = st.add_container(std::make_unique<Container>(
-      id, st.name(), *node, st.profile().batch, sim_.now(), cold));
+  Container& c =
+      st.add_container(id, *node, st.profile().batch, sim_.now(), cold);
   metrics_.on_container_spawned(st.name());
   log_container(st.name(), id, cold);
 
   StageState* stp = &st;
-  sim_.after(cold, [this, stp, id] { on_container_ready(*stp, id); });
+  const SlabHandle<Container> h = c.handle();
+  sim_.after(cold, [this, stp, h] { on_container_ready(*stp, h); });
   return &c;
 }
 
@@ -410,11 +413,15 @@ void FiferFramework::every(SimDuration period_ms,
   sim_.every(period_ms, std::move(cb));
 }
 
-void FiferFramework::on_container_ready(StageState& st, ContainerId id) {
-  Container& c = st.container(id);
-  c.mark_warm(sim_.now());
-  if (c.queued() > 0) {
-    start_next_task(st, c);
+void FiferFramework::on_container_ready(StageState& st, SlabHandle<Container> h) {
+  Container* c = st.get(h);
+  // Policies only terminate idle *warm* containers, so a pending cold start
+  // always finds its container alive (the old id lookup threw here too).
+  FIFER_CHECK(c != nullptr && !c->terminated(), kCore)
+      << "cold start completed on a reaped container";
+  c->mark_warm(sim_.now());
+  if (c->queued() > 0) {
+    start_next_task(st, *c);
   }
   dispatch_stage(st);
 }
@@ -425,10 +432,10 @@ bool FiferFramework::reclaim_idle_capacity() {
   for (auto& [name, st] : stages_) {
     // Never shrink a stage that has work waiting or only one container.
     if (st.queue_length() > 0 || st.live_count() <= 1) continue;
-    for (Container* c : st.live_containers()) {
-      if (c->state() != ContainerState::kIdle || c->queued() > 0) continue;
-      if (victim == nullptr || c->last_used_at() < victim->last_used_at()) {
-        victim = c;
+    for (Container& c : st.live()) {
+      if (c.state() != ContainerState::kIdle || c.queued() > 0) continue;
+      if (victim == nullptr || c.last_used_at() < victim->last_used_at()) {
+        victim = &c;
         victim_stage = &st;
       }
     }
@@ -443,10 +450,10 @@ void FiferFramework::reap_idle_containers() {
   if (!engine_.scaler->reaps_idle()) return;  // fixed pool
   for (auto& [name, st] : stages_) {
     auto live = static_cast<int>(st.live_count());
-    for (Container* c : st.live_containers()) {
+    for (Container& c : st.live()) {
       if (live <= st.keep_warm_floor()) break;  // proactive target holds
-      if (c->idle_expired(sim_.now(), params_.rm.idle_timeout_ms)) {
-        terminate_container(st, *c);
+      if (c.idle_expired(sim_.now(), params_.rm.idle_timeout_ms)) {
+        terminate_container(st, c);
         --live;
       }
     }
@@ -462,8 +469,8 @@ void FiferFramework::check_request_conservation() const {
   std::uint64_t resident = 0;
   for (const auto& [name, st] : stages_) {
     resident += st.queue_length();
-    for (const Container* c : st.live_containers()) {
-      resident += c->queued() + (c->executing() ? 1 : 0);
+    for (const Container& c : st.live()) {
+      resident += c.queued() + (c.executing() ? 1 : 0);
     }
   }
   FIFER_CHECK_EQ(jobs_.size() - completed_jobs_, resident + bus_.inflight(), kCore)

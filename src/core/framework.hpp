@@ -1,6 +1,5 @@
 #pragma once
 
-#include <deque>
 #include <fstream>
 #include <map>
 #include <memory>
@@ -10,6 +9,7 @@
 #include "cluster/cluster.hpp"
 #include "cluster/event_bus.hpp"
 #include "common/rng.hpp"
+#include "common/slab.hpp"
 #include "core/app_profile.hpp"
 #include "core/experiment_params.hpp"
 #include "core/metrics.hpp"
@@ -84,7 +84,7 @@ class FiferFramework : public PolicyContext {
   /// idle instances under capacity pressure). Returns true if one was
   /// evicted.
   bool reclaim_idle_capacity();
-  void on_container_ready(StageState& st, ContainerId id);
+  void on_container_ready(StageState& st, SlabHandle<Container> h);
   void reap_idle_containers();
 
   void housekeeping_tick();
@@ -117,7 +117,9 @@ class FiferFramework : public PolicyContext {
   WindowSampler sampler_;
   EventBus bus_;
 
-  std::deque<Job> jobs_;
+  /// Slab-backed job registry: pointer-stable (queues hold Job*), chunked,
+  /// never erased during a run, so size() is the submitted count.
+  Slab<Job> jobs_;
   std::ofstream trace_log_;
   /// Tracing state (null/empty when tracing is off). `sink_` receives spans
   /// and decisions; `prof_` points at `profiler_` only while tracing so the

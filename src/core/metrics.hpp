@@ -76,6 +76,11 @@ struct ExperimentResult {
   std::uint32_t peak_active_containers = 0;
   double energy_joules = 0.0;
   SimDuration duration_ms = 0.0;
+  /// Simulator events executed during the run (0 in live mode). Not part of
+  /// the canonical report — it measures the engine, not the policies — but
+  /// byte-identical runs execute identical event counts, which is what lets
+  /// bench_scale turn wall time into an events/sec throughput figure.
+  std::uint64_t sim_events = 0;
 
   std::map<std::string, StageMetrics> stages;
   std::vector<TimelineSample> timeline;

@@ -30,6 +30,12 @@ class Container;
 /// task entered the stage queue and before dispatch; `on_tick` fires at the
 /// cadence the scaler registered in `install()`; `on_starved` fires from
 /// housekeeping after the idle reaper ran.
+///
+/// Hot-path contract (DESIGN.md §5g): everything reachable from here during
+/// steady state is non-allocating — `StageState::live()` is a filtered view
+/// over slab storage (no vector is materialized), counters are O(fleet)
+/// scans, and spawn/terminate recycle slab slots. A policy that stays on
+/// these accessors adds no per-decision heap traffic to the event loop.
 class PolicyContext {
  public:
   virtual ~PolicyContext() = default;

@@ -216,7 +216,7 @@ void UtilizationScaler::tick(PolicyContext& ctx) {
       continue;
     }
     int busy = 0;
-    for (Container* c : st.live_containers()) busy += c->executing() ? 1 : 0;
+    for (const Container& c : st.live()) busy += c.executing() ? 1 : 0;
     const double utilization = static_cast<double>(busy) / live;
     int desired = static_cast<int>(
         std::ceil(live * utilization / ctx.params().rm.hpa_target));
@@ -233,10 +233,10 @@ void UtilizationScaler::tick(PolicyContext& ctx) {
       }
     } else if (desired < live) {
       int to_remove = live - desired;
-      for (Container* c : st.live_containers()) {
+      for (Container& c : st.live()) {
         if (to_remove == 0) break;
-        if (c->state() != ContainerState::kIdle || c->queued() > 0) continue;
-        ctx.terminate_container(st, *c);
+        if (c.state() != ContainerState::kIdle || c.queued() > 0) continue;
+        ctx.terminate_container(st, c);
         --to_remove;
         --delta;
       }

@@ -1,6 +1,5 @@
 #include "core/stage.hpp"
 
-#include <algorithm>
 #include <stdexcept>
 
 #include "common/check.hpp"
@@ -34,103 +33,99 @@ double StageState::peek_key() const {
   return queue_.top().key;
 }
 
-Container& StageState::add_container(std::unique_ptr<Container> c) {
-  containers_.push_back(std::move(c));
-  return *containers_.back();
+Container& StageState::add_container(ContainerId id, NodeId node, int batch_size,
+                                     SimTime spawned_at,
+                                     SimDuration cold_start_ms) {
+  const SlabHandle<Container> h = containers_.emplace(
+      id, profile_.stage, node, batch_size, spawned_at, cold_start_ms);
+  Container& c = containers_[h];
+  c.set_handle(h);
+  return c;
 }
 
 std::size_t StageState::live_count() const {
   std::size_t n = 0;
-  for (const auto& c : containers_) n += c->terminated() ? 0 : 1;
+  for (const Container& c : containers_) n += c.terminated() ? 0 : 1;
   return n;
 }
 
 Container* StageState::select_container() {
+  // First container with the strictly fewest free slots wins (ties keep the
+  // earlier admission — the order the golden digests pin). free_slots() is
+  // computed once per candidate; this scan runs once per dispatched task
+  // and dominates the dispatch loop at large fleets.
   Container* best = nullptr;
-  for (const auto& c : containers_) {
-    if (!c->warm() || c->free_slots() <= 0) continue;
-    if (best == nullptr || c->free_slots() < best->free_slots()) {
-      best = c.get();
+  int best_free = 0;
+  for (Container& c : containers_) {
+    if (!c.warm()) continue;
+    const int f = c.free_slots();
+    if (f <= 0) continue;
+    if (best == nullptr || f < best_free) {
+      best = &c;
+      best_free = f;
     }
   }
   return best;
 }
 
 Container& StageState::container(ContainerId id) {
-  for (const auto& c : containers_) {
-    if (c->id() == id && !c->terminated()) return *c;
+  for (Container& c : containers_) {
+    if (c.id() == id && !c.terminated()) return c;
   }
   throw std::out_of_range("StageState::container: unknown or terminated id");
 }
 
-std::vector<Container*> StageState::live_containers() {
-  std::vector<Container*> out;
-  out.reserve(containers_.size());
-  for (const auto& c : containers_) {
-    if (!c->terminated()) out.push_back(c.get());
-  }
-  return out;
-}
-
-std::vector<const Container*> StageState::live_containers() const {
-  std::vector<const Container*> out;
-  out.reserve(containers_.size());
-  for (const auto& c : containers_) {
-    if (!c->terminated()) out.push_back(c.get());
-  }
-  return out;
-}
-
 std::size_t StageState::warm_count() const {
   std::size_t n = 0;
-  for (const auto& c : containers_) n += c->warm() ? 1 : 0;
+  for (const Container& c : containers_) n += c.warm() ? 1 : 0;
   return n;
 }
 
 std::size_t StageState::provisioning_count() const {
   std::size_t n = 0;
-  for (const auto& c : containers_) {
-    n += c->state() == ContainerState::kProvisioning ? 1 : 0;
+  for (const Container& c : containers_) {
+    n += c.state() == ContainerState::kProvisioning ? 1 : 0;
   }
   return n;
 }
 
 int StageState::total_free_slots() const {
   int n = 0;
-  for (const auto& c : containers_) {
-    if (!c->terminated()) n += c->free_slots();
+  for (const Container& c : containers_) {
+    if (!c.terminated()) n += c.free_slots();
   }
   return n;
 }
 
 int StageState::warm_free_slots() const {
   int n = 0;
-  for (const auto& c : containers_) {
-    if (c->warm()) n += c->free_slots();
+  for (const Container& c : containers_) {
+    if (c.warm()) n += c.free_slots();
   }
   return n;
 }
 
 int StageState::provisioning_slots() const {
   int n = 0;
-  for (const auto& c : containers_) {
-    if (c->state() == ContainerState::kProvisioning) n += c->free_slots();
+  for (const Container& c : containers_) {
+    if (c.state() == ContainerState::kProvisioning) n += c.free_slots();
   }
   return n;
 }
 
 int StageState::total_capacity() const {
   int n = 0;
-  for (const auto& c : containers_) {
-    if (!c->terminated()) n += c->batch_size();
+  for (const Container& c : containers_) {
+    if (!c.terminated()) n += c.batch_size();
   }
   return n;
 }
 
 void StageState::erase_terminated() {
-  containers_.erase(std::remove_if(containers_.begin(), containers_.end(),
-                                   [](const auto& c) { return c->terminated(); }),
-                    containers_.end());
+  // Single order-preserving compaction pass: remaining containers keep
+  // their relative (admission) order, exactly as the old vector remove_if
+  // did, and a burst reap stays O(fleet) instead of O(fleet²).
+  containers_.erase_if([](const Container& c) { return c.terminated(); });
 }
 
 void StageState::record_wait(SimTime now, SimDuration wait_ms) {

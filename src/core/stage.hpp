@@ -2,12 +2,12 @@
 
 #include <cstdint>
 #include <deque>
-#include <memory>
 #include <queue>
 #include <string>
 #include <vector>
 
 #include "cluster/container.hpp"
+#include "common/slab.hpp"
 #include "common/types.hpp"
 #include "core/app_profile.hpp"
 #include "core/rm_config.hpp"
@@ -18,6 +18,11 @@ namespace fifer {
 /// Runtime state of one stage (one microservice / function): the global
 /// request queue, the container fleet, and the rolling load statistics the
 /// load monitor reads (paper Figure 5 components 1 and 3).
+///
+/// The fleet lives in a `Slab<Container>` (common/slab.hpp): pointer-stable,
+/// freelist-recycled, iterated in insertion order — so monitor/scaler sweeps
+/// over `live()` are allocation-free and byte-identical to the
+/// `vector<unique_ptr>` fleet this replaced.
 class StageState {
  public:
   StageState(StageProfile profile, SchedulerPolicy scheduler);
@@ -43,8 +48,10 @@ class StageState {
 
   // ----- container fleet -----
 
-  /// Adds a freshly spawned container; StageState takes ownership.
-  Container& add_container(std::unique_ptr<Container> c);
+  /// Admits a freshly spawned container into the fleet slab and stamps its
+  /// slab handle. The container's service name is this stage's.
+  Container& add_container(ContainerId id, NodeId node, int batch_size,
+                           SimTime spawned_at, SimDuration cold_start_ms);
 
   /// Greedy candidate selection (paper §4.4.1): among *warm* containers
   /// with at least one free slot, pick the one with the fewest free slots
@@ -56,11 +63,63 @@ class StageState {
   Container* select_container();
 
   /// Container lookup by id (throws std::out_of_range when absent/reaped).
+  /// Linear; hot paths use `get()` with the container's slab handle.
   Container& container(ContainerId id);
 
-  /// All live (non-terminated) containers.
-  std::vector<Container*> live_containers();
-  std::vector<const Container*> live_containers() const;
+  /// O(1) handle dereference; nullptr when the handle went stale (the
+  /// container was reaped).
+  Container* get(SlabHandle<Container> h) { return containers_.get(h); }
+  const Container* get(SlabHandle<Container> h) const {
+    return containers_.get(h);
+  }
+
+  /// Non-allocating filtered range over live (non-terminated) containers,
+  /// in admission order. One template serves const and non-const callers —
+  /// the duplicated `live_containers()` pair this replaced drifted apart
+  /// once already.
+  template <typename It>
+  class LiveRangeT {
+   public:
+    class iterator {
+     public:
+      iterator(It it, It end) : it_(it), end_(end) { skip(); }
+      decltype(*std::declval<It>()) operator*() const { return *it_; }
+      iterator& operator++() {
+        ++it_;
+        skip();
+        return *this;
+      }
+      friend bool operator==(const iterator& a, const iterator& b) {
+        return a.it_ == b.it_;
+      }
+      friend bool operator!=(const iterator& a, const iterator& b) {
+        return !(a == b);
+      }
+
+     private:
+      void skip() {
+        while (it_ != end_ && it_->terminated()) ++it_;
+      }
+      It it_, end_;
+    };
+
+    LiveRangeT(It begin, It end) : begin_(begin), end_(end) {}
+    iterator begin() const { return iterator(begin_, end_); }
+    iterator end() const { return iterator(end_, end_); }
+
+   private:
+    It begin_, end_;
+  };
+
+  using LiveRange = LiveRangeT<Slab<Container>::iterator>;
+  using ConstLiveRange = LiveRangeT<Slab<Container>::const_iterator>;
+
+  /// All live (non-terminated) containers, as a zero-allocation view.
+  LiveRange live() { return {containers_.begin(), containers_.end()}; }
+  ConstLiveRange live() const {
+    return {containers_.begin(), containers_.end()};
+  }
+
   std::size_t live_count() const;
   std::size_t warm_count() const;
   std::size_t provisioning_count() const;
@@ -77,7 +136,8 @@ class StageState {
   int total_capacity() const;
 
   /// Removes terminated containers from the fleet (driver reaps after
-  /// releasing node resources).
+  /// releasing node resources). Their slab slots return to the freelist;
+  /// handles to them go stale.
   void erase_terminated();
 
   // ----- load-monitor bookkeeping -----
@@ -117,7 +177,7 @@ class StageState {
   std::uint64_t total_enqueued_ = 0;
   std::uint64_t total_dequeued_ = 0;
 
-  std::vector<std::unique_ptr<Container>> containers_;
+  Slab<Container> containers_;
   int keep_warm_floor_ = 0;
 
   std::deque<std::pair<SimTime, SimDuration>> recent_waits_;

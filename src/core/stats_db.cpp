@@ -2,28 +2,119 @@
 
 namespace fifer {
 
-void StatsDb::write(const Key& doc, const std::string& field, double value) {
-  docs_[doc][field] = value;
-  ++writes_;
+// ------------------------------------------------------------------ intern
+
+StatsDb::FieldId StatsDb::intern_field(std::string_view name) {
+  const auto [it, inserted] = field_ids_.try_emplace(
+      std::string(name), static_cast<std::uint32_t>(columns_.size()));
+  if (inserted) columns_.emplace_back();
+  return static_cast<FieldId>(it->second);
 }
 
-std::optional<double> StatsDb::read(const Key& doc, const std::string& field) const {
+StatsDb::DocId StatsDb::intern_doc(std::string_view name) {
+  const auto [it, inserted] = doc_ids_.try_emplace(
+      std::string(name), static_cast<std::uint32_t>(docs_.size()));
+  if (inserted) docs_.emplace_back();
+  return static_cast<DocId>(it->second);
+}
+
+StatsDb::DocId StatsDb::create_doc() {
+  const auto id = static_cast<DocId>(docs_.size());
+  docs_.emplace_back();
+  return id;
+}
+
+// ---------------------------------------------------------------- hot path
+
+const StatsDb::Cell* StatsDb::find_cell(DocId doc, FieldId field) const {
+  const auto d = static_cast<std::uint32_t>(doc);
+  const auto f = static_cast<std::uint32_t>(field);
+  if (!docs_[d].live) return nullptr;
+  const std::vector<Cell>& col = columns_[f];
+  if (d >= col.size() || col[d].stamp != docs_[d].gen) return nullptr;
+  return &col[d];
+}
+
+StatsDb::Cell& StatsDb::touch_cell(DocId doc, FieldId field) {
+  const auto d = static_cast<std::uint32_t>(doc);
+  const auto f = static_cast<std::uint32_t>(field);
+  DocMeta& meta = docs_[d];
+  if (!meta.live) {
+    meta.live = true;
+    ++live_docs_;
+  }
+  std::vector<Cell>& col = columns_[f];
+  if (d >= col.size()) col.resize(d + 1);  // amortized; settles once sized
+  return col[d];
+}
+
+void StatsDb::write(DocId doc, FieldId field, double value) {
+  ++writes_;
+  Cell& cell = touch_cell(doc, field);
+  cell.stamp = docs_[static_cast<std::uint32_t>(doc)].gen;
+  cell.value = value;
+}
+
+std::optional<double> StatsDb::read(DocId doc, FieldId field) const {
   ++reads_;
-  const auto dit = docs_.find(doc);
-  if (dit == docs_.end()) return std::nullopt;
-  const auto fit = dit->second.find(field);
-  if (fit == dit->second.end()) return std::nullopt;
-  return fit->second;
+  if (const Cell* cell = find_cell(doc, field)) {
+    ++read_hits_;
+    return cell->value;
+  }
+  ++read_misses_;
+  return std::nullopt;
 }
 
-double StatsDb::increment(const Key& doc, const std::string& field, double delta) {
+double StatsDb::increment(DocId doc, FieldId field, double delta) {
+  // Pinned accounting: exactly one read plus one write (§6.1.5 measures the
+  // store by its access traffic, so increment must not look free).
+  const double current = read(doc, field).value_or(0.0);
+  const double next = current + delta;
+  write(doc, field, next);
+  return next;
+}
+
+bool StatsDb::erase(DocId doc) {
   ++writes_;
-  return docs_[doc][field] += delta;
+  DocMeta& meta = docs_[static_cast<std::uint32_t>(doc)];
+  if (!meta.live) return false;
+  meta.live = false;
+  ++meta.gen;  // O(1): every cell stamped with the old generation is dead
+  --live_docs_;
+  return true;
+}
+
+// ----------------------------------------------------- string compat shim
+
+void StatsDb::write(const Key& doc, const std::string& field, double value) {
+  write(intern_doc(doc), intern_field(field), value);
+}
+
+std::optional<double> StatsDb::read(const Key& doc,
+                                    const std::string& field) const {
+  const auto dit = doc_ids_.find(doc);
+  const auto fit = field_ids_.find(field);
+  if (dit == doc_ids_.end() || fit == field_ids_.end()) {
+    ++reads_;
+    ++read_misses_;
+    return std::nullopt;
+  }
+  return read(static_cast<DocId>(dit->second),
+              static_cast<FieldId>(fit->second));
+}
+
+double StatsDb::increment(const Key& doc, const std::string& field,
+                          double delta) {
+  return increment(intern_doc(doc), intern_field(field), delta);
 }
 
 bool StatsDb::erase(const Key& doc) {
-  ++writes_;
-  return docs_.erase(doc) > 0;
+  const auto dit = doc_ids_.find(doc);
+  if (dit == doc_ids_.end()) {
+    ++writes_;
+    return false;
+  }
+  return erase(static_cast<DocId>(dit->second));
 }
 
 }  // namespace fifer

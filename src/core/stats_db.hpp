@@ -3,7 +3,9 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
+#include <vector>
 
 namespace fifer {
 
@@ -13,9 +15,53 @@ namespace fifer {
 /// by entity id. The paper's evaluation of the store is purely its access
 /// latency (§6.1.5: all reads/writes average within 1.25 ms), so the facade
 /// counts operations and lets the overhead bench measure them.
+///
+/// Hot-path design (DESIGN.md §5g): documents and fields are **interned
+/// symbols** (`DocId`/`FieldId`), interned once at configuration time, and
+/// storage is **columnar** — one value column per field, indexed by document
+/// slot, with a per-document generation stamp providing O(1) whole-document
+/// erase. Steady-state operations are two array indexings: no string
+/// hashing, no node allocation. The string overloads below are a
+/// compatibility shim (tools/tests); they intern on the fly and forward.
+///
+/// Operation accounting is pinned (tests/test_core.cpp):
+///   write     = 1 write
+///   read      = 1 read (a hit or a miss, distinguishable via read_hits /
+///               read_misses)
+///   increment = exactly 1 read + 1 write (read-modify-write, the pod
+///               free-slot update pattern); reading a missing field counts
+///               a miss and starts from 0
+///   erase     = 1 write, whether or not the document existed
 class StatsDb {
  public:
   using Key = std::string;
+
+  /// Interned field symbol (column index).
+  enum class FieldId : std::uint32_t {};
+  /// Interned document symbol (row index).
+  enum class DocId : std::uint32_t {};
+
+  // ----- interning (configuration time; allocates) -----
+
+  /// Interns a field name; idempotent.
+  FieldId intern_field(std::string_view name);
+
+  /// Interns a named document id; idempotent. Interning does not create the
+  /// document — it exists once a field is written.
+  DocId intern_doc(std::string_view name);
+
+  /// Allocates an anonymous document id (no name-table entry): the entity-
+  /// registry pattern where the caller maps its own dense ids to documents.
+  DocId create_doc();
+
+  // ----- hot path (interned ids; allocation- and hash-free) -----
+
+  void write(DocId doc, FieldId field, double value);
+  std::optional<double> read(DocId doc, FieldId field) const;
+  double increment(DocId doc, FieldId field, double delta);
+  bool erase(DocId doc);
+
+  // ----- string compatibility shim -----
 
   /// Writes (inserts or replaces) one field of one document.
   void write(const Key& doc, const std::string& field, double value);
@@ -32,11 +78,33 @@ class StatsDb {
 
   std::uint64_t reads() const { return reads_; }
   std::uint64_t writes() const { return writes_; }
-  std::size_t documents() const { return docs_.size(); }
+  /// Reads that found the field vs. reads of absent documents/fields.
+  std::uint64_t read_hits() const { return read_hits_; }
+  std::uint64_t read_misses() const { return read_misses_; }
+  /// Live documents (written at least once, not erased).
+  std::size_t documents() const { return live_docs_; }
 
  private:
-  std::unordered_map<Key, std::unordered_map<std::string, double>> docs_;
+  struct Cell {
+    std::uint32_t stamp = 0;  ///< Valid iff == the document's generation.
+    double value = 0.0;
+  };
+  struct DocMeta {
+    std::uint32_t gen = 1;  ///< Bumped on erase; cells stamped older die.
+    bool live = false;
+  };
+
+  const Cell* find_cell(DocId doc, FieldId field) const;
+  Cell& touch_cell(DocId doc, FieldId field);
+
+  std::unordered_map<std::string, std::uint32_t> field_ids_;
+  std::unordered_map<std::string, std::uint32_t> doc_ids_;
+  std::vector<std::vector<Cell>> columns_;  ///< [field][doc]
+  std::vector<DocMeta> docs_;
+  std::size_t live_docs_ = 0;
   mutable std::uint64_t reads_ = 0;
+  mutable std::uint64_t read_hits_ = 0;
+  mutable std::uint64_t read_misses_ = 0;
   std::uint64_t writes_ = 0;
 };
 

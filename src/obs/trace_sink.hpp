@@ -5,7 +5,12 @@
 #include <utility>
 #include <vector>
 
+#include "common/slab.hpp"
 #include "common/types.hpp"
+
+namespace fifer {
+class Container;
+}  // namespace fifer
 
 namespace fifer::obs {
 
@@ -32,6 +37,10 @@ struct SpanRecord {
   /// paper §4.3 evaluated at dispatch. Negative = the SLO was already lost.
   SimDuration slack_at_dispatch_ms = 0.0;
   std::uint64_t container = 0;  ///< ContainerId the task executed on.
+  /// Slab handle of that container in its stage's registry — O(1) access to
+  /// the live object for in-run consumers; stale after the container is
+  /// reaped. Exports serialize `container` (the stable id), never this.
+  SlabHandle<Container> container_handle;
   /// Batch slot the task occupied at dispatch (0 = the container was empty;
   /// B_size − 1 = it filled the batch). −1 when tracing recorded no dispatch.
   int batch_slot = -1;

@@ -1,6 +1,5 @@
 #include "runtime/live_cluster.hpp"
 
-#include <algorithm>
 #include <utility>
 
 #include "common/check.hpp"
@@ -20,32 +19,30 @@ const LockClass& retired_lock_class() {
 LiveCluster::LiveCluster(const ClusterSpec& spec)
     : cluster_(spec), retired_mu_(&retired_lock_class()) {}
 
-LiveContainer& LiveCluster::adopt(NodeId node, std::unique_ptr<LiveContainer> worker) {
-  const std::uint64_t key = value_of(worker->id());
-  FIFER_CHECK(workers_.find(key) == workers_.end(), kCluster)
+void LiveCluster::check_new_worker(std::uint64_t key) const {
+  FIFER_CHECK(index_.find(key) == index_.end(), kCluster)
       << "duplicate live container id " << key;
-  LiveContainer& ref = *worker;
-  workers_.emplace(key, std::move(worker));
-  worker_node_.emplace(key, node);
-  peak_workers_ = std::max(peak_workers_, workers_.size());
-  return ref;
 }
 
 LiveContainer* LiveCluster::worker(ContainerId id) {
-  const auto it = workers_.find(value_of(id));
-  return it == workers_.end() ? nullptr : it->second.get();
+  const auto it = index_.find(value_of(id));
+  return it == index_.end() ? nullptr : workers_.get(it->second);
 }
 
 void LiveCluster::retire(ContainerId id) {
-  const auto it = workers_.find(value_of(id));
-  FIFER_CHECK(it != workers_.end(), kCluster)
+  reap_joined();
+  const auto it = index_.find(value_of(id));
+  FIFER_CHECK(it != index_.end(), kCluster)
       << "retiring unknown live container " << value_of(id);
-  std::unique_ptr<LiveContainer> worker = std::move(it->second);
-  workers_.erase(it);
+  const SlabHandle<LiveContainer> h = it->second;
+  LiveContainer* worker = workers_.get(h);
+  FIFER_CHECK(worker != nullptr, kCluster)
+      << "stale worker handle for container " << value_of(id);
+  index_.erase(it);
   worker_node_.erase(value_of(id));
   worker->request_stop();
   MutexLock lock(&retired_mu_);
-  retired_.push_back(std::move(worker));
+  retired_.push_back(Retired{worker, h});
 }
 
 std::size_t LiveCluster::node_workers(NodeId node) const {
@@ -54,20 +51,43 @@ std::size_t LiveCluster::node_workers(NodeId node) const {
   return n;
 }
 
+void LiveCluster::reap_joined() {
+  std::vector<SlabHandle<LiveContainer>> to_reap;
+  {
+    MutexLock lock(&retired_mu_);
+    if (joined_.empty()) return;
+    to_reap.swap(joined_);
+  }
+  for (const SlabHandle<LiveContainer> h : to_reap) workers_.erase(h);
+}
+
 void LiveCluster::join_retired() {
-  std::vector<std::unique_ptr<LiveContainer>> to_join;
+  std::vector<Retired> to_join;
   {
     MutexLock lock(&retired_mu_);
     to_join.swap(retired_);
   }
-  for (auto& w : to_join) w->join();
+  if (to_join.empty()) return;
+  for (const Retired& r : to_join) r.worker->join();
+  // Storage reclamation happens back in the runtime-lock domain (retire /
+  // adopt drain the joined list); only record that the joins happened.
+  MutexLock lock(&retired_mu_);
+  for (const Retired& r : to_join) joined_.push_back(r.handle);
 }
 
 void LiveCluster::stop_and_join_all() {
   // Signal everything first so workers wind down in parallel, then join.
-  for (auto& [id, w] : workers_) w->request_stop();
-  for (auto& [id, w] : workers_) w->join();
+  // Shutdown is single-threaded, so touching the slab here is safe.
+  for (LiveContainer& w : workers_) w.request_stop();
   join_retired();
+  for (const auto& [id, h] : index_) workers_.get(h)->join();
+  index_.clear();
+  worker_node_.clear();
+  {
+    MutexLock lock(&retired_mu_);
+    joined_.clear();
+  }
+  workers_.clear();
 }
 
 }  // namespace fifer

@@ -1,12 +1,13 @@
 #pragma once
 
 #include <cstddef>
-#include <memory>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "common/slab.hpp"
 #include "common/sync.hpp"
 #include "common/types.hpp"
 #include "runtime/live_container.hpp"
@@ -17,6 +18,10 @@ namespace fifer {
 /// `Cluster` (nodes, placement, power/energy integration) plus ownership of
 /// the per-node worker-thread groups that animate its containers.
 ///
+/// Workers live in a `Slab<LiveContainer>` (DESIGN.md §5g): stable storage
+/// (threads hold `this` across their lifetime), O(1) id -> worker lookup via
+/// a handle index, and no per-worker heap node beyond the slab chunk.
+///
 /// Two concerns, two locking domains:
 ///  - Resource accounting (`allocate`/`release`/power/energy) mutates the
 ///    wrapped `Cluster` and the node->worker grouping. Callers hold the
@@ -26,7 +31,9 @@ namespace fifer {
 ///  - Thread lifecycle (`retire` hand-off, `join_retired`, shutdown) has its
 ///    own small mutex, because joins must happen *without* the runtime lock:
 ///    a worker blocked on that lock in a callback would deadlock a joiner
-///    holding it.
+///    holding it. Slab storage for a joined worker is reclaimed later, back
+///    under the runtime lock (`retire` drains the joined list), so the two
+///    domains never touch the slab concurrently.
 class LiveCluster {
  public:
   explicit LiveCluster(const ClusterSpec& spec);
@@ -47,19 +54,33 @@ class LiveCluster {
 
   // ----- worker-thread groups (caller holds the runtime state lock) -----
 
-  /// Takes ownership of a freshly spawned worker, filed under its node.
-  LiveContainer& adopt(NodeId node, std::unique_ptr<LiveContainer> worker);
+  /// Constructs a worker in place (LiveContainer is neither copyable nor
+  /// movable — it owns a thread), filed under its node. `args...` forward to
+  /// `LiveContainer(id, args...)`.
+  template <typename... Args>
+  LiveContainer& adopt(NodeId node, ContainerId id, Args&&... args) {
+    reap_joined();
+    const std::uint64_t key = value_of(id);
+    check_new_worker(key);
+    const SlabHandle<LiveContainer> h =
+        workers_.emplace(id, std::forward<Args>(args)...);
+    index_.emplace(key, h);
+    worker_node_.emplace(key, node);
+    if (index_.size() > peak_workers_) peak_workers_ = index_.size();
+    return *workers_.get(h);
+  }
 
   /// Lookup; nullptr once retired.
   LiveContainer* worker(ContainerId id);
 
   /// Stops `id`'s worker and moves it to the retirement list; the thread is
-  /// joined later by `join_retired` (off the runtime lock). Called for
-  /// idle-reap and scale-down terminations.
+  /// joined later by `join_retired` (off the runtime lock) and its slab slot
+  /// reclaimed on a later pass through here. Called for idle-reap and
+  /// scale-down terminations.
   void retire(ContainerId id);
 
   /// Threads currently animating containers (live, not yet retired).
-  std::size_t live_workers() const { return workers_.size(); }
+  std::size_t live_workers() const { return index_.size(); }
   /// Live workers on one node — the node's "thread group" size.
   std::size_t node_workers(NodeId node) const;
   /// High-water mark of concurrently live worker threads.
@@ -71,24 +92,40 @@ class LiveCluster {
   /// gateway loop so long runs do not accumulate exited threads.
   void join_retired() FIFER_EXCLUDES(retired_mu_);
 
-  /// Shutdown: stop every remaining worker, then join them all.
+  /// Shutdown: stop every remaining worker, then join them all. Only from
+  /// the single-threaded teardown phase (no locks contended).
   void stop_and_join_all() FIFER_EXCLUDES(retired_mu_);
 
  private:
-  // The accounting members below (cluster_, workers_, worker_node_,
+  /// One retired worker: the pointer the joiner uses (slab storage is
+  /// stable) and the handle the reaper erases.
+  struct Retired {
+    LiveContainer* worker;
+    SlabHandle<LiveContainer> handle;
+  };
+
+  void check_new_worker(std::uint64_t key) const;
+  /// Reclaims slab slots of already-joined workers; runtime lock held.
+  void reap_joined() FIFER_EXCLUDES(retired_mu_);
+
+  // The accounting members below (cluster_, workers_, index_, worker_node_,
   // peak_workers_) are serialized externally by the runtime state lock —
   // LiveRuntime::mu_ — per the "caller holds the runtime state lock"
   // sections above; a member annotation cannot name another object's
   // mutex, so this is contract-by-comment, checked by the lock-order
   // ranks at run time.
   Cluster cluster_;
-  std::unordered_map<std::uint64_t, std::unique_ptr<LiveContainer>> workers_;
+  Slab<LiveContainer> workers_;
+  std::unordered_map<std::uint64_t, SlabHandle<LiveContainer>> index_;
   std::unordered_map<std::uint64_t, NodeId> worker_node_;
   std::size_t peak_workers_ = 0;
 
   mutable Mutex retired_mu_;
-  std::vector<std::unique_ptr<LiveContainer>> retired_
-      FIFER_GUARDED_BY(retired_mu_);
+  /// Stopped but not yet joined (drained by join_retired, no runtime lock).
+  std::vector<Retired> retired_ FIFER_GUARDED_BY(retired_mu_);
+  /// Joined but slab slot not yet reclaimed (drained by reap_joined, under
+  /// the runtime lock).
+  std::vector<SlabHandle<LiveContainer>> joined_ FIFER_GUARDED_BY(retired_mu_);
 };
 
 }  // namespace fifer

@@ -47,6 +47,10 @@ LiveRuntime::LiveRuntime(ExperimentParams params, LiveOptions opts)
       recorder_(params_.warmup_ms, make_sink(params_)) {
   for (const auto& [name, profile] : profiles_.stages()) {
     stages_.emplace(name, StageState(profile, engine_.scheduler->policy()));
+    // Intern the per-stage scheduleTime field now, so the hot-path hooks
+    // never touch a string (construction is single-threaded; clang TSA
+    // exempts constructor bodies from the recorder_'s guard).
+    recorder_.prime_stage(name);
   }
 }
 
@@ -81,9 +85,10 @@ StageState& LiveRuntime::stage_of(const std::string& name) {
   return it->second;
 }
 
-const std::string& LiveRuntime::stage_name_of(ContainerId id) const {
-  const auto it = container_stage_.find(value_of(id));
-  FIFER_CHECK(it != container_stage_.end(), kCore)
+const LiveRuntime::ContainerRef& LiveRuntime::container_ref(
+    ContainerId id) const {
+  const auto it = container_refs_.find(value_of(id));
+  FIFER_CHECK(it != container_refs_.end(), kCore)
       << "callback from unknown container " << value_of(id);
   return it->second;
 }
@@ -127,8 +132,7 @@ void LiveRuntime::export_trace_files() {
 // ------------------------------------------------------------- workload path
 
 void LiveRuntime::submit_job(const Arrival& arrival) {
-  jobs_.emplace_back();
-  Job& job = jobs_.back();
+  Job& job = jobs_[jobs_.emplace()];
   job.id = static_cast<JobId>(next_job_id_++);
   job.app = &apps_.at(arrival.app);
   // Stamped with the actual (scaled) wall instant, not the planned arrival
@@ -159,7 +163,7 @@ void LiveRuntime::transition_to_stage(Job& job, std::size_t stage_index) {
 
   const SimDuration latency =
       bus_.begin_transition(job.app->stage_overhead_ms, rng_);
-  Job* jp = &job;  // deque: stable address for the job's lifetime
+  Job* jp = &job;  // slab: stable address for the job's lifetime
   timers_.at(clock_.now_ms() + latency, [this, jp, idx](SimTime) {
     MutexLock lock(&mu_);
     bus_.end_transition();
@@ -199,6 +203,7 @@ void LiveRuntime::dispatch_stage(StageState& st) {
     StageRecord& rec = task.record();
     rec.dispatched = clock_.now_ms();
     rec.container = c->id();
+    rec.container_handle = c->handle();
     if (obs::TraceSink* t = recorder_.sink()) {
       rec.batch_slot = c->occupied();
       rec.slack_at_dispatch_ms = task.job->remaining_slack_ms(
@@ -243,10 +248,13 @@ void LiveRuntime::complete_job(Job& job) {
 
 void LiveRuntime::on_container_ready(ContainerId id) {
   MutexLock lock(&mu_);
-  StageState& st = stage_of(stage_name_of(id));
-  Container& c = st.container(id);
+  const ContainerRef& ref = container_ref(id);
+  StageState& st = stage_of(ref.stage);
+  Container* c = st.get(ref.handle);
+  FIFER_CHECK(c != nullptr, kCore)
+      << "ready callback on reaped container " << value_of(id);
   const SimTime now = clock_.now_ms();
-  c.mark_warm(now);
+  c->mark_warm(now);
   recorder_.on_container_ready(id, now);
   // Tasks dispatched during provisioning already sit in the worker's queue;
   // it drains them by itself. Re-dispatch only for placers that pass over
@@ -256,8 +264,12 @@ void LiveRuntime::on_container_ready(ContainerId id) {
 
 SimDuration LiveRuntime::on_task_begin(ContainerId id, TaskRef task) {
   MutexLock lock(&mu_);
-  StageState& st = stage_of(stage_name_of(id));
-  Container& c = st.container(id);
+  const ContainerRef& ref = container_ref(id);
+  StageState& st = stage_of(ref.stage);
+  Container* cp = st.get(ref.handle);
+  FIFER_CHECK(cp != nullptr, kCore)
+      << "task begin on reaped container " << value_of(id);
+  Container& c = *cp;
   // Pop the mirrored queue; live and passive queues move in lockstep.
   TaskRef popped = c.pop();
   FIFER_CHECK(popped.job == task.job && popped.stage_index == task.stage_index,
@@ -284,12 +296,15 @@ SimDuration LiveRuntime::on_task_begin(ContainerId id, TaskRef task) {
 
 void LiveRuntime::on_task_finish(ContainerId id, TaskRef task) {
   MutexLock lock(&mu_);
-  StageState& st = stage_of(stage_name_of(id));
-  Container& c = st.container(id);
+  const ContainerRef& ref = container_ref(id);
+  StageState& st = stage_of(ref.stage);
+  Container* c = st.get(ref.handle);
+  FIFER_CHECK(c != nullptr, kCore)
+      << "task finish on reaped container " << value_of(id);
   StageRecord& rec = task.record();
   rec.exec_end = clock_.now_ms();
   FIFER_DCHECK_GE(rec.exec_end, rec.exec_start, kCore);
-  c.end_execution(rec.exec_end);
+  c->end_execution(rec.exec_end);
   // Record the stage visit before the transition: chain completion frees the
   // job's records.
   recorder_.on_task_executed(st.name(), *task.job, task.stage_index);
@@ -315,15 +330,13 @@ Container* LiveRuntime::spawn_container(StageState& st) {
   const SimDuration cold = params_.cold_start.sample_cold_start_ms(spec, rng_);
   const SimTime now = clock_.now_ms();
   const int batch = st.profile().batch;
-  Container& c = st.add_container(
-      std::make_unique<Container>(id, st.name(), *node, batch, now, cold));
+  Container& c = st.add_container(id, *node, batch, now, cold);
   recorder_.on_container_spawned(st.name(), id, now, cold, batch);
-  container_stage_.emplace(value_of(id), st.name());
+  container_refs_.emplace(value_of(id), ContainerRef{st.name(), c.handle()});
 
-  LiveContainer& worker = cluster_.adopt(
-      *node, std::make_unique<LiveContainer>(
-                 id, st.name(), clock_, now, cold,
-                 static_cast<std::size_t>(batch), this));
+  LiveContainer& worker =
+      cluster_.adopt(*node, id, st.name(), clock_, now, cold,
+                     static_cast<std::size_t>(batch), this);
   if (clock_.started()) {
     worker.start();
   } else {
@@ -338,7 +351,7 @@ void LiveRuntime::terminate_container(StageState& st, Container& c) {
   cluster_.release(c.node(), spec.cpu_cores, spec.memory_mb, now);
   c.terminate(now);
   recorder_.on_container_terminated(c.id(), now);
-  container_stage_.erase(value_of(c.id()));
+  container_refs_.erase(value_of(c.id()));
   // Stops the worker (it is idle or still provisioning — policies only
   // terminate containers without resident work); joined off the state lock.
   cluster_.retire(c.id());
@@ -356,10 +369,10 @@ bool LiveRuntime::reclaim_idle_capacity() {
   Container* victim = nullptr;
   for (auto& [name, st] : stages_) {
     if (st.queue_length() > 0 || st.live_count() <= 1) continue;
-    for (Container* c : st.live_containers()) {
-      if (c->state() != ContainerState::kIdle || c->queued() > 0) continue;
-      if (victim == nullptr || c->last_used_at() < victim->last_used_at()) {
-        victim = c;
+    for (Container& c : st.live()) {
+      if (c.state() != ContainerState::kIdle || c.queued() > 0) continue;
+      if (victim == nullptr || c.last_used_at() < victim->last_used_at()) {
+        victim = &c;
         victim_stage = &st;
       }
     }
@@ -374,10 +387,10 @@ void LiveRuntime::reap_idle_containers() {
   if (!engine_.scaler->reaps_idle()) return;  // fixed pool
   for (auto& [name, st] : stages_) {
     auto live = static_cast<int>(st.live_count());
-    for (Container* c : st.live_containers()) {
+    for (Container& c : st.live()) {
       if (live <= st.keep_warm_floor()) break;
-      if (c->idle_expired(clock_.now_ms(), params_.rm.idle_timeout_ms)) {
-        terminate_container(st, *c);
+      if (c.idle_expired(clock_.now_ms(), params_.rm.idle_timeout_ms)) {
+        terminate_container(st, c);
         --live;
       }
     }
@@ -393,8 +406,8 @@ void LiveRuntime::check_request_conservation() const {
   std::uint64_t resident = 0;
   for (const auto& [name, st] : stages_) {
     resident += st.queue_length();
-    for (const Container* c : st.live_containers()) {
-      resident += c->queued() + (c->executing() ? 1 : 0);
+    for (const Container& c : st.live()) {
+      resident += c.queued() + (c.executing() ? 1 : 0);
     }
   }
   FIFER_CHECK_EQ(jobs_.size() - completed_jobs_, resident + bus_.inflight(),

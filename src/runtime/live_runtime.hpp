@@ -1,13 +1,13 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/slab.hpp"
 #include "common/sync.hpp"
 
 #include "cluster/event_bus.hpp"
@@ -159,8 +159,15 @@ class LiveRuntime : public PolicyContext, public LiveContainerHost {
   void housekeeping_tick() FIFER_REQUIRES(mu_);
   void check_request_conservation() const FIFER_REQUIRES(mu_);
 
+  /// Where a passive container lives: its stage plus the slab handle that
+  /// resolves it in O(1) from worker callbacks (no per-stage linear scan).
+  struct ContainerRef {
+    std::string stage;
+    SlabHandle<Container> handle;
+  };
+
   StageState& stage_of(const std::string& name) FIFER_REQUIRES(mu_);
-  const std::string& stage_name_of(ContainerId id) const FIFER_REQUIRES(mu_);
+  const ContainerRef& container_ref(ContainerId id) const FIFER_REQUIRES(mu_);
   /// Starts workers spawned during offline setup (static pools): their
   /// cold-start sleeps must be measured from the clock anchor, not before.
   void start_pending_workers() FIFER_REQUIRES(mu_);
@@ -196,9 +203,11 @@ class LiveRuntime : public PolicyContext, public LiveContainerHost {
   EventBus bus_ FIFER_GUARDED_BY(mu_);
   LiveStatsRecorder recorder_ FIFER_GUARDED_BY(mu_);
 
-  std::deque<Job> jobs_ FIFER_GUARDED_BY(mu_);
-  /// Passive container id -> stage name, for worker callbacks.
-  std::unordered_map<std::uint64_t, std::string> container_stage_
+  /// Jobs are never erased during a run, so size() is the submitted count;
+  /// slab storage keeps addresses stable for the TaskRef/timer captures.
+  Slab<Job> jobs_ FIFER_GUARDED_BY(mu_);
+  /// Passive container id -> {stage, slab handle}, for worker callbacks.
+  std::unordered_map<std::uint64_t, ContainerRef> container_refs_
       FIFER_GUARDED_BY(mu_);
   /// Workers created before the clock anchor, started by the gateway.
   std::vector<LiveContainer*> pending_start_ FIFER_GUARDED_BY(mu_);

@@ -2,25 +2,63 @@
 
 namespace fifer {
 
-std::string LiveStatsRecorder::job_key(const Job& job) {
-  return "job/" + std::to_string(value_of(job.id));
+namespace {
+constexpr auto kNoDoc = static_cast<StatsDb::DocId>(0xffffffffu);
+}  // namespace
+
+LiveStatsRecorder::LiveStatsRecorder(SimTime warmup_ms,
+                                     std::shared_ptr<obs::TraceSink> sink)
+    : metrics_(warmup_ms),
+      sink_(std::move(sink)),
+      creation_time_(db_.intern_field("creationTime")),
+      completion_time_(db_.intern_field("completionTime")),
+      response_time_(db_.intern_field("responseTime")),
+      violated_slo_(db_.intern_field("violatedSlo")),
+      spawn_time_(db_.intern_field("spawnTime")),
+      cold_start_ms_(db_.intern_field("coldStartMs")),
+      batch_size_(db_.intern_field("batchSize")),
+      free_slots_(db_.intern_field("freeSlots")),
+      ready_time_(db_.intern_field("readyTime")),
+      last_used_time_(db_.intern_field("lastUsedTime")),
+      terminated_(db_.intern_field("terminated")) {}
+
+void LiveStatsRecorder::prime_stage(const std::string& stage) {
+  schedule_fields_.try_emplace(stage, db_.intern_field("scheduleTime." + stage));
 }
 
-std::string LiveStatsRecorder::container_key(ContainerId id) {
-  return "container/" + std::to_string(value_of(id));
+StatsDb::FieldId LiveStatsRecorder::schedule_field(const std::string& stage) {
+  const auto it = schedule_fields_.find(stage);
+  if (it != schedule_fields_.end()) return it->second;
+  // Un-primed stage (custom policy spawning ad hoc): intern on the fly.
+  prime_stage(stage);
+  return schedule_fields_.at(stage);
+}
+
+StatsDb::DocId LiveStatsRecorder::job_doc(const Job& job) {
+  const auto id = static_cast<std::size_t>(value_of(job.id));
+  if (job_docs_.size() <= id) job_docs_.resize(id + 1, kNoDoc);
+  if (job_docs_[id] == kNoDoc) job_docs_[id] = db_.create_doc();
+  return job_docs_[id];
+}
+
+StatsDb::DocId LiveStatsRecorder::container_doc(ContainerId id) {
+  const auto idx = static_cast<std::size_t>(value_of(id));
+  if (container_docs_.size() <= idx) container_docs_.resize(idx + 1, kNoDoc);
+  if (container_docs_[idx] == kNoDoc) container_docs_[idx] = db_.create_doc();
+  return container_docs_[idx];
 }
 
 void LiveStatsRecorder::on_job_submitted(const Job& job) {
   metrics_.on_job_submitted(job);
-  db_.write(job_key(job), "creationTime", job.arrival);
+  db_.write(job_doc(job), creation_time_, job.arrival);
 }
 
 void LiveStatsRecorder::on_job_completed(const Job& job) {
   metrics_.on_job_completed(job);
-  const std::string key = job_key(job);
-  db_.write(key, "completionTime", job.completion);
-  db_.write(key, "responseTime", job.response_ms());
-  db_.write(key, "violatedSlo", job.violated_slo() ? 1.0 : 0.0);
+  const StatsDb::DocId doc = job_doc(job);
+  db_.write(doc, completion_time_, job.completion);
+  db_.write(doc, response_time_, job.response_ms());
+  db_.write(doc, violated_slo_, job.violated_slo() ? 1.0 : 0.0);
 }
 
 void LiveStatsRecorder::on_task_executed(const std::string& stage, const Job& job,
@@ -29,7 +67,7 @@ void LiveStatsRecorder::on_task_executed(const std::string& stage, const Job& jo
   metrics_.on_task_executed(stage, rec);
   // scheduleTime is the prototype's per-stage dispatch stamp; one field per
   // stage keeps the document count linear in jobs, as in the paper's store.
-  db_.write(job_key(job), "scheduleTime." + stage, rec.dispatched);
+  db_.write(job_doc(job), schedule_field(stage), rec.dispatched);
   if (sink_ != nullptr) {
     obs::SpanRecord span;
     span.job = value_of(job.id);
@@ -44,6 +82,7 @@ void LiveStatsRecorder::on_task_executed(const std::string& stage, const Job& jo
     span.cold_wait_ms = rec.cold_start_wait_ms;
     span.slack_at_dispatch_ms = rec.slack_at_dispatch_ms;
     span.container = value_of(rec.container);
+    span.container_handle = rec.container_handle;
     span.batch_slot = rec.batch_slot;
     sink_->on_span(span);
   }
@@ -53,20 +92,21 @@ void LiveStatsRecorder::on_container_spawned(const std::string& stage, Container
                                              SimTime now, SimDuration cold_ms,
                                              int batch) {
   metrics_.on_container_spawned(stage);
-  const std::string key = container_key(id);
-  db_.write(key, "spawnTime", now);
-  db_.write(key, "coldStartMs", cold_ms);
-  db_.write(key, "batchSize", static_cast<double>(batch));
-  db_.write(key, "freeSlots", static_cast<double>(batch));
+  const StatsDb::DocId doc = container_doc(id);
+  db_.write(doc, spawn_time_, now);
+  db_.write(doc, cold_start_ms_, cold_ms);
+  db_.write(doc, batch_size_, static_cast<double>(batch));
+  db_.write(doc, free_slots_, static_cast<double>(batch));
 }
 
 void LiveStatsRecorder::on_container_ready(ContainerId id, SimTime now) {
-  db_.write(container_key(id), "readyTime", now);
+  db_.write(container_doc(id), ready_time_, now);
 }
 
 void LiveStatsRecorder::on_container_terminated(ContainerId id, SimTime now) {
-  db_.write(container_key(id), "lastUsedTime", now);
-  db_.write(container_key(id), "terminated", 1.0);
+  const StatsDb::DocId doc = container_doc(id);
+  db_.write(doc, last_used_time_, now);
+  db_.write(doc, terminated_, 1.0);
 }
 
 void LiveStatsRecorder::on_spawn_failure(const std::string& stage) {

@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "core/metrics.hpp"
 #include "core/stats_db.hpp"
@@ -24,6 +26,12 @@ namespace fifer {
 ///                        cost, which the op counters here surface
 ///   obs::TraceSink    -> spans + decision log (when tracing is on)
 ///
+/// All StatsDb traffic goes through interned `FieldId`/`DocId` symbols:
+/// field names are interned once in the constructor (plus one
+/// `scheduleTime.<stage>` field per stage via `prime_stage`), and job /
+/// container documents are dense-id-indexed caches — the hooks build no key
+/// strings and hash nothing (DESIGN.md §5g).
+///
 /// Thread-safety: every hook is called with the runtime state lock held (the
 /// live analogue of "only from that run's thread"), so the sink contract of
 /// DESIGN.md §5d carries over and no internal locking is needed. That
@@ -33,12 +41,15 @@ namespace fifer {
 /// hold the runtime state lock.
 class LiveStatsRecorder {
  public:
-  LiveStatsRecorder(SimTime warmup_ms, std::shared_ptr<obs::TraceSink> sink)
-      : metrics_(warmup_ms), sink_(std::move(sink)) {}
+  LiveStatsRecorder(SimTime warmup_ms, std::shared_ptr<obs::TraceSink> sink);
 
   obs::TraceSink* sink() const { return sink_.get(); }
   const StatsDb& db() const { return db_; }
   MetricsCollector& metrics() { return metrics_; }
+
+  /// Interns this stage's `scheduleTime.<stage>` field. Called once per
+  /// stage at configuration time so `on_task_executed` stays string-free.
+  void prime_stage(const std::string& stage);
 
   void on_job_submitted(const Job& job);
   void on_job_completed(const Job& job);
@@ -57,12 +68,31 @@ class LiveStatsRecorder {
   }
 
  private:
-  static std::string job_key(const Job& job);
-  static std::string container_key(ContainerId id);
+  StatsDb::DocId job_doc(const Job& job);
+  StatsDb::DocId container_doc(ContainerId id);
+  StatsDb::FieldId schedule_field(const std::string& stage);
 
   MetricsCollector metrics_;
   StatsDb db_;
   std::shared_ptr<obs::TraceSink> sink_;
+
+  // Interned once at construction.
+  StatsDb::FieldId creation_time_;
+  StatsDb::FieldId completion_time_;
+  StatsDb::FieldId response_time_;
+  StatsDb::FieldId violated_slo_;
+  StatsDb::FieldId spawn_time_;
+  StatsDb::FieldId cold_start_ms_;
+  StatsDb::FieldId batch_size_;
+  StatsDb::FieldId free_slots_;
+  StatsDb::FieldId ready_time_;
+  StatsDb::FieldId last_used_time_;
+  StatsDb::FieldId terminated_;
+  std::unordered_map<std::string, StatsDb::FieldId> schedule_fields_;
+
+  /// Dense-id -> document caches (job and container ids are sequential).
+  std::vector<StatsDb::DocId> job_docs_;
+  std::vector<StatsDb::DocId> container_docs_;
 };
 
 }  // namespace fifer

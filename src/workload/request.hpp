@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/slab.hpp"
 #include "common/types.hpp"
 #include "workload/application.hpp"
 
 namespace fifer {
+
+class Container;
 
 /// Timestamped record of one stage (task) of a job as it moves through the
 /// system. All times are simulated-ms; negative means "not yet happened".
@@ -20,6 +23,9 @@ struct StageRecord {
   /// container still cold-starting (vs. ordinary queuing behind others).
   SimDuration cold_start_wait_ms = 0.0;
   ContainerId container{0};
+  /// Slab handle of the executing container (generation-checked; stale once
+  /// the container is reaped). `container` remains the stable exported id.
+  SlabHandle<Container> container_handle;
   /// Tracing-only fields, captured at dispatch when a TraceSink is active
   /// (defaults otherwise): remaining slack (LSF's ordering quantity,
   /// §4.3) and the batch slot occupied in the container (0 = container was

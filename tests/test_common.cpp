@@ -6,11 +6,15 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include "common/cli.hpp"
 #include "common/config.hpp"
 #include "common/csv.hpp"
+#include "common/inline_function.hpp"
 #include "common/logging.hpp"
+#include "common/slab.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -401,6 +405,177 @@ TEST(Logging, OffSilencesEverything) {
   Logging::set_sink(nullptr);
   Logging::set_level(LogLevel::kWarn);
   EXPECT_TRUE(sink.str().empty());
+}
+
+// ------------------------------------------------------------------ slab
+
+TEST(Slab, EmplaceGetErase) {
+  Slab<int> s;
+  EXPECT_TRUE(s.empty());
+  const auto h = s.emplace(7);
+  EXPECT_EQ(s.size(), 1u);
+  ASSERT_NE(s.get(h), nullptr);
+  EXPECT_EQ(*s.get(h), 7);
+  EXPECT_EQ(s[h], 7);
+  EXPECT_TRUE(s.erase(h));
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.get(h), nullptr);   // stale handle dereferences to null
+  EXPECT_FALSE(s.erase(h));       // double erase is a no-op
+}
+
+TEST(Slab, StaleHandleDoesNotAliasSlotReuse) {
+  Slab<int> s;
+  const auto old_h = s.emplace(1);
+  ASSERT_TRUE(s.erase(old_h));
+  const auto new_h = s.emplace(2);  // freelist reuses the same slot...
+  EXPECT_EQ(new_h.index, old_h.index);
+  EXPECT_NE(new_h.gen, old_h.gen);  // ...under a new generation
+  EXPECT_EQ(s.get(old_h), nullptr);
+  ASSERT_NE(s.get(new_h), nullptr);
+  EXPECT_EQ(*s.get(new_h), 2);
+}
+
+TEST(Slab, IterationIsInsertionOrderAcrossSlotReuse) {
+  // The determinism contract: iteration must match the vector fleet this
+  // replaced — push_back order, erase preserves the relative order of
+  // survivors, and a reused slot re-enters at the *tail*.
+  Slab<int> s;
+  std::vector<SlabHandle<int>> hs;
+  for (int v = 0; v < 5; ++v) hs.push_back(s.emplace(v));
+  s.erase(hs[1]);
+  s.erase(hs[3]);
+  s.emplace(10);  // reuses slot 3, but iterates last
+  s.emplace(11);  // reuses slot 1, but iterates last
+  std::vector<int> seen;
+  for (const int v : s) seen.push_back(v);
+  EXPECT_EQ(seen, (std::vector<int>{0, 2, 4, 10, 11}));
+}
+
+TEST(Slab, PointerStabilityAcrossChunkGrowth) {
+  Slab<int> s;
+  const auto first = s.emplace(42);
+  const int* p = s.get(first);
+  for (int i = 0; i < 1000; ++i) s.emplace(i);  // many chunk allocations
+  EXPECT_EQ(s.get(first), p);
+  EXPECT_EQ(*p, 42);
+}
+
+TEST(Slab, IteratorHandleRoundTripsAfterInterleavedErases) {
+  Slab<int> s;
+  std::vector<Slab<int>::Handle> hs;
+  for (int v = 0; v < 6; ++v) hs.push_back(s.emplace(v));
+  // An iterator's handle() must address the same element get() returns.
+  for (auto it = s.begin(); it != s.end(); ++it) {
+    EXPECT_EQ(s.get(it.handle()), &*it);
+  }
+  EXPECT_TRUE(s.erase(hs[0]));
+  EXPECT_TRUE(s.erase(hs[4]));
+  for (auto it = s.begin(); it != s.end(); ++it) {
+    EXPECT_EQ(s.get(it.handle()), &*it);
+  }
+}
+
+TEST(Slab, EraseIfCompactsInOnePassPreservingOrder) {
+  Slab<int> s;
+  for (int v = 0; v < 6; ++v) s.emplace(v);
+  // The stage reaper's pattern: drop the matching elements mid-scan via the
+  // bulk compaction pass (single erases invalidate iterators).
+  EXPECT_EQ(s.erase_if([](int v) { return v % 2 == 0; }), 3u);
+  std::vector<int> seen;
+  for (const int v : s) seen.push_back(v);
+  EXPECT_EQ(seen, (std::vector<int>{1, 3, 5}));
+  // Freed slots recycle, and the survivors stay ahead of new arrivals.
+  s.emplace(7);
+  seen.clear();
+  for (const int v : s) seen.push_back(v);
+  EXPECT_EQ(seen, (std::vector<int>{1, 3, 5, 7}));
+}
+
+TEST(Slab, NonMovableElements) {
+  struct Pinned {
+    explicit Pinned(int v) : value(v) {}
+    Pinned(const Pinned&) = delete;
+    Pinned& operator=(const Pinned&) = delete;
+    int value;
+  };
+  Slab<Pinned> s;
+  const auto h = s.emplace(9);
+  EXPECT_EQ(s.get(h)->value, 9);
+}
+
+TEST(Slab, DestructorsRunOnClear) {
+  static int live = 0;
+  struct Counted {
+    Counted() { ++live; }
+    ~Counted() { --live; }
+  };
+  {
+    Slab<Counted> s;
+    const auto a = s.emplace();
+    s.emplace();
+    s.emplace();
+    EXPECT_EQ(live, 3);
+    s.erase(a);
+    EXPECT_EQ(live, 2);
+  }
+  EXPECT_EQ(live, 0);
+}
+
+// ------------------------------------------------------- inline function
+
+TEST(InlineFunction, InvokesAndReportsEngaged) {
+  InlineFunction<int(int)> f = [](int x) { return x + 1; };
+  EXPECT_TRUE(static_cast<bool>(f));
+  EXPECT_EQ(f(41), 42);
+}
+
+TEST(InlineFunction, EmptyThrowsBadFunctionCall) {
+  InlineFunction<void()> f;
+  EXPECT_FALSE(static_cast<bool>(f));
+  EXPECT_THROW(f(), std::bad_function_call);
+}
+
+TEST(InlineFunction, MoveTransfersOwnershipAndState) {
+  int hits = 0;
+  InlineFunction<void()> a = [&hits] { ++hits; };
+  InlineFunction<void()> b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  b();
+  EXPECT_EQ(hits, 1);
+  a = std::move(b);
+  a();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFunction, DestroysCaptureExactlyOnce) {
+  static int live = 0;
+  struct Token {
+    Token() { ++live; }
+    Token(Token&&) noexcept { ++live; }
+    Token(const Token& other) = delete;
+    ~Token() { --live; }
+  };
+  {
+    InlineFunction<void()> f = [t = Token()] { (void)t; };
+    EXPECT_EQ(live, 1);
+    InlineFunction<void()> g = std::move(f);
+    EXPECT_EQ(live, 1);  // relocate = move + destroy source
+  }
+  EXPECT_EQ(live, 0);
+}
+
+TEST(InlineFunction, CapturesUpToCapacity) {
+  // The event loop's largest capture is 40 bytes; prove headroom exists at
+  // the configured 64-byte capacity.
+  struct Fat {
+    double a, b, c, d;
+    double* out;
+  };
+  double sink = 0.0;
+  Fat fat{1.0, 2.0, 3.0, 4.0, &sink};
+  InlineFunction<void(), 64> f = [fat] { *fat.out = fat.a + fat.b + fat.c + fat.d; };
+  f();
+  EXPECT_DOUBLE_EQ(sink, 10.0);
 }
 
 }  // namespace

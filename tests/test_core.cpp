@@ -225,16 +225,16 @@ TEST(StageState, QueueAccounting) {
   EXPECT_EQ(st.total_enqueued(), 1u);
 }
 
-std::unique_ptr<Container> make_c(std::uint64_t id, int batch, SimTime spawn,
-                                  double cold) {
-  return std::make_unique<Container>(static_cast<ContainerId>(id), "ASR",
-                                     static_cast<NodeId>(0), batch, spawn, cold);
+Container& make_c(StageState& st, std::uint64_t id, int batch, SimTime spawn,
+                  double cold) {
+  return st.add_container(static_cast<ContainerId>(id), static_cast<NodeId>(0),
+                          batch, spawn, cold);
 }
 
 TEST(StageState, SelectPrefersFewestFreeSlotsAmongWarm) {
   StageState st(test_profile(), SchedulerPolicy::kFifo);
-  Container& a = st.add_container(make_c(1, 4, 0.0, 0.0));
-  Container& b = st.add_container(make_c(2, 4, 0.0, 0.0));
+  Container& a = make_c(st, 1, 4, 0.0, 0.0);
+  Container& b = make_c(st, 2, 4, 0.0, 0.0);
   a.mark_warm(0.0);
   b.mark_warm(0.0);
   Job j = make_job(apps().at("IPA"), 0.0);
@@ -244,9 +244,9 @@ TEST(StageState, SelectPrefersFewestFreeSlotsAmongWarm) {
 
 TEST(StageState, SelectIgnoresProvisioningAndFull) {
   StageState st(test_profile(), SchedulerPolicy::kFifo);
-  st.add_container(make_c(1, 4, 0.0, 1000.0));  // still provisioning
+  make_c(st, 1, 4, 0.0, 1000.0);  // still provisioning
   EXPECT_EQ(st.select_container(), nullptr);
-  Container& warm = st.add_container(make_c(2, 1, 0.0, 0.0));
+  Container& warm = make_c(st, 2, 1, 0.0, 0.0);
   warm.mark_warm(0.0);
   Job j = make_job(apps().at("IPA"), 0.0);
   warm.enqueue({&j, 0});  // full
@@ -255,9 +255,9 @@ TEST(StageState, SelectIgnoresProvisioningAndFull) {
 
 TEST(StageState, CapacityCounters) {
   StageState st(test_profile(), SchedulerPolicy::kFifo);
-  Container& warm = st.add_container(make_c(1, 4, 0.0, 0.0));
+  Container& warm = make_c(st, 1, 4, 0.0, 0.0);
   warm.mark_warm(0.0);
-  st.add_container(make_c(2, 4, 0.0, 1000.0));  // provisioning
+  make_c(st, 2, 4, 0.0, 1000.0);  // provisioning
   EXPECT_EQ(st.live_count(), 2u);
   EXPECT_EQ(st.warm_count(), 1u);
   EXPECT_EQ(st.provisioning_count(), 1u);
@@ -269,7 +269,7 @@ TEST(StageState, CapacityCounters) {
 
 TEST(StageState, EraseTerminatedRemovesAndLookupThrows) {
   StageState st(test_profile(), SchedulerPolicy::kFifo);
-  Container& c = st.add_container(make_c(7, 4, 0.0, 0.0));
+  Container& c = make_c(st, 7, 4, 0.0, 0.0);
   c.mark_warm(0.0);
   EXPECT_NO_THROW(st.container(static_cast<ContainerId>(7)));
   c.terminate(1.0);
@@ -304,6 +304,82 @@ TEST(StatsDb, ReadWriteIncrementErase) {
   EXPECT_EQ(db.documents(), 1u);
   EXPECT_GE(db.writes(), 4u);
   EXPECT_GE(db.reads(), 2u);
+}
+
+TEST(StatsDb, OperationAccountingIsPinned) {
+  // The paper evaluates the stats store purely by its access traffic
+  // (§6.1.5), so the counters are part of the API contract, not an
+  // implementation detail. Pin the exact cost of each operation.
+  StatsDb db;
+  const auto doc = db.create_doc();
+  const auto field = db.intern_field("freeSlots");
+
+  db.write(doc, field, 4.0);
+  EXPECT_EQ(db.reads(), 0u);
+  EXPECT_EQ(db.writes(), 1u);
+
+  EXPECT_DOUBLE_EQ(db.read(doc, field).value(), 4.0);
+  EXPECT_EQ(db.reads(), 1u);
+  EXPECT_EQ(db.read_hits(), 1u);
+  EXPECT_EQ(db.read_misses(), 0u);
+
+  // increment = exactly 1 read + 1 write, never more, never less.
+  EXPECT_DOUBLE_EQ(db.increment(doc, field, -1.0), 3.0);
+  EXPECT_EQ(db.reads(), 2u);
+  EXPECT_EQ(db.writes(), 2u);
+  EXPECT_EQ(db.read_hits(), 2u);
+
+  // Incrementing a missing field is a read miss (starts from 0) + a write.
+  const auto other = db.intern_field("queueDepth");
+  EXPECT_DOUBLE_EQ(db.increment(doc, other, 5.0), 5.0);
+  EXPECT_EQ(db.reads(), 3u);
+  EXPECT_EQ(db.writes(), 3u);
+  EXPECT_EQ(db.read_misses(), 1u);
+
+  // erase = 1 write whether or not the document exists.
+  EXPECT_TRUE(db.erase(doc));
+  EXPECT_EQ(db.writes(), 4u);
+  EXPECT_FALSE(db.erase(doc));
+  EXPECT_EQ(db.writes(), 5u);
+
+  // Reading the erased document is a miss, not a stale hit.
+  EXPECT_FALSE(db.read(doc, field).has_value());
+  EXPECT_EQ(db.read_misses(), 2u);
+}
+
+TEST(StatsDb, InternedIdsAliasStringKeys) {
+  // The string overloads are a shim over the interned columnar store: both
+  // views must observe the same cells.
+  StatsDb db;
+  const auto doc = db.intern_doc("pod7");
+  const auto field = db.intern_field("freeSlots");
+  db.write("pod7", "freeSlots", 8.0);
+  EXPECT_DOUBLE_EQ(db.read(doc, field).value(), 8.0);
+  db.increment(doc, field, -2.0);
+  EXPECT_DOUBLE_EQ(db.read("pod7", "freeSlots").value(), 6.0);
+  EXPECT_TRUE(db.erase(doc));
+  EXPECT_FALSE(db.read("pod7", "freeSlots").has_value());
+  // Const string reads of unknown names count a miss without interning.
+  const auto reads_before = db.reads();
+  EXPECT_FALSE(db.read("never-written", "freeSlots").has_value());
+  EXPECT_EQ(db.reads(), reads_before + 1);
+}
+
+TEST(StatsDb, ErasedDocumentSlotIsIndependentOfOldCells) {
+  // Erase is O(1) via a generation bump: rewriting the document after an
+  // erase must not resurrect its old fields.
+  StatsDb db;
+  const auto doc = db.create_doc();
+  const auto a = db.intern_field("a");
+  const auto b = db.intern_field("b");
+  db.write(doc, a, 1.0);
+  db.write(doc, b, 2.0);
+  EXPECT_TRUE(db.erase(doc));
+  EXPECT_EQ(db.documents(), 0u);
+  db.write(doc, a, 9.0);
+  EXPECT_EQ(db.documents(), 1u);
+  EXPECT_DOUBLE_EQ(db.read(doc, a).value(), 9.0);
+  EXPECT_FALSE(db.read(doc, b).has_value());  // old cell stays dead
 }
 
 // ---------------------------------------------------------------- metrics

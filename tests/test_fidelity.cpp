@@ -7,9 +7,16 @@
 
 #include <gtest/gtest.h>
 
+#include <cinttypes>
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 
 #include "core/framework.hpp"
+#include "core/sweep.hpp"
+#include "obs/recording_sink.hpp"
 #include "workload/generators.hpp"
 
 namespace fifer {
@@ -103,6 +110,150 @@ TEST(QueueingFidelity, WaitDistributionIsExponentialTailed) {
     return waits[static_cast<std::size_t>(frac * (waits.size() - 1))];
   };
   EXPECT_NEAR(q(0.9) / q(0.5), std::log(10.0) / std::log(2.0), 0.35);
+}
+
+// --------------------------------------------------- golden-digest pinning
+//
+// The data-plane refactor bar (DESIGN.md §5g): structural rewrites of the
+// hot path must not move a single output byte. These tests canonicalize the
+// six-preset GridSweep report (and one preset's full trace export) into a
+// stable string, hash it with FNV-1a, and compare against digests recorded
+// on the pre-refactor tree. Any behavioural drift — a reordered container
+// scan, a changed RNG call sequence, a perturbed event ordering — lands in
+// some serialized field and fails loudly here.
+//
+// The digests are exact-double-dependent, so they are pinned per toolchain:
+// they were recorded with the repository's CI compiler/stdlib. If a digest
+// mismatch is *intended* (a genuine policy/model change), re-pin using the
+// "actual" values the failure message prints.
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Exact, locale-independent double rendering (round-trippable %.17g).
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Canonical full serialization of one run's report: every scalar, every
+/// latency population summary, every per-stage aggregate, every timeline
+/// sample. Field order is fixed; doubles render at full precision.
+std::string canonical_result(const ExperimentResult& r) {
+  std::ostringstream out;
+  out << r.policy << '|' << r.mix << '|' << r.trace << '\n';
+  out << r.jobs_submitted << ' ' << r.jobs_completed << ' ' << r.slo_violations
+      << ' ' << r.containers_spawned << ' ' << r.bus_transitions << ' '
+      << num(r.bus_peak_congestion) << ' ' << r.predictor_retrains << ' '
+      << num(r.avg_active_containers) << ' ' << r.peak_active_containers << ' '
+      << num(r.energy_joules) << ' ' << num(r.duration_ms) << '\n';
+  const auto pop = [&](const char* name, const Percentiles& p) {
+    out << name << ' ' << p.count() << ' ' << num(p.mean()) << ' '
+        << num(p.median()) << ' ' << num(p.p95()) << ' ' << num(p.p99()) << ' '
+        << num(p.min()) << ' ' << num(p.max()) << '\n';
+  };
+  pop("response", r.response_ms);
+  pop("queuing", r.queuing_ms);
+  pop("exec", r.exec_only_ms);
+  pop("cold", r.cold_wait_ms);
+  for (const auto& [name, sm] : r.stages) {
+    out << "stage " << name << ' ' << sm.containers_spawned << ' '
+        << sm.cold_starts << ' ' << sm.containers_executed << ' '
+        << sm.tasks_executed << ' ' << sm.spawn_failures << ' '
+        << num(sm.queue_wait_ms.mean()) << ' ' << num(sm.queue_wait_ms.max())
+        << ' ' << num(sm.exec_ms.mean()) << ' ' << num(sm.exec_ms.max())
+        << '\n';
+  }
+  for (const auto& t : r.timeline) {
+    out << "t " << num(t.time) << ' ' << t.active_containers << ' '
+        << t.provisioning_containers << ' ' << t.queued_tasks << ' '
+        << t.powered_on_nodes << ' ' << num(t.power_watts) << '\n';
+  }
+  return out.str();
+}
+
+ExperimentParams golden_params() {
+  ExperimentParams p;
+  p.trace = poisson_trace(60.0, 15.0);
+  p.trace_name = "poisson";
+  p.seed = 42;
+  p.train.epochs = 3;
+  p.warmup_ms = seconds(5.0);
+  return p;
+}
+
+const char* const kGoldenPresets[6] = {"bline",  "sbatch", "rscale",
+                                       "bpred",  "fifer",  "hpa"};
+
+/// Digests of canonical_result() for the six presets, recorded pre-refactor.
+const std::uint64_t kGoldenDigests[6] = {
+    0xd7767044237cce50ull, 0xc2bbb454c44827abull, 0xc659247d30c4e240ull,
+    0x68fc011b5b6295beull, 0x7a93e28a87f70989ull, 0xf723a9d633b58c13ull,
+};
+
+std::vector<ExperimentResult> golden_sweep(std::size_t jobs) {
+  GridSweep sweep(golden_params());
+  for (const char* name : kGoldenPresets) sweep.add(RmConfig::by_name(name));
+  return sweep.jobs(jobs).run();
+}
+
+TEST(GoldenDigest, SixPresetSweepReportPinnedAtAnyJobs) {
+  const auto seq = golden_sweep(1);
+  const auto par = golden_sweep(4);
+  ASSERT_EQ(seq.size(), 6u);
+  ASSERT_EQ(par.size(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    const std::string canon = canonical_result(seq[i]);
+    // Parallelism must not move a byte (the repo's established bar) ...
+    EXPECT_EQ(canon, canonical_result(par[i])) << kGoldenPresets[i];
+    // ... and neither may a structural refactor of the data plane.
+    const std::uint64_t digest = fnv1a(canon);
+    EXPECT_EQ(digest, kGoldenDigests[i])
+        << kGoldenPresets[i] << ": actual digest 0x" << std::hex << digest;
+  }
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Digests of the fifer preset's spans + decisions CSV exports (the
+/// request-level trace), recorded pre-refactor.
+const std::uint64_t kGoldenSpansDigest = 0xbc43dbb0fa6b349dull;
+const std::uint64_t kGoldenDecisionsDigest = 0x8ed648b6e9c64e99ull;
+
+TEST(GoldenDigest, FiferTraceExportPinned) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(testing::TempDir()) / "fifer_golden_trace";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  auto p = golden_params();
+  p.rm = RmConfig::fifer();
+  auto sink = std::make_shared<obs::RecordingTraceSink>();
+  p.trace_sink = sink;
+  const auto r = run_experiment(std::move(p));
+  ASSERT_GT(r.jobs_completed, 100u);
+  sink->export_spans_csv((dir / "golden.spans.csv").string());
+  sink->export_decisions_csv((dir / "golden.decisions.csv").string());
+
+  const std::uint64_t spans = fnv1a(slurp((dir / "golden.spans.csv").string()));
+  const std::uint64_t decisions =
+      fnv1a(slurp((dir / "golden.decisions.csv").string()));
+  EXPECT_EQ(spans, kGoldenSpansDigest)
+      << "actual spans digest 0x" << std::hex << spans;
+  EXPECT_EQ(decisions, kGoldenDecisionsDigest)
+      << "actual decisions digest 0x" << std::hex << decisions;
 }
 
 TEST(QueueingFidelity, ExponentialSamplerMoments) {

@@ -150,14 +150,14 @@ TEST(EventQueueProperty, RandomOpsPreserveOrderAndCount) {
           rng.uniform_int(0, static_cast<std::int64_t>(cancellable.size()) - 1));
       q.cancel(cancellable[idx]);  // may be a double-cancel; both fine
     } else {
-      const auto f = q.pop();
+      auto f = q.pop();
       EXPECT_GE(f.time, last_popped);
       last_popped = f.time;
       f.callback();
     }
   }
   while (!q.empty()) {
-    const auto f = q.pop();
+    auto f = q.pop();
     EXPECT_GE(f.time, last_popped);
     last_popped = f.time;
     f.callback();

@@ -68,6 +68,75 @@ TEST(EventQueue, RejectsSchedulingIntoThePast) {
   EXPECT_NO_THROW(q.schedule(10.0, [] {}));  // same time is fine
 }
 
+TEST(EventQueue, CancelAfterFireReportsFalse) {
+  EventQueue q;
+  const EventId id = q.schedule(1.0, [] {});
+  q.pop().callback();
+  EXPECT_FALSE(q.cancel(id));  // already fired; its slot is retired
+}
+
+TEST(EventQueue, StaleIdDoesNotCancelSlotReuse) {
+  // A fired/cancelled event's slot may be handed to a later event; the old
+  // EventId must not be able to kill the new tenant (generation check).
+  EventQueue q;
+  const EventId first = q.schedule(1.0, [] {});
+  EXPECT_TRUE(q.cancel(first));
+  q.schedule(2.0, [] {});
+  q.pop().callback();  // drops the cancelled entry en route, freeing slots
+  EXPECT_TRUE(q.empty());
+
+  // Both freed slots get reused; one new event re-occupies `first`'s slot.
+  int fired = 0;
+  q.schedule(3.0, [&fired] { ++fired; });
+  q.schedule(3.0, [&fired] { ++fired; });
+  EXPECT_FALSE(q.cancel(first));  // stale id: same slot, older generation
+  while (!q.empty()) q.pop().callback();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, SameTimestampFifoSurvivesInterleavedCancels) {
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  ids.reserve(8);
+  for (int i = 0; i < 8; ++i) {
+    ids.push_back(q.schedule(5.0, [&order, i] { order.push_back(i); }));
+  }
+  q.cancel(ids[0]);
+  q.cancel(ids[3]);
+  q.cancel(ids[7]);
+  while (!q.empty()) q.pop().callback();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 4, 5, 6}));
+}
+
+TEST(EventQueue, PopAfterAllCancelledThrows) {
+  EventQueue q;
+  const EventId a = q.schedule(1.0, [] {});
+  const EventId b = q.schedule(2.0, [] {});
+  q.cancel(a);
+  q.cancel(b);
+  EXPECT_TRUE(q.empty());  // live view is empty even with heap residue
+  EXPECT_EQ(q.next_time(), kNeverTime);
+  EXPECT_THROW(q.pop(), std::logic_error);
+}
+
+TEST(EventQueue, ManyCancelledSlotsRecycleCorrectly) {
+  // Churn schedule/cancel cycles through slot reuse several times; live
+  // events must keep firing exactly once each, in order.
+  EventQueue q;
+  int fired = 0;
+  double t = 0.0;
+  for (int round = 0; round < 50; ++round) {
+    t += 1.0;
+    const EventId doomed = q.schedule(t + 0.5, [] { FAIL(); });
+    q.schedule(t, [&fired] { ++fired; });
+    EXPECT_TRUE(q.cancel(doomed));
+    q.pop().callback();
+  }
+  EXPECT_EQ(fired, 50);
+  EXPECT_TRUE(q.empty());
+}
+
 TEST(Simulation, AtAndAfterAdvanceClock) {
   Simulation sim;
   std::vector<double> times;

@@ -27,11 +27,13 @@
 #
 # Legs 1-2 run the full ctest suite; the release leg additionally runs the
 # tracing-overhead benchmark (the ≤2% null-sink contract of DESIGN.md §5d
-# only holds in an optimized build) and a wall-budgeted live-mode smoke run
+# only holds in an optimized build), a wall-budgeted live-mode smoke run
 # (a 100x-compressed trace must finish inside its real-time envelope — only
-# meaningful without sanitizer slowdown). Docs hygiene (markdown link check
-# + stale-path / TODO scan) and lint run once at the end; lint uses the
-# sanitizer build's compile database.
+# meaningful without sanitizer slowdown), and the perf smoke: bench_scale's
+# zero-allocation dispatch probe plus the interned StatsDb microbenchmarks
+# (DESIGN.md §5g), refreshing BENCH_scale.json. Docs hygiene (markdown link
+# check + stale-path / TODO scan) and lint run once at the end; lint uses
+# the sanitizer build's compile database.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -106,6 +108,20 @@ echo "==== [release] live-mode wall budget (100x compression under timeout)"
 timeout 30 "$ROOT/build-ci-release/examples/fifer_cli" \
   policy=fifer trace=poisson duration_s=60 lambda=10 warmup_s=10 epochs=2 \
   --live=100 >/dev/null
+
+# Perf smoke (DESIGN.md §5g): bench_scale's steady-state probe must show a
+# zero-allocation dispatch loop (the bench exits non-zero otherwise), and the
+# run refreshes BENCH_scale.json, the machine-readable throughput record the
+# README perf section cites. A short duration keeps this a smoke test — the
+# published numbers come from duration_s=30 runs. The interned StatsDb
+# microbenchmarks run alongside so a hot-path regression in the columnar
+# store shows up here too.
+echo "==== [release] perf smoke (zero-alloc probe + BENCH_scale.json refresh)"
+"$ROOT/build-ci-release/bench/bench_scale" duration_s=5 \
+  json_out="$ROOT/BENCH_scale.json"
+echo "==== [release] StatsDb hot-path microbenchmarks"
+"$ROOT/build-ci-release/bench/bench_overheads" \
+  --benchmark_filter='BM_StatsDb'
 
 run_leg asan-ubsan "$ROOT/build-ci-asan" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
