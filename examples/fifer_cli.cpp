@@ -16,6 +16,12 @@
 //   fifer_cli policy=fifer --live trace=poisson duration_s=120
 //                                          # live mode at the default 100x
 //   fifer_cli policy=fifer --live=50       # live mode, 50x compression
+//   fifer_cli policy=fifer --serve=7411 trace=poisson duration_s=60
+//                                          # TCP serving mode: live runtime
+//                                          # fed by network requests
+//   fifer_cli --loadgen=127.0.0.1:7411 trace=poisson duration_s=60 seed=1
+//                                          # built-in load generator (same
+//                                          # seed => same request sequence)
 //
 // Keys (defaults in brackets):
 //   policy [fifer]        bline|sbatch|rscale|bpred|fifer|hpa — or a
@@ -36,7 +42,16 @@
 //                         (default 100: 1 wall s = 100 trace s). Multi-
 //                         policy lists run live sequentially. See
 //                         EXPERIMENTS.md "Live mode".
-//   max_wall_s [derived]  hard wall-clock budget for a live run
+//   max_wall_s [derived]  hard wall-clock budget for a live run (serving
+//                         mode: total wall budget, default 60 s)
+//   serve_clients [1]     serving mode: FIN frames to wait for before drain
+//   serve_check [true]    serving mode: verify admitted requests against the
+//                         seed's arrival plan (plan-mismatch counter)
+//   conns [4]             load generator: concurrent connections
+//   closed [false]        load generator: closed loop (windowed) instead of
+//                         open-loop plan replay
+//   closed_requests [1000]  window [1]   closed-loop total and per-conn window
+//   timeout_s [60]        load generator: wall budget
 //   mix [heavy]           heavy|medium|light
 //   trace [wits]          poisson|drift|wits|wiki|step|file
 //   trace_file            input path when trace=file
@@ -49,6 +64,7 @@
 //
 // Unknown or malformed flags fail fast: usage on stderr, exit status 2.
 
+#include <cstring>
 #include <exception>
 #include <iostream>
 #include <sstream>
@@ -63,24 +79,54 @@
 #include "common/thread_pool.hpp"
 #include "core/report.hpp"
 #include "core/sweep.hpp"
+#include "net/loadgen.hpp"
+#include "net/serve_session.hpp"
+#include "runtime/gateway.hpp"
 #include "runtime/live_runtime.hpp"
 #include "workload/analysis.hpp"
 #include "workload/generators.hpp"
 
 namespace {
 
-constexpr const char* kUsage =
-    "usage: fifer_cli [key=value ...] [--jobs N] [--trace PREFIX] [--live[=SCALE]]\n"
-    "  policy=bline|sbatch|rscale|bpred|fifer|hpa|all|paper|<list>\n"
-    "  mix=heavy|medium|light   trace=poisson|drift|wits|wiki|step|file\n"
-    "  duration_s=600 lambda=20 seed=1 warmup_s=100 nodes=5 cores=16\n"
-    "  idle_timeout_s=120 jitter=0.15 batch_cap=64 epochs=30 report=PREFIX\n"
-    "  --jobs N            sweep worker threads (multi-policy simulation)\n"
-    "  --trace PREFIX      export request-level trace files under PREFIX\n"
-    "  --live[=SCALE]      run on the live wall-clock runtime, SCALE-fold\n"
-    "                      time compression (default 100)\n"
-    "  --help              show this message\n"
-    "see the header comment of examples/fifer_cli.cpp for the full key list\n";
+/// The conventional long flags this CLI accepts alongside key=value tokens.
+/// `--trace` maps to `trace_out` because bare `trace=` already names the
+/// arrival-trace kind; `--live` carries an implicit 100x compression and
+/// `--serve` an implicit port 0 (kernel-assigned). The same table renders
+/// the flag section of usage() via fifer::usage_text, so a new flag can
+/// never be accepted but missing from --help.
+const std::vector<fifer::CliFlag>& cli_flags() {
+  static const std::vector<fifer::CliFlag> flags = {
+      {"--jobs", "jobs", true, "", "N",
+       "sweep worker threads (multi-policy simulation)"},
+      {"--trace", "trace_out", true, "", "PREFIX",
+       "export request-level trace files under PREFIX"},
+      {"--live", "live", false, "100", "SCALE",
+       "run on the live wall-clock runtime, SCALE-fold\n"
+       "time compression (default 100)"},
+      {"--serve", "serve", false, "0", "PORT",
+       "serve requests over TCP on PORT (default 0:\n"
+       "kernel-assigned, printed on stdout); implies the\n"
+       "live runtime. Drains after serve_clients FINs"},
+      {"--loadgen", "loadgen", true, "", "HOST:PORT",
+       "run the built-in load generator against a serving\n"
+       "fifer_cli (open-loop plan replay; closed=true for\n"
+       "closed loop) instead of running an experiment"},
+      {"--help", "help", false, "true", "",
+       "show this message"},
+  };
+  return flags;
+}
+
+std::string usage() {
+  return
+      "usage: fifer_cli [key=value ...] [flags]\n"
+      "  policy=bline|sbatch|rscale|bpred|fifer|hpa|all|paper|<list>\n"
+      "  mix=heavy|medium|light   trace=poisson|drift|wits|wiki|step|file\n"
+      "  duration_s=600 lambda=20 seed=1 warmup_s=100 nodes=5 cores=16\n"
+      "  idle_timeout_s=120 jitter=0.15 batch_cap=64 epochs=30 report=PREFIX\n" +
+      fifer::usage_text(cli_flags()) +
+      "see the header comment of examples/fifer_cli.cpp for the full key list\n";
+}
 
 fifer::RateTrace build_trace(const fifer::Config& cfg, double duration_s,
                              double lambda, fifer::Rng& rng) {
@@ -130,19 +176,6 @@ std::vector<std::string> policy_list(const std::string& value) {
   return names;
 }
 
-/// The conventional long flags this CLI accepts alongside key=value tokens.
-/// `--trace` maps to `trace_out` because bare `trace=` already names the
-/// arrival-trace kind; `--live` carries an implicit 100x compression.
-const std::vector<fifer::CliFlag>& cli_flags() {
-  static const std::vector<fifer::CliFlag> flags = {
-      {"--jobs", "jobs", true, ""},
-      {"--trace", "trace_out", true, ""},
-      {"--live", "live", false, "100"},
-      {"--help", "help", false, "true"},
-  };
-  return flags;
-}
-
 void print_result_table(const fifer::ExperimentResult& r, std::ostream& out) {
   fifer::Table t("results");
   t.set_columns({"metric", "value"});
@@ -172,7 +205,7 @@ int run_cli(int argc, char** argv) {
       fifer::Config::from_args(static_cast<int>(argv2.size()), argv2.data());
 
   if (cfg.get_bool("help", false)) {
-    std::cout << kUsage;
+    std::cout << usage();
     return 0;
   }
   if (cfg.get_bool("verbose", false)) {
@@ -247,6 +280,47 @@ int run_cli(int argc, char** argv) {
   live_opts.time_scale = live_scale;
   live_opts.max_wall_seconds = cfg.get_double("max_wall_s", 0.0);
 
+  // Network modes (--serve / --loadgen): read every knob up front so the
+  // unused-keys check below still catches typos.
+  const bool serve_mode = cfg.has("serve");
+  const std::int64_t serve_port = cfg.get_int("serve", 0);
+  const auto serve_clients =
+      static_cast<std::size_t>(cfg.get_int("serve_clients", 1));
+  const bool serve_check = cfg.get_bool("serve_check", true);
+  const std::string loadgen_target = cfg.get_string("loadgen", "");
+  fifer::net::LoadGenOptions lg_opts;
+  lg_opts.connections = static_cast<std::size_t>(cfg.get_int("conns", 4));
+  lg_opts.closed_loop = cfg.get_bool("closed", false);
+  lg_opts.closed_requests =
+      static_cast<std::uint64_t>(cfg.get_int("closed_requests", 1000));
+  lg_opts.closed_window = static_cast<std::size_t>(cfg.get_int("window", 1));
+  lg_opts.timeout_seconds = cfg.get_double("timeout_s", 60.0);
+  lg_opts.time_scale = live_scale;
+  if (serve_mode && (serve_port < 0 || serve_port > 65535)) {
+    throw fifer::CliError("--serve port must be 0..65535");
+  }
+  if (serve_mode && !loadgen_target.empty()) {
+    throw fifer::CliError("--serve and --loadgen are mutually exclusive");
+  }
+  if ((serve_mode || !loadgen_target.empty()) && policies.size() > 1) {
+    throw fifer::CliError("--serve/--loadgen run a single policy");
+  }
+  if (!loadgen_target.empty()) {
+    const std::size_t colon = loadgen_target.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= loadgen_target.size()) {
+      throw fifer::CliError("--loadgen expects HOST:PORT");
+    }
+    lg_opts.host = loadgen_target.substr(0, colon);
+    try {
+      const int port = std::stoi(loadgen_target.substr(colon + 1));
+      if (port < 1 || port > 65535) throw std::out_of_range("port");
+      lg_opts.port = static_cast<std::uint16_t>(port);
+    } catch (const std::exception&) {
+      throw fifer::CliError("--loadgen port must be 1..65535");
+    }
+  }
+
   // Reject typos before burning cycles.
   if (const auto unused = cfg.unused_keys(); !unused.empty()) {
     std::string message = "unknown option(s):";
@@ -254,11 +328,93 @@ int run_cli(int argc, char** argv) {
     throw fifer::CliError(message);
   }
 
+  // Load-generator mode: the experiment knobs only materialize the arrival
+  // plan (same seed + trace => same request sequence as the serving twin).
+  if (!loadgen_target.empty()) {
+    std::cout << "loadgen: firing " << (lg_opts.closed_loop ? "closed" : "open")
+              << "-loop at " << lg_opts.host << ":" << lg_opts.port << " over "
+              << lg_opts.connections << " connection(s)...\n";
+    const fifer::net::LoadGenReport r = fifer::net::run_loadgen(p, lg_opts);
+    fifer::Table t("load generator");
+    t.set_columns({"metric", "value"});
+    t.add_row({"completed", r.completed ? "yes" : "NO"});
+    t.add_row({"requests sent", std::to_string(r.sent)});
+    t.add_row({"responses received", std::to_string(r.received)});
+    t.add_row({"ok", std::to_string(r.ok)});
+    t.add_row({"rejected", std::to_string(r.rejected)});
+    t.add_row({"server SLO violations", std::to_string(r.server_slo_violations)});
+    t.add_row({"errors", std::to_string(r.errors)});
+    t.add_row({"wall time s", fifer::fmt(r.wall_seconds, 2)});
+    t.add_row({"achieved req/s", fifer::fmt(r.achieved_rps, 1)});
+    t.add_row({"RTT p50 ms", fifer::fmt(r.rtt_p50_ms, 2)});
+    t.add_row({"RTT p95 ms", fifer::fmt(r.rtt_p95_ms, 2)});
+    t.add_row({"RTT p99 ms", fifer::fmt(r.rtt_p99_ms, 2)});
+    t.print(std::cout);
+    return r.completed ? 0 : 1;
+  }
+
   const auto trace_profile = fifer::profile_trace(p.trace);
   std::cout << "trace: avg " << fifer::fmt(trace_profile.mean_rps, 1) << " req/s, peak "
             << fifer::fmt(trace_profile.peak_rps, 1) << " (peak/median "
             << fifer::fmt(trace_profile.peak_to_median, 1) << "x, dispersion "
             << fifer::fmt(trace_profile.index_of_dispersion, 1) << ")\n";
+
+  // Serving mode: live runtime fed by the TCP front door instead of the
+  // trace replay pump.
+  if (serve_mode) {
+    fifer::net::ServeOptions so;
+    so.server.port = static_cast<std::uint16_t>(serve_port);
+    so.expected_clients = serve_clients;
+    if (serve_check) so.reference_plan = fifer::materialize_arrival_plan(p);
+    so.on_listening = [](std::uint16_t port) {
+      // Parsed by tools/ci.sh and scripted clients; keep the format stable.
+      std::cout << "serving on port " << port << std::endl;
+    };
+    std::cout << "running " << p.rm.name << " / " << p.mix.name()
+              << " as a TCP server (" << fifer::fmt(live_scale, 0)
+              << "x compression, waiting for " << serve_clients
+              << " client FIN(s))...\n";
+    const fifer::net::ServeRunReport report =
+        fifer::net::serve_live(p, live_opts, std::move(so));
+    if (report.listen_failed) {
+      std::cerr << "error: listen failed: "
+                << std::strerror(report.listen_errno) << "\n";
+      return 3;  // Distinct status so wrappers can retry another port.
+    }
+    print_result_table(report.live.result, std::cout);
+
+    fifer::Table nt("serving");
+    nt.set_columns({"metric", "value"});
+    nt.add_row({"drained cleanly",
+                report.live.drained ? "yes" : "NO (wall budget hit)"});
+    nt.add_row({"port", std::to_string(report.port)});
+    nt.add_row({"connections accepted", std::to_string(report.net.accepted)});
+    nt.add_row({"requests admitted", std::to_string(report.admitted)});
+    nt.add_row({"responses sent", std::to_string(report.responded)});
+    nt.add_row({"rejected (draining)", std::to_string(report.rejected_draining)});
+    nt.add_row({"rejected (unknown app)",
+                std::to_string(report.rejected_unknown_app)});
+    nt.add_row({"rejected (bad version)",
+                std::to_string(report.rejected_bad_version)});
+    nt.add_row({"plan mismatches", std::to_string(report.plan_mismatches)});
+    nt.add_row({"SLO attainment %", fifer::fmt(report.slo_attainment_pct, 2)});
+    nt.add_row({"server RTT p50 ms", fifer::fmt(report.rtt_p50_ms, 2)});
+    nt.add_row({"server RTT p95 ms", fifer::fmt(report.rtt_p95_ms, 2)});
+    nt.add_row({"server RTT p99 ms", fifer::fmt(report.rtt_p99_ms, 2)});
+    nt.add_row({"protocol errors", std::to_string(report.net.protocol_errors)});
+    nt.add_row({"slow-consumer drops",
+                std::to_string(report.net.slow_consumer_drops)});
+    std::cout << "\n";
+    nt.print(std::cout);
+
+    if (!report_prefix.empty()) {
+      const auto paths = fifer::write_report(report.live.result, report_prefix);
+      std::cout << "\nreport written:";
+      for (const auto& path : paths) std::cout << "\n  " << path;
+      std::cout << "\n";
+    }
+    return report.live.drained ? 0 : 1;
+  }
 
   // Live multi-policy mode: the live runtime owns the machine's threads, so
   // policies run back-to-back rather than through the parallel sweep; the
@@ -370,12 +526,12 @@ int main(int argc, char** argv) {
   try {
     return run_cli(argc, argv);
   } catch (const fifer::CliError& e) {
-    std::cerr << "error: " << e.what() << "\n" << kUsage;
+    std::cerr << "error: " << e.what() << "\n" << usage();
     return 2;
   } catch (const std::invalid_argument& e) {
     // Malformed values (jobs=abc, policy=knative, ...) are bad invocations
     // too — same usage + status 2 contract as unknown flags.
-    std::cerr << "error: " << e.what() << "\n" << kUsage;
+    std::cerr << "error: " << e.what() << "\n" << usage();
     return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

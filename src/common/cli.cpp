@@ -1,6 +1,57 @@
 #include "common/cli.hpp"
 
+#include <algorithm>
+#include <cstddef>
+
 namespace fifer {
+
+namespace {
+
+/// The flag as it appears in usage: `--flag N` (required value),
+/// `--flag[=SCALE]` (optional value), or bare `--flag` (boolean).
+std::string spelling(const CliFlag& f) {
+  if (f.takes_value) {
+    return f.flag + " " + (f.value_name.empty() ? "VALUE" : f.value_name);
+  }
+  if (!f.value_name.empty()) return f.flag + "[=" + f.value_name + "]";
+  return f.flag;
+}
+
+}  // namespace
+
+std::string usage_text(const std::vector<CliFlag>& flags) {
+  // Align help at two past the widest spelling (floor keeps short tables
+  // from looking cramped).
+  std::size_t column = 20;
+  for (const CliFlag& f : flags) {
+    column = std::max(column, spelling(f).size() + 2);
+  }
+
+  std::string out;
+  for (const CliFlag& f : flags) {
+    std::string line = "  " + spelling(f);
+    if (f.help.empty()) {
+      out += line + "\n";
+      continue;
+    }
+    line.append(2 + column - line.size(), ' ');
+    std::size_t start = 0;
+    bool first = true;
+    do {
+      const std::size_t nl = f.help.find('\n', start);
+      const std::string part = f.help.substr(
+          start, nl == std::string::npos ? std::string::npos : nl - start);
+      if (first) {
+        out += line + part + "\n";
+        first = false;
+      } else {
+        out += std::string(2 + column, ' ') + part + "\n";
+      }
+      start = nl == std::string::npos ? std::string::npos : nl + 1;
+    } while (start != std::string::npos);
+  }
+  return out;
+}
 
 std::vector<std::string> canonicalize_flags(int argc, const char* const* argv,
                                             const std::vector<CliFlag>& flags) {

@@ -17,6 +17,8 @@ class CliError : public std::runtime_error {
 };
 
 /// One recognized long flag and the `key=value` token it canonicalizes to.
+/// The same table renders the flag section of `--help` via `usage_text()`,
+/// so a flag can never be accepted but missing from usage (or vice versa).
 struct CliFlag {
   std::string flag;         ///< The spelling, e.g. "--jobs".
   std::string key;          ///< Config key it maps to, e.g. "jobs".
@@ -25,7 +27,24 @@ struct CliFlag {
   /// appears bare, e.g. `--live` -> `live=100`. An explicit `--flag=V`
   /// always wins.
   std::string implicit_value;
+  /// Usage metadata. `value_name` is the placeholder shown in usage ("N",
+  /// "PREFIX", "SCALE"); empty on a value-optional flag means the flag is
+  /// pure boolean and renders bare. `help` is the description; embedded
+  /// newlines continue on aligned lines.
+  std::string value_name;
+  std::string help;
 };
+
+/// Renders the flag table as the aligned flag section of a usage message:
+///
+///   --jobs N            sweep worker threads
+///   --live[=SCALE]      run on the live runtime...
+///
+/// one line per flag (plus continuation lines for multi-line help), in
+/// table order, each ending in '\n'. CLIs compose their usage string from a
+/// hand-written synopsis plus this, so the flag listing is generated from
+/// the exact table `canonicalize_flags` matches against.
+std::string usage_text(const std::vector<CliFlag>& flags);
 
 /// Rewrites argv (excluding argv[0]) into Config-ready `key=value` tokens.
 /// Known `--flag` spellings are canonicalized through `flags`; plain

@@ -1,0 +1,307 @@
+#include "net/server.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <utility>
+
+namespace fifer::net {
+
+namespace {
+
+/// epoll user-data tag for the listening socket (distinct from kWakeData
+/// and from every live connection id, whose index half is < kNil).
+constexpr std::uint64_t kListenData = ~std::uint64_t{0} - 1;
+
+const fifer::LockClass& pending_lock_class() {
+  static const fifer::LockClass cls{"net.server.pending",
+                                    fifer::sync::lock_rank::kRuntimeLeaf};
+  return cls;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions opts, ServerHandler* handler)
+    : opts_(std::move(opts)),
+      handler_(handler),
+      pending_mu_(&pending_lock_class()) {
+  // Pre-size the response staging buffers so the steady-state respond() →
+  // drain cycle never grows them (the zero-allocation probe in bench_serve
+  // pins this).
+  staged_.reserve(4096);
+  MutexLock lock(&pending_mu_);
+  pending_.reserve(4096);
+}
+
+Server::~Server() { shutdown(); }
+
+bool Server::listen() {
+  if (!listener_.listen(opts_.bind_address, opts_.port, opts_.backlog)) {
+    return false;
+  }
+  if (!poller_.valid() || !poller_.add(listener_.fd(), kListenData)) {
+    listener_.close();
+    return false;
+  }
+  return true;
+}
+
+void Server::start() {
+  if (running_.load(std::memory_order_acquire) || !listener_.listening()) {
+    return;
+  }
+  stop_.store(false, std::memory_order_release);
+  accepting_.store(true, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  loop_ = std::thread([this] { run_loop(); });
+}
+
+bool Server::respond(std::uint64_t conn_id, const wire::Response& resp) {
+  if (!running_.load(std::memory_order_acquire)) return false;
+  {
+    MutexLock lock(&pending_mu_);
+    pending_.push_back(PendingResponse{conn_id, resp});
+  }
+  poller_.wake();
+  return true;
+}
+
+void Server::stop_accepting() {
+  accepting_.store(false, std::memory_order_release);
+  poller_.wake();
+}
+
+void Server::shutdown() {
+  if (loop_.joinable()) {
+    stop_.store(true, std::memory_order_release);
+    poller_.wake();
+    loop_.join();
+  }
+  listener_.close();
+  running_.store(false, std::memory_order_release);
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.accepted = stats_.accepted.load(std::memory_order_relaxed);
+  s.closed = stats_.closed.load(std::memory_order_relaxed);
+  s.rejected_connections =
+      stats_.rejected_connections.load(std::memory_order_relaxed);
+  s.requests = stats_.requests.load(std::memory_order_relaxed);
+  s.fins = stats_.fins.load(std::memory_order_relaxed);
+  s.responses = stats_.responses.load(std::memory_order_relaxed);
+  s.dropped_responses = stats_.dropped_responses.load(std::memory_order_relaxed);
+  s.slow_consumer_drops =
+      stats_.slow_consumer_drops.load(std::memory_order_relaxed);
+  s.protocol_errors = stats_.protocol_errors.load(std::memory_order_relaxed);
+  s.bytes_in = stats_.bytes_in.load(std::memory_order_relaxed);
+  s.bytes_out = stats_.bytes_out.load(std::memory_order_relaxed);
+  return s;
+}
+
+// ------------------------------------------------------------- epoll loop
+
+namespace {
+
+/// Forwards frames to the application handler while bumping the server's
+/// counters; lives on the epoll thread's stack, so no allocation.
+class CountingHandler final : public FrameHandler {
+ public:
+  CountingHandler(ServerHandler* app, std::atomic<std::uint64_t>* requests,
+                  std::atomic<std::uint64_t>* fins)
+      : app_(app), requests_(requests), fins_(fins) {}
+
+  void on_request(std::uint64_t conn_id, const wire::Request& req) override {
+    requests_->fetch_add(1, std::memory_order_relaxed);
+    app_->on_request(conn_id, req);
+  }
+  void on_fin(std::uint64_t conn_id) override {
+    fins_->fetch_add(1, std::memory_order_relaxed);
+    app_->on_fin(conn_id);
+  }
+
+ private:
+  ServerHandler* app_;
+  std::atomic<std::uint64_t>* requests_;
+  std::atomic<std::uint64_t>* fins_;
+};
+
+}  // namespace
+
+void Server::run_loop() {
+  constexpr int kMaxEvents = 64;
+  Poller::Event events[kMaxEvents];
+
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (!accepting_.load(std::memory_order_acquire) &&
+        listener_.listening()) {
+      poller_.remove(listener_.fd());
+      listener_.close();
+    }
+
+    const int n = poller_.wait(events, kMaxEvents, -1);
+    if (n < 0) break;
+
+    // Responses first: a wake usually means completions are queued, and
+    // flushing them before reading keeps round-trip latency flat.
+    drain_pending();
+
+    for (int i = 0; i < n; ++i) {
+      const Poller::Event& ev = events[i];
+      if (ev.data == Poller::kWakeData) continue;
+      if (ev.data == kListenData) {
+        handle_accept();
+        continue;
+      }
+      handle_conn_event(ev.data, ev.readable, ev.writable, ev.error);
+    }
+  }
+
+  // Graceful drain: deliver everything already queued, give sockets a
+  // bounded window to flush, then close.
+  drain_pending();
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(opts_.drain_timeout_ms);
+  while (any_pending_write() && std::chrono::steady_clock::now() < deadline) {
+    const int n = poller_.wait(events, kMaxEvents, 10);
+    for (int i = 0; i < n; ++i) {
+      const Poller::Event& ev = events[i];
+      if (ev.data == Poller::kWakeData || ev.data == kListenData) continue;
+      handle_conn_event(ev.data, /*readable=*/false, ev.writable, ev.error);
+    }
+    drain_pending();
+  }
+
+  std::vector<SlabHandle<Connection>> open;
+  open.reserve(conns_.size());
+  for (auto it = conns_.begin(); it != conns_.end(); ++it) {
+    open.push_back(it.handle());
+  }
+  for (const auto h : open) drop_connection(h, /*notify=*/true);
+  if (listener_.listening()) {
+    poller_.remove(listener_.fd());
+    listener_.close();
+  }
+}
+
+void Server::handle_accept() {
+  for (;;) {
+    Fd fd = listener_.accept();
+    if (!fd) return;
+    if (conns_.size() >= opts_.max_connections) {
+      stats_.rejected_connections.fetch_add(1, std::memory_order_relaxed);
+      continue;  // fd closes on scope exit.
+    }
+    const auto h = conns_.emplace();
+    Connection& conn = conns_[h];
+    conn.open(std::move(fd), id_of(h));
+    if (!poller_.add(conn.fd(), conn.id())) {
+      conn.close();
+      conns_.erase(h);
+      continue;
+    }
+    stats_.accepted.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Server::handle_conn_event(std::uint64_t conn_id, bool readable,
+                               bool writable, bool error) {
+  const auto h = handle_of(conn_id);
+  Connection* conn = conns_.get(h);
+  if (conn == nullptr) return;  // Already dropped this pass.
+
+  if (readable) {
+    CountingHandler counting(handler_, &stats_.requests, &stats_.fins);
+    const auto r = conn->on_readable(counting);
+    // Re-check: the application handler may have triggered a respond()
+    // path that dropped the connection (slow consumer).
+    conn = conns_.get(h);
+    if (conn == nullptr) return;
+    if (r != Connection::IoResult::kOk) {
+      if (conn->protocol_error()) {
+        stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      }
+      drop_connection(h, /*notify=*/true);
+      return;
+    }
+  }
+
+  if (writable && conn->has_pending_write()) {
+    if (conn->flush() == Connection::IoResult::kError) {
+      drop_connection(h, /*notify=*/true);
+      return;
+    }
+  }
+  if (conn->epollout_armed() && !conn->has_pending_write()) {
+    poller_.modify(conn->fd(), conn_id, /*want_write=*/false);
+    conn->set_epollout_armed(false);
+  }
+
+  if (error && !readable) {
+    // Pure error/hangup with nothing to read: drop now. (When readable was
+    // set, on_readable above already saw the EOF.)
+    drop_connection(h, /*notify=*/true);
+  }
+}
+
+void Server::drain_pending() {
+  staged_.clear();
+  {
+    MutexLock lock(&pending_mu_);
+    std::swap(staged_, pending_);
+  }
+  for (const PendingResponse& p : staged_) {
+    deliver(p.conn_id, p.resp);
+  }
+}
+
+void Server::deliver(std::uint64_t conn_id, const wire::Response& resp) {
+  Connection* conn = conns_.get(handle_of(conn_id));
+  if (conn == nullptr) {
+    stats_.dropped_responses.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  std::uint8_t frame[wire::kMaxFrame];
+  const std::size_t len = wire::encode_response(resp, frame);
+  if (!conn->queue_write(frame, len)) {
+    stats_.slow_consumer_drops.fetch_add(1, std::memory_order_relaxed);
+    drop_connection(handle_of(conn_id), /*notify=*/true);
+    return;
+  }
+  stats_.responses.fetch_add(1, std::memory_order_relaxed);
+  if (conn->flush() == Connection::IoResult::kError) {
+    drop_connection(handle_of(conn_id), /*notify=*/true);
+    return;
+  }
+  if (conn->has_pending_write() && !conn->epollout_armed()) {
+    poller_.modify(conn->fd(), conn_id, /*want_write=*/true);
+    conn->set_epollout_armed(true);
+  }
+}
+
+void Server::drop_connection(SlabHandle<Connection> h, bool notify) {
+  Connection* conn = conns_.get(h);
+  if (conn == nullptr) return;
+  const std::uint64_t id = conn->id();
+  stats_.bytes_in.fetch_add(conn->bytes_in(), std::memory_order_relaxed);
+  stats_.bytes_out.fetch_add(conn->bytes_out(), std::memory_order_relaxed);
+  poller_.remove(conn->fd());
+  conn->close();
+  conns_.erase(h);
+  stats_.closed.fetch_add(1, std::memory_order_relaxed);
+  if (notify && handler_ != nullptr) handler_->on_disconnect(id);
+}
+
+bool Server::any_pending_write() {
+  bool queued;
+  {
+    MutexLock lock(&pending_mu_);
+    queued = !pending_.empty();
+  }
+  if (queued) return true;
+  for (const Connection& c : conns_) {
+    if (c.has_pending_write()) return true;
+  }
+  return false;
+}
+
+}  // namespace fifer::net

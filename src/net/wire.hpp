@@ -1,0 +1,173 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "common/types.hpp"
+
+/// Wire protocol of the serving front-end (DESIGN.md §5h).
+///
+/// Frames are length-prefixed: a 4-byte little-endian payload length
+/// followed by the payload, whose first byte is the frame type. Payloads are
+/// fixed-size per type and encoded field by field (explicit little-endian
+/// integers, IEEE-754 doubles bit-copied through std::memcpy), so decoding
+/// is struct-padding- and endianness-independent and — the property the
+/// accept→dispatch hot path relies on — touches no allocator.
+///
+/// A request carries exactly what the paper's load generator sends its
+/// gateway: which application chain to invoke (`app_index`, the position in
+/// the registry's deterministic `all()` order), the input-size multiplier,
+/// plus a client-assigned `tag` (the arrival-plan index, so a served run can
+/// be checked request-by-request against its sim twin's plan) and the
+/// client's send instant (`CLOCK_MONOTONIC` nanoseconds — comparable across
+/// processes on one host, which is all the loopback harness needs for
+/// round-trip latency).
+namespace fifer::net::wire {
+
+/// Protocol version; bumped on any frame-layout change. A server rejects
+/// mismatched requests with Status::kBadVersion instead of guessing.
+inline constexpr std::uint8_t kVersion = 1;
+
+enum class FrameType : std::uint8_t {
+  kRequest = 1,
+  kResponse = 2,
+  /// "This client is done": sent once per connection after the client has
+  /// received every response it expects. The server's drain predicate
+  /// counts these (serve_session.hpp).
+  kFin = 3,
+};
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  /// The runtime is draining (or not yet accepting); the request was not
+  /// admitted. The paper's gateway equivalent of a 503.
+  kDraining = 1,
+  kUnknownApp = 2,
+  kBadVersion = 3,
+};
+
+struct Request {
+  std::uint8_t version = kVersion;
+  std::uint32_t app_index = 0;     ///< Index into ApplicationRegistry::all().
+  double input_scale = 1.0;        ///< Per-request input-size multiplier.
+  std::uint64_t tag = 0;           ///< Client request id (arrival-plan index).
+  std::uint64_t client_send_ns = 0;  ///< Client CLOCK_MONOTONIC send stamp.
+};
+
+struct Response {
+  std::uint64_t tag = 0;             ///< Echo of Request::tag.
+  Status status = Status::kOk;
+  std::uint8_t violated_slo = 0;     ///< Server-side SLO verdict (sim time).
+  double arrival_ms = 0.0;           ///< Admission stamp, simulated ms.
+  double completion_ms = 0.0;        ///< Completion stamp, simulated ms.
+  std::uint64_t client_send_ns = 0;  ///< Echo of Request::client_send_ns.
+};
+
+inline constexpr std::size_t kHeaderBytes = 4;
+inline constexpr std::size_t kRequestPayload = 1 + 1 + 4 + 8 + 8 + 8;
+inline constexpr std::size_t kResponsePayload = 1 + 8 + 1 + 1 + 8 + 8 + 8;
+inline constexpr std::size_t kFinPayload = 1;
+/// Upper bound over all frame payloads; a longer length prefix is a
+/// protocol error and drops the connection (bounded-buffer guarantee).
+inline constexpr std::size_t kMaxPayload = 64;
+inline constexpr std::size_t kMaxFrame = kHeaderBytes + kMaxPayload;
+
+// ------------------------------------------------------------- primitives
+
+inline void put_u32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+inline std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+inline void put_u64(std::uint8_t* p, std::uint64_t v) {
+  put_u32(p, static_cast<std::uint32_t>(v));
+  put_u32(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+inline std::uint64_t get_u64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         (static_cast<std::uint64_t>(get_u32(p + 4)) << 32);
+}
+
+inline void put_f64(std::uint8_t* p, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(p, bits);
+}
+
+inline double get_f64(const std::uint8_t* p) {
+  const std::uint64_t bits = get_u64(p);
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+// ----------------------------------------------------------------- frames
+
+/// Writes the framed request into `out` (>= kHeaderBytes + kRequestPayload
+/// bytes) and returns the frame size.
+inline std::size_t encode_request(const Request& r, std::uint8_t* out) {
+  put_u32(out, static_cast<std::uint32_t>(kRequestPayload));
+  std::uint8_t* p = out + kHeaderBytes;
+  p[0] = static_cast<std::uint8_t>(FrameType::kRequest);
+  p[1] = r.version;
+  put_u32(p + 2, r.app_index);
+  put_f64(p + 6, r.input_scale);
+  put_u64(p + 14, r.tag);
+  put_u64(p + 22, r.client_send_ns);
+  return kHeaderBytes + kRequestPayload;
+}
+
+/// Decodes a request payload (`n` bytes, type byte included). False on a
+/// malformed frame.
+inline bool decode_request(const std::uint8_t* p, std::size_t n, Request* out) {
+  if (n != kRequestPayload) return false;
+  out->version = p[1];
+  out->app_index = get_u32(p + 2);
+  out->input_scale = get_f64(p + 6);
+  out->tag = get_u64(p + 14);
+  out->client_send_ns = get_u64(p + 22);
+  return true;
+}
+
+inline std::size_t encode_response(const Response& r, std::uint8_t* out) {
+  put_u32(out, static_cast<std::uint32_t>(kResponsePayload));
+  std::uint8_t* p = out + kHeaderBytes;
+  p[0] = static_cast<std::uint8_t>(FrameType::kResponse);
+  put_u64(p + 1, r.tag);
+  p[9] = static_cast<std::uint8_t>(r.status);
+  p[10] = r.violated_slo;
+  put_f64(p + 11, r.arrival_ms);
+  put_f64(p + 19, r.completion_ms);
+  put_u64(p + 27, r.client_send_ns);
+  return kHeaderBytes + kResponsePayload;
+}
+
+inline bool decode_response(const std::uint8_t* p, std::size_t n, Response* out) {
+  if (n != kResponsePayload) return false;
+  out->tag = get_u64(p + 1);
+  out->status = static_cast<Status>(p[9]);
+  out->violated_slo = p[10];
+  out->arrival_ms = get_f64(p + 11);
+  out->completion_ms = get_f64(p + 19);
+  out->client_send_ns = get_u64(p + 27);
+  return true;
+}
+
+inline std::size_t encode_fin(std::uint8_t* out) {
+  put_u32(out, static_cast<std::uint32_t>(kFinPayload));
+  out[kHeaderBytes] = static_cast<std::uint8_t>(FrameType::kFin);
+  return kHeaderBytes + kFinPayload;
+}
+
+}  // namespace fifer::net::wire

@@ -11,6 +11,13 @@
 
 namespace fifer {
 
+std::vector<Arrival> materialize_arrival_plan(const ExperimentParams& params) {
+  Rng rng(params.seed);
+  Rng arrival_rng = rng.split(0xA221);
+  return generate_arrivals(params.trace, params.mix, arrival_rng,
+                           params.input_scale_jitter);
+}
+
 void Gateway::pump(std::size_t i) {
   {
     MutexLock lock(&rt_.mu_);
@@ -23,6 +30,8 @@ void Gateway::pump(std::size_t i) {
 }
 
 LiveRunReport Gateway::run() {
+  if (rt_.opts_.external_source != nullptr) return run_external();
+
   // Arrival plan: the same RNG split the simulator uses (and at the same
   // point in the seed's draw sequence — after Scaler::on_start), so a
   // sim/live pair with one seed replays the identical request sequence.
@@ -92,6 +101,78 @@ LiveRunReport Gateway::run() {
   // blocked on the state lock in a callback, which must complete first).
   rt_.cluster_.stop_and_join_all();
 
+  bool drained;
+  {
+    MutexLock lock(&rt_.mu_);
+    drained = rt_.arrivals_done_ && rt_.completed_jobs_ == rt_.jobs_.size();
+  }
+  return assemble_report(fired, drained);
+}
+
+LiveRunReport Gateway::run_external() {
+  ExternalArrivalSource* src = rt_.opts_.external_source;
+  {
+    MutexLock lock(&rt_.mu_);
+    // Consume the plan split anyway: the external twin of a replay run must
+    // leave the experiment seed's draw sequence (cold starts, exec-time
+    // sampling) exactly where the replay run leaves it.
+    (void)rt_.rng_.split(0xA221);
+    rt_.arrivals_done_ = true;  // No planned arrivals in serving mode.
+    rt_.trace_end_ = 0.0;
+    rt_.accepting_external_ = true;
+  }
+
+  rt_.clock_.start();
+  {
+    MutexLock lock(&rt_.mu_);
+    rt_.start_pending_workers();
+  }
+
+  rt_.engine_.scaler->install(rt_);
+  rt_.timers_.every(rt_.params_.housekeeping_interval_ms, [this](SimTime) {
+    MutexLock lock(&rt_.mu_);
+    rt_.housekeeping_tick();
+  });
+
+  // A serving run has no trace length to derive a budget from: the hard
+  // deadline is max_wall_seconds, defaulting to a minute of wall time.
+  const double budget =
+      rt_.opts_.max_wall_seconds > 0.0 ? rt_.opts_.max_wall_seconds : 60.0;
+  const LiveClock::WallTime hard_deadline =
+      LiveClock::WallClock::now() +
+      std::chrono::nanoseconds(static_cast<std::int64_t>(budget * 1e9));
+
+  // Open the front door. From here the source's I/O thread submits through
+  // the gate concurrently with the timer loop below.
+  src->start(rt_, rt_.clock_);
+
+  const auto done = [this, src] {
+    rt_.cluster_.join_retired();
+    if (!src->finished()) return false;
+    MutexLock lock(&rt_.mu_);
+    return rt_.completed_jobs_ == rt_.jobs_.size();
+  };
+  const std::uint64_t fired = rt_.timers_.run(done, hard_deadline);
+
+  // Close the gate before teardown: submissions racing the shutdown are
+  // rejected as draining instead of landing in a dying runtime.
+  {
+    MutexLock lock(&rt_.mu_);
+    rt_.accepting_external_ = false;
+  }
+  src->stop();
+  rt_.cluster_.stop_and_join_all();
+
+  bool drained;
+  {
+    MutexLock lock(&rt_.mu_);
+    drained =
+        src->finished() && rt_.completed_jobs_ == rt_.jobs_.size();
+  }
+  return assemble_report(fired, drained);
+}
+
+LiveRunReport Gateway::assemble_report(std::uint64_t fired, bool drained) {
   // Single-threaded from here on; the lock closes the guarded-state
   // contract over the report assembly.
   MutexLock lock(&rt_.mu_);
@@ -109,8 +190,7 @@ LiveRunReport Gateway::run() {
 
   LiveRunReport report;
   report.result = std::move(result);
-  report.drained =
-      rt_.arrivals_done_ && rt_.completed_jobs_ == rt_.jobs_.size();
+  report.drained = drained;
   report.sim_duration_ms = end;
   report.wall_seconds = (end / rt_.clock_.scale()) / 1000.0;
   report.time_scale = rt_.clock_.scale();

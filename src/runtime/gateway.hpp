@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "workload/arrival.hpp"
@@ -9,6 +10,14 @@ namespace fifer {
 
 class LiveRuntime;
 struct LiveRunReport;
+struct ExperimentParams;
+
+/// The arrival plan a run with these params replays: the same RNG split
+/// (0xA221, the first draw from the experiment seed) the simulator and the
+/// live gateway take, so any process — notably the load generator on the
+/// other end of a socket — can materialize the byte-identical request
+/// sequence from the params alone.
+std::vector<Arrival> materialize_arrival_plan(const ExperimentParams& params);
 
 /// The live runtime's front door, mirroring the prototype's load-generator +
 /// gateway pair: it materializes the arrival plan from the trace (same RNG
@@ -18,6 +27,12 @@ struct LiveRunReport;
 /// housekeeping running, and supervises the end of the run — graceful drain
 /// once the trace is exhausted, bounded shutdown when the wall budget runs
 /// out first.
+///
+/// With `LiveOptions::external_source` set, the pump is skipped entirely:
+/// the gateway opens the runtime's ExternalGate, lets the source (the socket
+/// front-end) submit arrivals, and drains once the source reports finished.
+/// The trace-replay path is untouched — byte-identical to before the seam
+/// existed.
 ///
 /// The gateway drives; the LiveRuntime decides. It is constructed by
 /// LiveRuntime::run() on the calling thread and lives for exactly one run.
@@ -34,6 +49,14 @@ class Gateway {
   /// the timer queue holds at most one pending arrival at a time — the live
   /// analogue of the simulator's lazy arrival pump.
   void pump(std::size_t i);
+
+  /// Serving mode: arrivals come from opts.external_source via the gate.
+  LiveRunReport run_external();
+
+  /// Shared post-run tail: joins workers' effects into the final metrics
+  /// and builds the report. `drained` = every admitted request completed
+  /// and no more are coming.
+  LiveRunReport assemble_report(std::uint64_t fired, bool drained);
 
   LiveRuntime& rt_;
   std::vector<Arrival> arrivals_;

@@ -52,6 +52,17 @@ LiveRuntime::LiveRuntime(ExperimentParams params, LiveOptions opts)
     // exempts constructor bodies from the recorder_'s guard).
     recorder_.prime_stage(name);
   }
+  // The wire protocol's app numbering: registry insertion order. An app is
+  // servable only if every stage of its chain has a provisioned pool (the
+  // mix may cover a subset of the registry).
+  for (const ApplicationChain& chain : apps_.all()) {
+    app_names_.push_back(chain.name);
+    bool servable = true;
+    for (const std::string& stage : chain.stages) {
+      servable = servable && stages_.find(stage) != stages_.end();
+    }
+    app_servable_.push_back(servable);
+  }
 }
 
 LiveRuntime::~LiveRuntime() {
@@ -240,9 +251,60 @@ void LiveRuntime::complete_job(Job& job) {
   recorder_.on_job_completed(job);
   job.records.clear();
   job.records.shrink_to_fit();
+
+  // External mode: emit the request's network span (accept -> admission ->
+  // response queued) and hand the completion back to the front-end, which
+  // writes the response to the originating connection. Still under mu_ —
+  // the sink's single-writer contract and the §5f order (state lock ->
+  // net-layer leaf locks) both require it.
+  if (opts_.external_source != nullptr &&
+      value_of(job.id) < external_meta_.size()) {
+    const ExternalRequest& req = external_meta_[value_of(job.id)];
+    if (obs::TraceSink* t = recorder_.sink()) {
+      obs::SpanRecord s;
+      s.job = value_of(job.id);
+      s.app = job.app->name;
+      s.stage = "net";
+      s.enqueued = req.received_ms;   // parsed off the socket
+      s.dispatched = job.arrival;     // admitted through the gate
+      s.exec_start = job.arrival;
+      s.exec_end = job.completion;    // response queued to the connection
+      s.container = req.conn_id;
+      t->on_span(s);
+    }
+    ExternalCompletion done;
+    done.req = req;
+    done.arrival_ms = job.arrival;
+    done.completion_ms = job.completion;
+    done.violated_slo = job.violated_slo();
+    opts_.external_source->on_completion(done);
+  }
+
   // Wake the gateway loop so the drain check sees the completion promptly.
   timers_.notify();
 }
+
+// ------------------------------------------------- external gate (serving)
+
+ExternalGate::Admit LiveRuntime::submit(const ExternalRequest& req) {
+  MutexLock lock(&mu_);
+  if (!accepting_external_) return Admit::kDraining;
+  if (req.app_index >= app_names_.size() || !app_servable_[req.app_index]) {
+    return Admit::kUnknownApp;
+  }
+  FIFER_DCHECK_EQ(external_meta_.size(), next_job_id_, kCore);
+  external_meta_.push_back(req);
+  if (req.received_ms <= 0.0) external_meta_.back().received_ms = clock_.now_ms();
+
+  Arrival arrival;
+  arrival.time = clock_.now_ms();
+  arrival.app = app_names_[req.app_index];
+  arrival.input_scale = req.input_scale;
+  submit_job(arrival);
+  return Admit::kAccepted;
+}
+
+void LiveRuntime::wake() { timers_.notify(); }
 
 // --------------------------------------------- worker callbacks (data plane)
 

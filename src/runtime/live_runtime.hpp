@@ -21,6 +21,7 @@
 #include "core/stats_db.hpp"
 #include "predict/window.hpp"
 #include "runtime/clock.hpp"
+#include "runtime/external_source.hpp"
 #include "runtime/live_cluster.hpp"
 #include "runtime/live_container.hpp"
 #include "runtime/recorder.hpp"
@@ -48,6 +49,13 @@ struct LiveOptions {
   /// guarantee: run() returns within this budget even if the workload
   /// wedges, with `drained = false` in the report.
   double max_wall_seconds = 0.0;
+  /// When set, the run serves *externally submitted* arrivals (the socket
+  /// front-end) instead of replaying the trace plan: the gateway skips the
+  /// arrival pump, opens the runtime's ExternalGate, and drains once the
+  /// source reports finished(). Non-owning; must outlive the run. In this
+  /// mode the hard wall budget is `max_wall_seconds` (default 60 s when
+  /// unset — a serving run has no trace length to derive one from).
+  ExternalArrivalSource* external_source = nullptr;
 };
 
 /// What a live run produced: the same ExperimentResult the simulator emits,
@@ -98,7 +106,9 @@ struct LiveRunReport {
 /// One instance runs one experiment, like the framework:
 ///
 ///   LiveRunReport r = LiveRuntime(params, {.time_scale = 100}).run();
-class LiveRuntime : public PolicyContext, public LiveContainerHost {
+class LiveRuntime : public PolicyContext,
+                    public LiveContainerHost,
+                    public ExternalGate {
  public:
   LiveRuntime(ExperimentParams params, LiveOptions opts);
   ~LiveRuntime() override;
@@ -141,6 +151,10 @@ class LiveRuntime : public PolicyContext, public LiveContainerHost {
       FIFER_EXCLUDES(mu_);
   void on_task_finish(ContainerId id, TaskRef task) override
       FIFER_EXCLUDES(mu_);
+
+  // --- ExternalGate (called from the front-end's I/O thread; takes mu_) ---
+  Admit submit(const ExternalRequest& req) override FIFER_EXCLUDES(mu_);
+  void wake() override;
 
  private:
   friend class Gateway;  // the run driver: arrival pump, drain, shutdown
@@ -211,6 +225,20 @@ class LiveRuntime : public PolicyContext, public LiveContainerHost {
       FIFER_GUARDED_BY(mu_);
   /// Workers created before the clock anchor, started by the gateway.
   std::vector<LiveContainer*> pending_start_ FIFER_GUARDED_BY(mu_);
+  /// Registry insertion order -> app name: the wire protocol's app_index
+  /// numbering. Built at construction, immutable afterwards.
+  std::vector<std::string> app_names_;
+  /// Parallel to app_names_: whether every stage of the chain is
+  /// provisioned (stage pools come from the workload *mix*, which may be a
+  /// subset of the registry). submit() rejects unservable apps as
+  /// kUnknownApp instead of crashing in stage_of().
+  std::vector<bool> app_servable_;
+  /// External-mode bookkeeping: the original ExternalRequest of job id `i`
+  /// at index i (external jobs are the only jobs, and ids are sequential).
+  std::vector<ExternalRequest> external_meta_ FIFER_GUARDED_BY(mu_);
+  /// Gate state: only true between the gateway opening the gate (external
+  /// mode, post-anchor) and drain/teardown.
+  bool accepting_external_ FIFER_GUARDED_BY(mu_) = false;
   std::uint64_t completed_jobs_ FIFER_GUARDED_BY(mu_) = 0;
   std::uint64_t next_job_id_ FIFER_GUARDED_BY(mu_) = 0;
   std::uint64_t next_container_id_ FIFER_GUARDED_BY(mu_) = 0;

@@ -60,6 +60,14 @@ class WallTimerQueue {
 
   std::uint64_t executed() const { return executed_; }
 
+  /// Number of scheduled entries not yet fired (periodic entries count as
+  /// one — they re-arm on fire). Callable from any thread; the server's
+  /// drain path uses it to tell "idle" from "work still scheduled".
+  std::size_t pending() FIFER_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return queue_.size();
+  }
+
  private:
   struct Entry {
     SimTime when;

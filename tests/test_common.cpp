@@ -275,8 +275,8 @@ TEST(Config, BoolSynonyms) {
 
 std::vector<CliFlag> test_flags() {
   return {
-      {"--jobs", "jobs", /*takes_value=*/true, ""},
-      {"--live", "live", /*takes_value=*/false, "100"},
+      {"--jobs", "jobs", /*takes_value=*/true, "", "", ""},
+      {"--live", "live", /*takes_value=*/false, "100", "", ""},
   };
 }
 
@@ -324,6 +324,45 @@ TEST(CliFlags, BareWordWithoutEqualsFailsFast) {
   // exit 2 can catch either spelling.
   const char* typo[] = {"prog", "polcy"};
   EXPECT_THROW(canonicalize_flags(2, typo, test_flags()), std::runtime_error);
+}
+
+TEST(CliFlags, UsageTextRendersEveryFlagShape) {
+  const std::vector<CliFlag> flags = {
+      {"--jobs", "jobs", true, "", "N", "sweep worker threads"},
+      {"--live", "live", false, "100", "SCALE", "live runtime at SCALE-fold\ncompression"},
+      {"--verbose", "verbose", false, "true", "", "chatty logging"},
+  };
+  const std::string u = usage_text(flags);
+  // Required value, optional value, and pure-boolean spellings.
+  EXPECT_NE(u.find("  --jobs N "), std::string::npos) << u;
+  EXPECT_NE(u.find("  --live[=SCALE] "), std::string::npos) << u;
+  EXPECT_NE(u.find("  --verbose "), std::string::npos) << u;
+  EXPECT_NE(u.find("chatty logging"), std::string::npos) << u;
+  // Help text lands on the same line as its flag; embedded newlines
+  // continue on their own (aligned) line.
+  const std::size_t jobs_at = u.find("--jobs N");
+  const std::size_t jobs_help = u.find("sweep worker threads");
+  ASSERT_NE(jobs_help, std::string::npos);
+  EXPECT_EQ(u.substr(jobs_at, jobs_help - jobs_at).find('\n'),
+            std::string::npos);
+  const std::size_t cont = u.find("\ncompression");
+  ASSERT_EQ(cont, std::string::npos);  // continuation must be indented
+  EXPECT_NE(u.find("compression"), std::string::npos);
+  // One line per flag plus one continuation line.
+  std::size_t lines = 0;
+  for (char c : u) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 4u);
+}
+
+TEST(CliFlags, UsageTextAlignsHelpColumn) {
+  const std::vector<CliFlag> flags = {
+      {"--a", "a", true, "", "N", "first"},
+      {"--long-flag", "b", true, "", "VALUE", "second"},
+  };
+  const std::string u = usage_text(flags);
+  // Both help strings start at the same column.
+  const std::size_t line2 = u.find('\n') + 1;
+  EXPECT_EQ(u.find("first"), u.find("second") - line2);
 }
 
 // ---------------------------------------------------------------- table

@@ -115,6 +115,56 @@ TEST(WallTimerQueue, NotifyWakesTheDonePredicate) {
   EXPECT_LT(LiveClock::WallClock::now() - t0, std::chrono::seconds(25));
 }
 
+TEST(WallTimerQueue, PendingCountsQueuedTimers) {
+  LiveClock clock(1000.0);
+  WallTimerQueue timers(clock);
+  EXPECT_EQ(timers.pending(), 0u);
+  timers.at(minutes(10.0), [](SimTime) {});
+  timers.at(minutes(20.0), [](SimTime) {});
+  timers.every(minutes(1.0), [](SimTime) {});
+  EXPECT_EQ(timers.pending(), 3u);
+
+  // One-shots are consumed when fired; periodic entries re-arm themselves.
+  LiveClock fast(1000.0);
+  WallTimerQueue firing(fast);
+  int fired = 0;
+  firing.at(10.0, [&](SimTime) { ++fired; });
+  firing.every(seconds(1.0), [&](SimTime) {});
+  fast.start();
+  firing.run([&] { return fired >= 1; },
+             LiveClock::WallClock::now() + std::chrono::seconds(20));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(firing.pending(), 1u);  // only the periodic survives
+}
+
+TEST(WallTimerQueue, NotifyRacesHardDeadlineExpiry) {
+  // Hammer notify() from another thread while run() expires on its hard
+  // wall deadline: the loop must exit exactly once, with no hang and no
+  // missed wakeup, whichever side wins the race.
+  LiveClock clock(1.0);
+  WallTimerQueue timers(clock);
+  clock.start();
+  timers.at(minutes(10.0), [](SimTime) {});
+
+  std::atomic<bool> done{false};
+  std::thread hammer([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      timers.notify();
+    }
+  });
+
+  const auto t0 = LiveClock::WallClock::now();
+  // done-predicate never true: only the hard deadline can end the run.
+  timers.run([] { return false; }, t0 + std::chrono::milliseconds(50));
+  const auto wall = LiveClock::WallClock::now() - t0;
+  done.store(true, std::memory_order_release);
+  hammer.join();
+
+  EXPECT_GE(wall, std::chrono::milliseconds(45));
+  EXPECT_LT(wall, std::chrono::seconds(20));  // generous CI margin
+  EXPECT_EQ(timers.pending(), 1u);  // the far-future entry never fired
+}
+
 // -------------------------------------------------------- container worker
 
 /// Records the host callbacks a worker makes, in order, and lets the test
@@ -239,6 +289,161 @@ TEST(LiveRuntime, SmokeDrainsAllJobs) {
   // Arrivals, bus deliveries, and periodic ticks all ride the timer queue.
   EXPECT_GT(r.timer_events, r.result.jobs_submitted);
   EXPECT_DOUBLE_EQ(r.time_scale, 400.0);
+}
+
+// A trace that generates zero arrivals must still start, tick, and drain
+// cleanly — the degenerate case of the replay pump (and the shape of an
+// external serving run where no client ever connects).
+TEST(LiveRuntime, ZeroArrivalTraceDrains) {
+  LiveOptions o;
+  o.time_scale = 400.0;
+  const LiveRunReport r =
+      run_live(live_params(RmConfig::rscale(), 10.0, /*lambda=*/0.0), o);
+  EXPECT_TRUE(r.drained);
+  EXPECT_EQ(r.result.jobs_submitted, 0u);
+  EXPECT_EQ(r.result.jobs_completed, 0u);
+}
+
+// ---------------------------------------------------------- external gate
+
+/// Minimal ExternalArrivalSource: submits `n` requests from its own thread
+/// (the shape of the epoll thread in serving mode), then probes the gate's
+/// rejection contract during stop(), when the runtime has already closed it.
+class StubExternalSource : public ExternalArrivalSource {
+ public:
+  StubExternalSource(std::uint32_t n, std::vector<std::uint32_t> app_indices)
+      : n_(n), app_indices_(std::move(app_indices)) {}
+
+  void start(ExternalGate& gate, const LiveClock&) override {
+    gate_ = &gate;
+    worker_ = std::thread([this] {
+      for (std::uint32_t i = 0; i < n_; ++i) {
+        ExternalRequest req;
+        req.app_index = app_indices_[i % app_indices_.size()];
+        req.input_scale = 1.0;
+        req.tag = i;
+        if (gate_->submit(req) == ExternalGate::Admit::kAccepted) {
+          accepted_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      // Out-of-range app indices are rejected at the gate, not crashed on.
+      ExternalRequest bad;
+      bad.app_index = 0xffffffffu;
+      unknown_rejected_.store(
+          gate_->submit(bad) == ExternalGate::Admit::kUnknownApp,
+          std::memory_order_relaxed);
+      done_.store(true, std::memory_order_release);
+      gate_->wake();
+    });
+  }
+
+  void on_completion(const ExternalCompletion& c) override {
+    completion_order_ok_ =
+        completion_order_ok_ && c.completion_ms >= c.arrival_ms;
+    completions_.fetch_add(1, std::memory_order_release);
+  }
+
+  bool finished() override {
+    return done_.load(std::memory_order_acquire) &&
+           completions_.load(std::memory_order_acquire) ==
+               accepted_.load(std::memory_order_acquire);
+  }
+
+  void stop() override {
+    // The gateway closes the gate before calling stop(): a straggler submit
+    // must bounce with kDraining (the submit-after-drain contract).
+    ExternalRequest late;
+    late.app_index = 0;
+    drain_rejected_ = gate_->submit(late) == ExternalGate::Admit::kDraining;
+    if (worker_.joinable()) worker_.join();
+  }
+
+  std::uint64_t accepted() const {
+    return accepted_.load(std::memory_order_acquire);
+  }
+  std::uint64_t completions() const {
+    return completions_.load(std::memory_order_acquire);
+  }
+  bool unknown_rejected() const {
+    return unknown_rejected_.load(std::memory_order_acquire);
+  }
+  bool drain_rejected() const { return drain_rejected_; }
+  bool completion_order_ok() const { return completion_order_ok_; }
+
+ private:
+  const std::uint32_t n_;
+  const std::vector<std::uint32_t> app_indices_;
+  ExternalGate* gate_ = nullptr;
+  std::thread worker_;
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> completions_{0};
+  std::atomic<bool> done_{false};
+  std::atomic<bool> unknown_rejected_{false};
+  bool drain_rejected_ = false;      // written in stop(), read after run
+  bool completion_order_ok_ = true;  // written under the state lock
+};
+
+TEST(LiveRuntime, ExternalSourceFeedsJobsThroughTheGate) {
+  auto p = live_params(RmConfig::rscale(), 10.0, 5.0);
+  // Only apps in the active mix are servable; map their names to the wire
+  // protocol's registry-order indices.
+  std::vector<std::uint32_t> servable;
+  {
+    std::uint32_t i = 0;
+    for (const auto& chain : p.applications.all()) {
+      for (const auto& entry : p.mix.entries()) {
+        if (entry.app == chain.name) servable.push_back(i);
+      }
+      ++i;
+    }
+  }
+  ASSERT_FALSE(servable.empty());
+  StubExternalSource source(/*n=*/40, servable);
+  LiveOptions o;
+  o.time_scale = 400.0;
+  o.max_wall_seconds = 60.0;
+  o.external_source = &source;
+  const LiveRunReport r = run_live(std::move(p), o);
+
+  EXPECT_TRUE(r.drained);
+  EXPECT_EQ(source.accepted(), 40u);
+  EXPECT_EQ(source.completions(), 40u);
+  EXPECT_EQ(r.result.jobs_submitted, 40u);
+  EXPECT_EQ(r.result.jobs_completed, 40u);
+  EXPECT_TRUE(source.unknown_rejected());
+  EXPECT_TRUE(source.drain_rejected());
+  EXPECT_TRUE(source.completion_order_ok());
+}
+
+// An external source that is finished before submitting anything: the run
+// ends immediately with zero jobs (the serving-mode zero-request drain).
+class EmptyExternalSource : public ExternalArrivalSource {
+ public:
+  void start(ExternalGate& gate, const LiveClock&) override { gate_ = &gate; }
+  void on_completion(const ExternalCompletion&) override {}
+  bool finished() override { return true; }
+  void stop() override {
+    ExternalRequest late;
+    late.app_index = 0;
+    drain_rejected_ = gate_->submit(late) == ExternalGate::Admit::kDraining;
+  }
+  bool drain_rejected() const { return drain_rejected_; }
+
+ private:
+  ExternalGate* gate_ = nullptr;
+  bool drain_rejected_ = false;
+};
+
+TEST(LiveRuntime, ExternalSourceFinishedImmediatelyDrainsEmpty) {
+  auto p = live_params(RmConfig::rscale(), 10.0, 5.0);
+  EmptyExternalSource source;
+  LiveOptions o;
+  o.time_scale = 400.0;
+  o.external_source = &source;
+  const LiveRunReport r = run_live(std::move(p), o);
+  EXPECT_TRUE(r.drained);
+  EXPECT_EQ(r.result.jobs_submitted, 0u);
+  EXPECT_TRUE(source.drain_rejected());
 }
 
 // The full Fifer policy — batching, LSF, reactive + proactive scaling with

@@ -9,14 +9,17 @@
 #                                               test under both sanitizers,
 #                                               zero reports tolerated
 #                                               (-fno-sanitize-recover=all).
-#   leg 3  TSan, -Werror, DCHECKs ON          — the parallel sweep runner
-#                                               and the live-mode runtime
-#                                               must be race-free; runs the
+#   leg 3  TSan, -Werror, DCHECKs ON          — the parallel sweep runner,
+#                                               the live-mode runtime, and
+#                                               the serving front-end must
+#                                               be race-free; runs the
 #                                               sweep-determinism, thread-
 #                                               pool, framework, live
-#                                               runtime, and sync/lock-order
-#                                               suites (TSan is ~10x, so not
-#                                               the full matrix).
+#                                               runtime, net, and sync/lock-
+#                                               order suites (TSan is ~10x,
+#                                               so not the full matrix) plus
+#                                               a cross-process loopback
+#                                               serve smoke.
 #   leg 4  clang -Werror=thread-safety        — compile-time proof that every
 #                                               guarded field is accessed
 #                                               under its lock, plus a
@@ -119,6 +122,12 @@ timeout 30 "$ROOT/build-ci-release/examples/fifer_cli" \
 echo "==== [release] perf smoke (zero-alloc probe + BENCH_scale.json refresh)"
 "$ROOT/build-ci-release/bench/bench_scale" duration_s=5 \
   json_out="$ROOT/BENCH_scale.json"
+# Serving-path perf smoke (DESIGN.md §5h): bench_serve's epoll probe must
+# show a zero-allocation accept→dispatch→respond cycle and the loopback
+# serve+loadgen e2e must drain cleanly; refreshes BENCH_serve.json.
+echo "==== [release] serving perf smoke (epoll zero-alloc probe + BENCH_serve.json refresh)"
+"$ROOT/build-ci-release/bench/bench_serve" probe_requests=10000 \
+  e2e_requests=1000 json_out="$ROOT/BENCH_serve.json"
 echo "==== [release] StatsDb hot-path microbenchmarks"
 "$ROOT/build-ci-release/bench/bench_overheads" \
   --benchmark_filter='BM_StatsDb'
@@ -137,9 +146,55 @@ cmake -B "$ROOT/build-ci-tsan" -S "$ROOT" \
   -DFIFER_SANITIZE=thread
 echo "==== [tsan] build"
 cmake --build "$ROOT/build-ci-tsan" -j "$JOBS"
-echo "==== [tsan] test (thread pool + parallel sweeps + framework + live runtime)"
+echo "==== [tsan] test (thread pool + parallel sweeps + framework + live runtime + net)"
 ctest --test-dir "$ROOT/build-ci-tsan" --output-on-failure -j "$JOBS" \
-  -R 'ThreadPool|ParallelForIndex|SweepParallel|GridSweep|Sweep\.|Framework\.|LiveClock|WallTimerQueue|LiveContainer|LiveRuntime|Sync'
+  -R 'ThreadPool|ParallelForIndex|SweepParallel|GridSweep|Sweep\.|Framework\.|LiveClock|WallTimerQueue|LiveContainer|LiveRuntime|Sync|Wire\.|Listener\.|Poller\.|Server\.|ServeSession'
+
+# Loopback serve smoke under TSan: one fifer_cli process serving over TCP,
+# a second one load-generating against it — the full cross-process drain
+# handshake with every data-race check live. Ports are picked from the
+# ephemeral range and retried on EADDRINUSE (exit status 3 is the CLI's
+# listen-failure contract).
+serve_smoke() {
+  local bin="$1" log="$2" attempt port pid rc lg_rc
+  local args=(policy=rscale trace=poisson duration_s=10 lambda=5 warmup_s=2
+              epochs=2 --live=200 max_wall_s=120)
+  for attempt in 1 2 3 4 5; do
+    port=$((20000 + RANDOM % 20000))
+    : > "$log"
+    "$bin" "${args[@]}" --serve="$port" > "$log" 2>&1 &
+    pid=$!
+    # Wait for the listener announcement (or an early exit).
+    for _ in $(seq 1 300); do
+      grep -q "serving on port" "$log" 2>/dev/null && break
+      kill -0 "$pid" 2>/dev/null || break
+      sleep 0.1
+    done
+    if ! kill -0 "$pid" 2>/dev/null; then
+      rc=0; wait "$pid" || rc=$?
+      if [ "$rc" -eq 3 ]; then
+        echo "serve smoke: port $port in use; retrying"
+        continue
+      fi
+      echo "serve smoke: server exited $rc before listening" >&2
+      cat "$log" >&2
+      return 1
+    fi
+    lg_rc=0
+    "$bin" "${args[@]}" --loadgen="127.0.0.1:$port" >/dev/null 2>&1 || lg_rc=$?
+    rc=0; wait "$pid" || rc=$?
+    if [ "$lg_rc" -eq 0 ] && [ "$rc" -eq 0 ]; then
+      return 0
+    fi
+    echo "serve smoke: loadgen exit $lg_rc, server exit $rc" >&2
+    cat "$log" >&2
+    return 1
+  done
+  echo "serve smoke: no free port after 5 attempts" >&2
+  return 1
+}
+echo "==== [tsan] loopback serve smoke (TCP serve + loadgen drain handshake)"
+serve_smoke "$ROOT/build-ci-tsan/examples/fifer_cli" "$ROOT/build-ci-tsan/serve-smoke.log"
 
 # Leg 4: clang compile-time thread-safety analysis. Builds everything with
 # -Wthread-safety promoted to errors (the FIFER_THREAD_SAFETY option), then

@@ -75,6 +75,21 @@ if [ -n "$RAW_SYNC" ]; then
   printf '%s\n' "$RAW_SYNC" >&2
 fi
 
+# Raw socket / epoll syscalls: every network syscall in src/ lives in
+# src/net/ (socket.cpp is the single capability boundary — see DESIGN.md
+# §5h), so portability fixes, fd hygiene, and instrumentation have one home.
+# The rule bans both the system headers and the syscall spellings; `bind` is
+# deliberately not matched (std::bind false positives).
+RAW_NET=$(grep -rnE \
+  '#include[[:space:]]*<(sys/socket\.h|sys/epoll\.h|netinet/[a-z_/]+\.h|arpa/inet\.h)>|[^_[:alnum:]](socket|accept4?|epoll_(create1?|ctl|wait)|eventfd)[[:space:]]*\(' \
+  "$ROOT/src" --include='*.cpp' --include='*.hpp' |
+  grep -v "^$ROOT/src/net/" |
+  grep -vE '^\s*[^:]*:[0-9]+:\s*(//|\*)' || true)
+if [ -n "$RAW_NET" ]; then
+  fail "raw socket/epoll use outside src/net/ (route networking through fifer::net):"
+  printf '%s\n' "$RAW_NET" >&2
+fi
+
 MISSING_PRAGMA=$(find "$ROOT/src" -name '*.hpp' -print0 |
   xargs -0 grep -L '#pragma once' || true)
 if [ -n "$MISSING_PRAGMA" ]; then
