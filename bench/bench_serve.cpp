@@ -197,13 +197,16 @@ struct E2eResult {
   double rtt_p50_ms = 0.0;
   double rtt_p95_ms = 0.0;
   double rtt_p99_ms = 0.0;
+  double rtt_p999_ms = 0.0;
+  std::uint64_t rtt_samples = 0;
   double slo_attainment_pct = 0.0;
   bool drained = false;
   bool completed = false;
 };
 
 E2eResult loopback_e2e(std::uint64_t requests, std::size_t connections,
-                       std::size_t window, double time_scale) {
+                       std::size_t window, double time_scale,
+                       std::uint64_t warmup) {
   ExperimentParams p;
   p.rm = RmConfig::fifer();
   p.mix = WorkloadMix::heavy();
@@ -238,6 +241,7 @@ E2eResult loopback_e2e(std::uint64_t requests, std::size_t connections,
   lg.closed_window = window;
   lg.time_scale = time_scale;
   lg.timeout_seconds = 120.0;
+  lg.warmup_requests = warmup;
   const LoadGenReport client = run_loadgen(p, lg);
   serving.join();
 
@@ -248,6 +252,8 @@ E2eResult loopback_e2e(std::uint64_t requests, std::size_t connections,
   out.rtt_p50_ms = client.rtt_p50_ms;
   out.rtt_p95_ms = client.rtt_p95_ms;
   out.rtt_p99_ms = client.rtt_p99_ms;
+  out.rtt_p999_ms = client.rtt_p999_ms;
+  out.rtt_samples = client.rtt_samples;
   out.slo_attainment_pct = serve.slo_attainment_pct;
   out.drained = serve.live.drained;
   out.completed = client.completed;
@@ -279,6 +285,8 @@ void write_json(const std::string& path, const ProbeResult& probe,
       << "    \"rtt_p50_ms\": " << e2e.rtt_p50_ms << ",\n"
       << "    \"rtt_p95_ms\": " << e2e.rtt_p95_ms << ",\n"
       << "    \"rtt_p99_ms\": " << e2e.rtt_p99_ms << ",\n"
+      << "    \"rtt_p999_ms\": " << e2e.rtt_p999_ms << ",\n"
+      << "    \"rtt_samples\": " << e2e.rtt_samples << ",\n"
       << "    \"slo_attainment_pct\": " << e2e.slo_attainment_pct << ",\n"
       << "    \"drained\": " << (e2e.drained ? "true" : "false") << ",\n"
       << "    \"completed\": " << (e2e.completed ? "true" : "false")
@@ -297,6 +305,9 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(cfg.get_int("conns", 4));
   const auto window = static_cast<std::size_t>(cfg.get_int("window", 8));
   const double time_scale = cfg.get_double("time_scale", 100.0);
+  // RTT samples from the first `warmup` responses are discarded so cold
+  // connections / first-touch page-ins do not pollute the reported tail.
+  const auto warmup = static_cast<std::uint64_t>(cfg.get_int("warmup", 100));
   const std::string json_out = cfg.get_string("json_out", "");
 
   std::cout << "bench_serve: steady-state probe (" << probe_requests
@@ -310,10 +321,12 @@ int main(int argc, char** argv) {
             << " closed-loop requests, " << connections << " conns, window "
             << window << ")...\n";
   const E2eResult e2e =
-      loopback_e2e(e2e_requests, connections, window, time_scale);
-  std::cout << "  achieved req/s:     " << e2e.achieved_rps << "\n"
-            << "  RTT p50/p95/p99 ms: " << e2e.rtt_p50_ms << " / "
-            << e2e.rtt_p95_ms << " / " << e2e.rtt_p99_ms << "\n"
+      loopback_e2e(e2e_requests, connections, window, time_scale, warmup);
+  std::cout << "  achieved req/s:           " << e2e.achieved_rps << "\n"
+            << "  RTT p50/p95/p99/p99.9 ms: " << e2e.rtt_p50_ms << " / "
+            << e2e.rtt_p95_ms << " / " << e2e.rtt_p99_ms << " / "
+            << e2e.rtt_p999_ms << " (over " << e2e.rtt_samples
+            << " post-warmup samples)\n"
             << "  SLO attainment %:   " << e2e.slo_attainment_pct << "\n"
             << "  drained/completed:  " << e2e.drained << "/" << e2e.completed
             << "\n";

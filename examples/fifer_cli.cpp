@@ -52,6 +52,8 @@
 //                         open-loop plan replay
 //   closed_requests [1000]  window [1]   closed-loop total and per-conn window
 //   timeout_s [60]        load generator: wall budget
+//   lg_warmup [0]         load generator: discard RTT samples from the first
+//                         N responses before computing percentiles
 //   mix [heavy]           heavy|medium|light
 //   trace [wits]          poisson|drift|wits|wiki|step|file
 //   trace_file            input path when trace=file
@@ -295,6 +297,8 @@ int run_cli(int argc, char** argv) {
       static_cast<std::uint64_t>(cfg.get_int("closed_requests", 1000));
   lg_opts.closed_window = static_cast<std::size_t>(cfg.get_int("window", 1));
   lg_opts.timeout_seconds = cfg.get_double("timeout_s", 60.0);
+  lg_opts.warmup_requests =
+      static_cast<std::uint64_t>(cfg.get_int("lg_warmup", 0));
   lg_opts.time_scale = live_scale;
   if (serve_mode && (serve_port < 0 || serve_port > 65535)) {
     throw fifer::CliError("--serve port must be 0..65535");
@@ -349,6 +353,8 @@ int run_cli(int argc, char** argv) {
     t.add_row({"RTT p50 ms", fifer::fmt(r.rtt_p50_ms, 2)});
     t.add_row({"RTT p95 ms", fifer::fmt(r.rtt_p95_ms, 2)});
     t.add_row({"RTT p99 ms", fifer::fmt(r.rtt_p99_ms, 2)});
+    t.add_row({"RTT p99.9 ms", fifer::fmt(r.rtt_p999_ms, 2)});
+    t.add_row({"RTT samples (post-warmup)", std::to_string(r.rtt_samples)});
     t.print(std::cout);
     return r.completed ? 0 : 1;
   }

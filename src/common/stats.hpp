@@ -57,6 +57,7 @@ class Percentiles {
   double median() const { return quantile(0.50); }
   double p95() const { return quantile(0.95); }
   double p99() const { return quantile(0.99); }
+  double p999() const { return quantile(0.999); }
   double min() const { return quantile(0.0); }
   double max() const { return quantile(1.0); }
   double mean() const;

@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -148,11 +149,19 @@ LoadGenReport run_loadgen(const std::vector<Arrival>& plan,
       report.achieved_rps =
           static_cast<double>(report.received) / report.wall_seconds;
     }
+    // RTT samples sit in response-arrival order, so the warmup prefix is
+    // simply the first N entries; drop it before computing the tail.
+    const std::size_t skip = std::min<std::size_t>(
+        static_cast<std::size_t>(opts.warmup_requests), tally.rtt_ms.size());
     Percentiles rtt;
-    rtt.add_all(tally.rtt_ms);
+    for (std::size_t i = skip; i < tally.rtt_ms.size(); ++i) {
+      rtt.add(tally.rtt_ms[i]);
+    }
+    report.rtt_samples = rtt.count();
     report.rtt_p50_ms = rtt.median();
     report.rtt_p95_ms = rtt.p95();
     report.rtt_p99_ms = rtt.p99();
+    report.rtt_p999_ms = rtt.p999();
     report.rtt_max_ms = rtt.max();
     return report;
   };

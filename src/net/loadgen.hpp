@@ -40,6 +40,11 @@ struct LoadGenOptions {
   std::size_t closed_window = 1;
   /// Wall budget; the run aborts (completed = false) when it expires.
   double timeout_seconds = 60.0;
+  /// RTT samples from the first `warmup_requests` responses (in arrival
+  /// order) are discarded before the percentiles are computed, so cold
+  /// connections, cold containers, and page-in noise do not pollute the
+  /// tail. Counters (sent/received/ok/...) still cover the whole run.
+  std::uint64_t warmup_requests = 0;
 };
 
 struct LoadGenReport {
@@ -54,11 +59,15 @@ struct LoadGenReport {
   double wall_seconds = 0.0;
   double achieved_rps = 0.0;  ///< received / wall_seconds.
 
-  /// Client-observed round trip (send -> response parsed), wall ms.
+  /// Client-observed round trip (send -> response parsed), wall ms, over
+  /// the post-warmup samples (see LoadGenOptions::warmup_requests).
   double rtt_p50_ms = 0.0;
   double rtt_p95_ms = 0.0;
   double rtt_p99_ms = 0.0;
+  double rtt_p999_ms = 0.0;
   double rtt_max_ms = 0.0;
+  /// Post-warmup sample count the percentiles above are computed from.
+  std::uint64_t rtt_samples = 0;
 };
 
 /// Fires `plan` at host:port per `opts` and blocks until done (all

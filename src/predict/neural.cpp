@@ -3,41 +3,37 @@
 #include <algorithm>
 #include <cmath>
 #include <fstream>
+#include <optional>
 #include <stdexcept>
 
 #include "common/check.hpp"
+#include "common/thread_pool.hpp"
 #include "predict/nn/serialize.hpp"
 
 namespace fifer {
 
 namespace {
 
-/// Left-pads (with the earliest value) or truncates `window` to `len`.
-std::vector<double> fit_window(const std::vector<double>& window, std::size_t len) {
-  std::vector<double> out(len, window.empty() ? 0.0 : window.front());
+/// Left-pads (with the earliest value) or truncates `window` to `len`,
+/// writing into a caller-owned buffer (no allocation once `out` has
+/// capacity — forecast() reuses one buffer across calls).
+void fit_window_into(const std::vector<double>& window, std::size_t len,
+                     std::vector<double>& out) {
+  out.assign(len, window.empty() ? 0.0 : window.front());
   const std::size_t n = std::min(len, window.size());
   for (std::size_t i = 0; i < n; ++i) {
     out[len - 1 - i] = window[window.size() - 1 - i];
   }
-  return out;
-}
-
-/// Lifts a scalar series into per-timestep 1-vectors for recurrent layers.
-std::vector<nn::Vec> to_sequence(const std::vector<double>& window) {
-  std::vector<nn::Vec> seq;
-  seq.reserve(window.size());
-  for (const double v : window) seq.push_back(nn::Vec{v});
-  return seq;
 }
 
 }  // namespace
 
 double NeuralPredictor::train_example(const std::vector<double>& window, double target) {
-  const double pred = forward(window);
-  nn::Vec dpred;
-  const double loss = nn::mse_loss({pred}, {target}, dpred);
-  backward(dpred[0]);
-  return loss;
+  // Scalar MSE inlined: for a 1-element prediction, loss = d^2 and
+  // dLoss/dpred = 2d exactly (the generic mse_loss divides both by n = 1).
+  const double d = forward(window) - target;
+  backward(2.0 * d);
+  return d * d;
 }
 
 void NeuralPredictor::train(const std::vector<double>& rate_history) {
@@ -50,21 +46,112 @@ void NeuralPredictor::train(const std::vector<double>& rate_history) {
   scale_ = ds.scale;
 
   nn::Adam opt(params(), cfg_.learning_rate);
+  const std::size_t shards = std::max<std::size_t>(1, cfg_.train_shards);
+  if (shards > 1) {
+    train_sharded(ds, opt, shards);
+  } else {
+    // The legacy strictly-sequential per-example loop — the golden-digest
+    // fidelity suite pins this path bit for bit.
+    for (std::size_t epoch = 0; epoch < cfg_.epochs; ++epoch) {
+      double epoch_loss = 0.0;
+      for (std::size_t e = 0; e < ds.size(); ++e) {
+        epoch_loss += train_example(ds.inputs[e], ds.targets[e]);
+        opt.clip_gradients(cfg_.grad_clip);
+        opt.step();
+      }
+      final_loss_ = epoch_loss / static_cast<double>(ds.size());
+      // Divergence trap: a NaN/inf epoch loss means training blew up (bad
+      // inputs or exploding gradients); the model would silently forecast
+      // garbage from here on.
+      FIFER_CHECK_FINITE(final_loss_, kPredict)
+          << "training diverged at epoch " << epoch;
+    }
+  }
+  trained_ = true;
+}
+
+void NeuralPredictor::train_sharded(const SequenceDataset& ds, nn::Adam& opt,
+                                    std::size_t shards) {
+  // One model replica per shard, living across all epochs. Each replica is
+  // a full deep copy with its own (initially empty) Workspace arena; only
+  // the master's weights matter — replicas are re-synced every round.
+  std::vector<std::unique_ptr<NeuralPredictor>> replicas;
+  std::vector<std::vector<nn::ParamRef>> shard_params;
+  replicas.reserve(shards);
+  shard_params.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    replicas.push_back(replicate());
+    shard_params.push_back(replicas.back()->params());
+  }
+  const std::vector<nn::ParamRef> master = params();
+
+  std::size_t jobs = cfg_.train_jobs;
+  if (jobs == 0) jobs = std::min(shards, default_jobs());
+  jobs = std::min(jobs, shards);
+  // One pool for the whole call: parallel_for_index spawns threads per
+  // invocation, far too expensive for a per-round barrier.
+  std::optional<ThreadPool> pool;
+  if (jobs > 1) pool.emplace(jobs);
+
+  std::vector<double> shard_loss(shards, 0.0);
+
   for (std::size_t epoch = 0; epoch < cfg_.epochs; ++epoch) {
     double epoch_loss = 0.0;
-    for (std::size_t e = 0; e < ds.size(); ++e) {
-      epoch_loss += train_example(ds.inputs[e], ds.targets[e]);
+    for (std::size_t base = 0; base < ds.size(); base += shards) {
+      const std::size_t k = std::min(shards, ds.size() - base);
+
+      // Sync master weights into the active replicas and clear their
+      // gradient accumulators (the optimizer only zeroes the master's).
+      for (std::size_t s = 0; s < k; ++s) {
+        for (std::size_t p = 0; p < master.size(); ++p) {
+          *shard_params[s][p].value = *master[p].value;
+          shard_params[s][p].grad->fill(0.0);
+        }
+      }
+
+      // Evaluate shard gradients — embarrassingly parallel, and safe to
+      // schedule in any order: each shard touches only its own replica and
+      // its own loss slot, so thread interleaving cannot affect values.
+      const auto run_shard = [&](std::size_t s) {
+        shard_loss[s] =
+            replicas[s]->train_example(ds.inputs[base + s], ds.targets[base + s]);
+      };
+      if (pool && k > 1) {
+        for (std::size_t s = 0; s < k; ++s) {
+          pool->submit([&run_shard, s] { run_shard(s); });
+        }
+        pool->wait_idle();
+      } else {
+        for (std::size_t s = 0; s < k; ++s) run_shard(s);
+      }
+
+      // Ordered reduction: fold shard gradients into the master in fixed
+      // shard order, then average. Determinism rests entirely here — the
+      // summation order depends only on the shard count, never on which
+      // thread finished first.
+      for (std::size_t p = 0; p < master.size(); ++p) {
+        double* g = master[p].grad->data();
+        const std::size_t n = master[p].grad->size();
+        const double* g0 = shard_params[0][p].grad->data();
+        for (std::size_t i = 0; i < n; ++i) g[i] = g0[i];
+        for (std::size_t s = 1; s < k; ++s) {
+          const double* gs = shard_params[s][p].grad->data();
+          for (std::size_t i = 0; i < n; ++i) g[i] += gs[i];
+        }
+        if (k > 1) {
+          const double inv_k = 1.0 / static_cast<double>(k);
+          for (std::size_t i = 0; i < n; ++i) g[i] *= inv_k;
+        }
+      }
+      for (std::size_t s = 0; s < k; ++s) epoch_loss += shard_loss[s];
+
       opt.clip_gradients(cfg_.grad_clip);
       opt.step();
     }
     final_loss_ = epoch_loss / static_cast<double>(ds.size());
-    // Divergence trap: a NaN/inf epoch loss means training blew up (bad
-    // inputs or exploding gradients); the model would silently forecast
-    // garbage from here on.
     FIFER_CHECK_FINITE(final_loss_, kPredict)
         << "training diverged at epoch " << epoch;
   }
-  trained_ = true;
 }
 
 void NeuralPredictor::save(const std::string& path) {
@@ -85,9 +172,9 @@ double NeuralPredictor::forecast(const std::vector<double>& recent_rates) {
   if (!trained_) {
     throw std::logic_error("NeuralPredictor::forecast: train() first");
   }
-  std::vector<double> window = fit_window(recent_rates, cfg_.input_window);
-  for (double& v : window) v /= scale_;
-  const double pred = forward(window);
+  fit_window_into(recent_rates, cfg_.input_window, window_buf_);
+  for (double& v : window_buf_) v /= scale_;
+  const double pred = forward(window_buf_);
   const double rps = std::max(0.0, pred * scale_);
   // Forecast contract: the provisioner sizes container fleets from this
   // value, so it must be a finite, non-negative rate.
@@ -104,17 +191,22 @@ SimpleFfPredictor::SimpleFfPredictor(const TrainConfig& cfg, std::size_t hidden)
       head_(hidden, 1, nn::Dense::Activation::kLinear, rng_) {}
 
 double SimpleFfPredictor::forward(const std::vector<double>& window) {
-  return head_.forward(hidden_.forward(window))[0];
+  ws_.reset();
+  return head_.forward(hidden_.forward(window.data(), ws_), ws_)[0];
 }
 
 void SimpleFfPredictor::backward(double dpred) {
-  hidden_.backward(head_.backward({dpred}));
+  hidden_.backward(head_.backward(&dpred, ws_), ws_);
 }
 
 std::vector<nn::ParamRef> SimpleFfPredictor::params() {
   auto out = hidden_.params();
   for (auto& p : head_.params()) out.push_back(p);
   return out;
+}
+
+std::unique_ptr<NeuralPredictor> SimpleFfPredictor::replicate() const {
+  return std::make_unique<SimpleFfPredictor>(*this);
 }
 
 // -------------------------------------------------------------------- LSTM
@@ -131,21 +223,26 @@ LstmPredictor::LstmPredictor(const TrainConfig& cfg, std::size_t hidden,
 }
 
 double LstmPredictor::forward(const std::vector<double>& window) {
-  std::vector<nn::Vec> seq = to_sequence(window);
-  last_seq_len_ = seq.size();
-  for (auto& layer : lstms_) seq = layer.forward(seq);
-  return head_.forward(seq.back())[0];
+  ws_.reset();
+  last_seq_len_ = window.size();
+  // A scalar window IS a [T x 1] sequence — no per-timestep Vec lifting.
+  const double* seq = window.data();
+  for (auto& layer : lstms_) seq = layer.forward(seq, last_seq_len_, ws_);
+  const std::size_t h = lstms_.back().hidden_dim();
+  return head_.forward(seq + (last_seq_len_ - 1) * h, ws_)[0];
 }
 
 void LstmPredictor::backward(double dpred) {
   // Loss touches only the final timestep of the top layer; each layer's
   // input gradients are exactly the hidden-output gradients of the layer
   // below, so the sequence-shaped gradient cascades straight down the stack.
-  std::vector<nn::Vec> dh_seq(last_seq_len_,
-                              nn::Vec(lstms_.back().hidden_dim(), 0.0));
-  dh_seq.back() = head_.backward({dpred});
+  const std::size_t h = lstms_.back().hidden_dim();
+  const double* d_last = head_.backward(&dpred, ws_);
+  double* dh_seq = ws_.alloc0(last_seq_len_ * h);
+  for (std::size_t j = 0; j < h; ++j) dh_seq[(last_seq_len_ - 1) * h + j] = d_last[j];
+  const double* d = dh_seq;
   for (std::size_t l = lstms_.size(); l-- > 0;) {
-    dh_seq = lstms_[l].backward(dh_seq);
+    d = lstms_[l].backward(d, last_seq_len_, ws_);
   }
 }
 
@@ -156,6 +253,10 @@ std::vector<nn::ParamRef> LstmPredictor::params() {
   }
   for (auto& p : head_.params()) out.push_back(p);
   return out;
+}
+
+std::unique_ptr<NeuralPredictor> LstmPredictor::replicate() const {
+  return std::make_unique<LstmPredictor>(*this);
 }
 
 // ------------------------------------------------------------------ DeepAR
@@ -170,41 +271,52 @@ DeepArPredictor::DeepArPredictor(const TrainConfig& cfg, std::size_t hidden,
       forecast_samples_(std::max<std::size_t>(1, forecast_samples)) {}
 
 double DeepArPredictor::forward(const std::vector<double>& window) {
-  std::vector<nn::Vec> seq = to_sequence(window);
-  last_seq_len_ = seq.size();
-  const std::vector<nn::Vec> hs = gru_.forward(seq);
-  last_pred_ = head_.forward(hs.back());
+  ws_.reset();
+  last_seq_len_ = window.size();
+  const std::size_t h = gru_.hidden_dim();
+  const double* hs = gru_.forward(window.data(), last_seq_len_, ws_);
+  const double* pred = head_.forward(hs + (last_seq_len_ - 1) * h, ws_);
+  last_pred_[0] = pred[0];
+  last_pred_[1] = pred[1];
   last_mu_ = last_pred_[0] * scale_;
   const double sigma_norm = std::exp(std::clamp(last_pred_[1], -5.0, 5.0));
   last_sigma_ = sigma_norm * scale_;
   if (!trained_) return last_pred_[0];  // during training: analytic mean
   // Inference: median of a few draws from N(mu, sigma), as DeepAR samples
   // its forecast paths.
-  std::vector<double> draws(forecast_samples_);
-  for (double& d : draws) d = last_pred_[0] + sigma_norm * sample_rng_.normal(0.0, 1.0);
-  std::nth_element(draws.begin(), draws.begin() + static_cast<std::ptrdiff_t>(draws.size() / 2),
-                   draws.end());
-  return draws[draws.size() / 2];
+  draws_buf_.resize(forecast_samples_);
+  for (double& d : draws_buf_) {
+    d = last_pred_[0] + sigma_norm * sample_rng_.normal(0.0, 1.0);
+  }
+  std::nth_element(
+      draws_buf_.begin(),
+      draws_buf_.begin() + static_cast<std::ptrdiff_t>(draws_buf_.size() / 2),
+      draws_buf_.end());
+  return draws_buf_[draws_buf_.size() / 2];
 }
 
 void DeepArPredictor::backward(double dpred) {
   // MSE path (only used if someone trains DeepAR with the default hook):
   // gradient flows into mu only.
-  nn::Vec dh_last = head_.backward({dpred, 0.0});
-  std::vector<nn::Vec> dh_seq(last_seq_len_, nn::Vec(gru_.hidden_dim(), 0.0));
-  dh_seq.back() = dh_last;
-  gru_.backward(dh_seq);
+  dpred_buf_.resize(2);
+  dpred_buf_[0] = dpred;
+  dpred_buf_[1] = 0.0;
+  const std::size_t h = gru_.hidden_dim();
+  const double* dh_last = head_.backward(dpred_buf_.data(), ws_);
+  double* dh_seq = ws_.alloc0(last_seq_len_ * h);
+  for (std::size_t j = 0; j < h; ++j) dh_seq[(last_seq_len_ - 1) * h + j] = dh_last[j];
+  gru_.backward(dh_seq, last_seq_len_, ws_);
 }
 
 double DeepArPredictor::train_example(const std::vector<double>& window,
                                       double target) {
   forward(window);
-  nn::Vec dpred;
-  const double loss = nn::gaussian_nll_loss(last_pred_, target, dpred);
-  nn::Vec dh_last = head_.backward(dpred);
-  std::vector<nn::Vec> dh_seq(last_seq_len_, nn::Vec(gru_.hidden_dim(), 0.0));
-  dh_seq.back() = dh_last;
-  gru_.backward(dh_seq);
+  const double loss = nn::gaussian_nll_loss(last_pred_, target, dpred_buf_);
+  const std::size_t h = gru_.hidden_dim();
+  const double* dh_last = head_.backward(dpred_buf_.data(), ws_);
+  double* dh_seq = ws_.alloc0(last_seq_len_ * h);
+  for (std::size_t j = 0; j < h; ++j) dh_seq[(last_seq_len_ - 1) * h + j] = dh_last[j];
+  gru_.backward(dh_seq, last_seq_len_, ws_);
   return loss;
 }
 
@@ -212,6 +324,10 @@ std::vector<nn::ParamRef> DeepArPredictor::params() {
   auto out = gru_.params();
   for (auto& p : head_.params()) out.push_back(p);
   return out;
+}
+
+std::unique_ptr<NeuralPredictor> DeepArPredictor::replicate() const {
+  return std::make_unique<DeepArPredictor>(*this);
 }
 
 // ----------------------------------------------------------------- WaveNet
@@ -230,18 +346,22 @@ WaveNetPredictor::WaveNetPredictor(const TrainConfig& cfg, std::size_t channels)
 }
 
 double WaveNetPredictor::forward(const std::vector<double>& window) {
-  std::vector<nn::Vec> seq = to_sequence(window);
-  last_seq_len_ = seq.size();
-  for (auto& conv : convs_) seq = conv.forward(seq);
-  return head_.forward(seq.back())[0];
+  ws_.reset();
+  last_seq_len_ = window.size();
+  const double* seq = window.data();
+  for (auto& conv : convs_) seq = conv.forward(seq, last_seq_len_, ws_);
+  const std::size_t ch = convs_.back().out_channels();
+  return head_.forward(seq + (last_seq_len_ - 1) * ch, ws_)[0];
 }
 
 void WaveNetPredictor::backward(double dpred) {
-  nn::Vec d_last = head_.backward({dpred});
-  std::vector<nn::Vec> dy(last_seq_len_, nn::Vec(convs_.back().out_channels(), 0.0));
-  dy.back() = d_last;
+  const std::size_t ch = convs_.back().out_channels();
+  const double* d_last = head_.backward(&dpred, ws_);
+  double* dy = ws_.alloc0(last_seq_len_ * ch);
+  for (std::size_t j = 0; j < ch; ++j) dy[(last_seq_len_ - 1) * ch + j] = d_last[j];
+  const double* d = dy;
   for (std::size_t c = convs_.size(); c-- > 0;) {
-    dy = convs_[c].backward(dy);
+    d = convs_[c].backward(d, last_seq_len_, ws_);
   }
 }
 
@@ -252,6 +372,10 @@ std::vector<nn::ParamRef> WaveNetPredictor::params() {
   }
   for (auto& p : head_.params()) out.push_back(p);
   return out;
+}
+
+std::unique_ptr<NeuralPredictor> WaveNetPredictor::replicate() const {
+  return std::make_unique<WaveNetPredictor>(*this);
 }
 
 }  // namespace fifer

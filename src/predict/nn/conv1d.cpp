@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/check.hpp"
+
 namespace fifer::nn {
 
 CausalConv1d::CausalConv1d(std::size_t in_channels, std::size_t out_channels,
@@ -22,21 +24,23 @@ CausalConv1d::CausalConv1d(std::size_t in_channels, std::size_t out_channels,
   }
 }
 
-std::vector<Vec> CausalConv1d::forward(const std::vector<Vec>& xs) {
-  x_cache_ = xs;
-  y_cache_.assign(xs.size(), Vec(out_ch_, 0.0));
-  for (std::size_t t = 0; t < xs.size(); ++t) {
-    if (xs[t].size() != in_ch_) throw std::invalid_argument("CausalConv1d: bad channels");
-    Vec& y = y_cache_[t];
+const double* CausalConv1d::forward(const double* xs, std::size_t seq_len,
+                                    Workspace& ws) {
+  x_ = xs;
+  seq_len_ = seq_len;
+  y_ = ws.alloc(seq_len * out_ch_);
+  for (std::size_t t = 0; t < seq_len; ++t) {
+    double* y = y_ + t * out_ch_;
     for (std::size_t o = 0; o < out_ch_; ++o) {
+      const double* wo = w_.data() + o * in_ch_ * kernel_;
       double acc = b_(o, 0);
       for (std::size_t k = 0; k < kernel_; ++k) {
         const std::ptrdiff_t src =
             static_cast<std::ptrdiff_t>(t) - static_cast<std::ptrdiff_t>(k * dilation_);
         if (src < 0) continue;  // causal zero padding
-        const Vec& x = xs[static_cast<std::size_t>(src)];
+        const double* x = xs + static_cast<std::size_t>(src) * in_ch_;
         for (std::size_t i = 0; i < in_ch_; ++i) {
-          acc += w_(o, i * kernel_ + k) * x[i];
+          acc += wo[i * kernel_ + k] * x[i];
         }
       }
       switch (act_) {
@@ -46,38 +50,41 @@ std::vector<Vec> CausalConv1d::forward(const std::vector<Vec>& xs) {
       }
     }
   }
-  return y_cache_;
+  return y_;
 }
 
-std::vector<Vec> CausalConv1d::backward(const std::vector<Vec>& dy_seq) {
-  if (dy_seq.size() != x_cache_.size()) {
-    throw std::invalid_argument("CausalConv1d::backward: sequence length mismatch");
-  }
-  std::vector<Vec> dx(x_cache_.size(), Vec(in_ch_, 0.0));
-  for (std::size_t t = 0; t < dy_seq.size(); ++t) {
+const double* CausalConv1d::backward(const double* dy_seq, std::size_t seq_len,
+                                     Workspace& ws) {
+  FIFER_DCHECK_EQ(seq_len, seq_len_, kPredict)
+      << "CausalConv1d::backward: sequence length mismatch";
+  double* dx_seq = ws.alloc0(seq_len * in_ch_);
+  for (std::size_t t = 0; t < seq_len; ++t) {
     for (std::size_t o = 0; o < out_ch_; ++o) {
-      double dz = dy_seq[t][o];
+      double dz = dy_seq[t * out_ch_ + o];
+      const double y = y_[t * out_ch_ + o];
       switch (act_) {
         case Activation::kLinear: break;
-        case Activation::kTanh: dz *= 1.0 - y_cache_[t][o] * y_cache_[t][o]; break;
-        case Activation::kRelu: dz *= y_cache_[t][o] > 0.0 ? 1.0 : 0.0; break;
+        case Activation::kTanh: dz *= 1.0 - y * y; break;
+        case Activation::kRelu: dz *= y > 0.0 ? 1.0 : 0.0; break;
       }
       if (dz == 0.0) continue;
       db_(o, 0) += dz;
+      double* dwo = dw_.data() + o * in_ch_ * kernel_;
+      const double* wo = w_.data() + o * in_ch_ * kernel_;
       for (std::size_t k = 0; k < kernel_; ++k) {
         const std::ptrdiff_t src =
             static_cast<std::ptrdiff_t>(t) - static_cast<std::ptrdiff_t>(k * dilation_);
         if (src < 0) continue;
-        const Vec& x = x_cache_[static_cast<std::size_t>(src)];
-        Vec& dxi = dx[static_cast<std::size_t>(src)];
+        const double* x = x_ + static_cast<std::size_t>(src) * in_ch_;
+        double* dxi = dx_seq + static_cast<std::size_t>(src) * in_ch_;
         for (std::size_t i = 0; i < in_ch_; ++i) {
-          dw_(o, i * kernel_ + k) += dz * x[i];
-          dxi[i] += dz * w_(o, i * kernel_ + k);
+          dwo[i * kernel_ + k] += dz * x[i];
+          dxi[i] += dz * wo[i * kernel_ + k];
         }
       }
     }
   }
-  return dx;
+  return dx_seq;
 }
 
 std::vector<ParamRef> CausalConv1d::params() {

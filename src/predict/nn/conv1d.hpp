@@ -4,6 +4,7 @@
 
 #include "predict/nn/layer.hpp"
 #include "predict/nn/matrix.hpp"
+#include "predict/nn/workspace.hpp"
 
 namespace fifer::nn {
 
@@ -13,6 +14,9 @@ namespace fifer::nn {
 /// t, t-d, t-2d, ... (zero-padded before the sequence start), so stacking
 /// layers with dilations 1, 2, 4, 8 gives an exponentially growing causal
 /// receptive field.
+///
+/// Sequences are flat [T x channels] Workspace spans, like the recurrent
+/// layers (DESIGN.md §5i); forward() caches arena pointers for backward().
 class CausalConv1d {
  public:
   enum class Activation { kLinear, kTanh, kRelu };
@@ -25,11 +29,14 @@ class CausalConv1d {
   std::size_t kernel() const { return kernel_; }
   std::size_t dilation() const { return dilation_; }
 
-  /// Convolves the whole sequence; same length out as in.
-  std::vector<Vec> forward(const std::vector<Vec>& xs);
+  /// Convolves the whole sequence ([seq_len x in_channels]); returns the
+  /// same-length activated output ([seq_len x out_channels], arena-backed).
+  const double* forward(const double* xs, std::size_t seq_len, Workspace& ws);
 
-  /// Backprop through the cached forward; returns input gradients.
-  std::vector<Vec> backward(const std::vector<Vec>& dy_seq);
+  /// Backprop through the cached forward; returns input gradients
+  /// ([seq_len x in_channels]).
+  const double* backward(const double* dy_seq, std::size_t seq_len,
+                         Workspace& ws);
 
   std::vector<ParamRef> params();
   void zero_grads();
@@ -41,8 +48,10 @@ class CausalConv1d {
   Matrix w_, b_;
   Matrix dw_, db_;
   Activation act_;
-  std::vector<Vec> x_cache_;
-  std::vector<Vec> y_cache_;
+  // Arena-backed caches from the latest forward (valid until ws.reset()):
+  const double* x_ = nullptr;  ///< [T x in_ch], caller-owned input.
+  double* y_ = nullptr;        ///< [T x out_ch] activated output.
+  std::size_t seq_len_ = 0;
 };
 
 }  // namespace fifer::nn

@@ -1,9 +1,7 @@
 #include "predict/nn/gru.hpp"
 
-#include <cmath>
-#include <stdexcept>
-
 #include "common/check.hpp"
+#include "predict/nn/kernels.hpp"
 
 namespace fifer::nn {
 
@@ -16,137 +14,150 @@ GruLayer::GruLayer(std::size_t input_dim, std::size_t hidden_dim, Rng& rng)
       dwh_(3 * hidden_dim, hidden_dim, 0.0),
       db_(3 * hidden_dim, 1, 0.0) {}
 
-std::vector<Vec> GruLayer::forward(const std::vector<Vec>& xs) {
-  cache_.clear();
-  cache_.reserve(xs.size());
-  Vec h(hidden_, 0.0);
-  std::vector<Vec> hs;
-  hs.reserve(xs.size());
+const double* GruLayer::forward(const double* xs, std::size_t seq_len,
+                                Workspace& ws) {
+  const std::size_t in = wx_.cols();
+  const std::size_t h = hidden_;
+  const std::size_t g3 = 3 * h;
+  x_ = xs;
+  seq_len_ = seq_len;
+  // Batched input projection for all timesteps: pre(t) = Wx · x_t, stacked
+  // [z, r, n] per row.
+  double* pre = ws.alloc(seq_len * g3);
+  kernels::matmul_nt(xs, seq_len, in, wx_.data(), g3, pre);
+  h_all_ = ws.alloc0((seq_len + 1) * h);
+  z_ = ws.alloc(seq_len * h);
+  r_ = ws.alloc(seq_len * h);
+  n_ = ws.alloc(seq_len * h);
+  rh_ = ws.alloc(seq_len * h);
 
-  for (const Vec& x : xs) {
-    if (x.size() != wx_.cols()) throw std::invalid_argument("GruLayer: bad input dim");
-    StepCache sc;
-    sc.x = x;
-    sc.h_prev = h;
+  for (std::size_t t = 0; t < seq_len; ++t) {
+    double* a = pre + t * g3;
+    const double* h_prev = h_all_ + t * h;
+    double* zt = z_ + t * h;
+    double* rt = r_ + t * h;
+    double* nt = n_ + t * h;
+    double* rht = rh_ + t * h;
+    double* h_new = h_all_ + (t + 1) * h;
 
-    const Vec zx = matvec(wx_, x);  // stacked [z, r, n] input contributions
+    // z and r: bias first, then the recurrent terms folded one at a time
+    // into the running accumulator (the legacy loop's order).
+    kernels::add(a, b_.data(), 2 * h);
+    kernels::gemv_seed_accum(wh_.data(), 2 * h, h, h_prev, a);
+    kernels::sigmoid_inplace(a, 2 * h);
+    for (std::size_t j = 0; j < h; ++j) zt[j] = a[j];
+    for (std::size_t j = 0; j < h; ++j) rt[j] = a[h + j];
 
-    sc.z.resize(hidden_);
-    sc.r.resize(hidden_);
-    // z and r depend on h_prev directly.
-    for (std::size_t j = 0; j < hidden_; ++j) {
-      double az = zx[j] + b_(j, 0);
-      double ar = zx[hidden_ + j] + b_(hidden_ + j, 0);
-      for (std::size_t k = 0; k < hidden_; ++k) {
-        az += wh_(j, k) * h[k];
-        ar += wh_(hidden_ + j, k) * h[k];
-      }
-      sc.z[j] = 1.0 / (1.0 + std::exp(-az));
-      sc.r[j] = 1.0 / (1.0 + std::exp(-ar));
+    for (std::size_t j = 0; j < h; ++j) rht[j] = rt[j] * h_prev[j];
+
+    // Candidate: same seeded order over r*h_prev.
+    double* an = a + 2 * h;
+    kernels::add(an, b_.data() + 2 * h, h);
+    kernels::gemv_seed_accum(wh_.data() + 2 * h * h, h, h, rht, an);
+    kernels::tanh_into(nt, an, h);
+
+    for (std::size_t j = 0; j < h; ++j) {
+      h_new[j] = (1.0 - zt[j]) * nt[j] + zt[j] * h_prev[j];
     }
-
-    sc.rh = hadamard(sc.r, h);
-    sc.n.resize(hidden_);
-    for (std::size_t j = 0; j < hidden_; ++j) {
-      double an = zx[2 * hidden_ + j] + b_(2 * hidden_ + j, 0);
-      for (std::size_t k = 0; k < hidden_; ++k) {
-        an += wh_(2 * hidden_ + j, k) * sc.rh[k];
-      }
-      sc.n[j] = std::tanh(an);
-    }
-
-    Vec h_new(hidden_);
-    for (std::size_t j = 0; j < hidden_; ++j) {
-      h_new[j] = (1.0 - sc.z[j]) * sc.n[j] + sc.z[j] * h[j];
-    }
-    h = h_new;
-    sc.h = h;
-    hs.push_back(h);
-    cache_.push_back(std::move(sc));
   }
-  FIFER_DCHECK(all_finite(h), kPredict) << "GRU hidden state diverged";
-  return hs;
+  FIFER_DCHECK(kernels::all_finite(h_all_ + seq_len * h, h), kPredict)
+      << "GRU hidden state diverged";
+  return h_all_ + h;
 }
 
-std::vector<Vec> GruLayer::backward(const std::vector<Vec>& dh_seq) {
-  if (dh_seq.size() != cache_.size()) {
-    throw std::invalid_argument("GruLayer::backward: sequence length mismatch");
-  }
-  std::vector<Vec> dx_seq(cache_.size());
-  Vec dh_next(hidden_, 0.0);
+const double* GruLayer::backward(const double* dh_seq, std::size_t seq_len,
+                                 Workspace& ws) {
+  FIFER_DCHECK_EQ(seq_len, seq_len_, kPredict)
+      << "GruLayer::backward: sequence length mismatch";
+  const std::size_t in = wx_.cols();
+  const std::size_t h = hidden_;
+  double* dx_seq = ws.alloc(seq_len * in);
+  double* dh = ws.alloc(h);
+  double* dn_pre = ws.alloc(h);
+  double* dz_pre = ws.alloc(h);
+  double* dr_pre = ws.alloc(h);
+  double* drh = ws.alloc(h);
+  double* dh_prev = ws.alloc(h);
+  double* dh_next = ws.alloc0(h);
 
-  for (std::size_t t = cache_.size(); t-- > 0;) {
-    const StepCache& sc = cache_[t];
-    Vec dh = dh_seq[t];
-    add_in_place(dh, dh_next);
+  for (std::size_t t = seq_len; t-- > 0;) {
+    const double* zt = z_ + t * h;
+    const double* rt = r_ + t * h;
+    const double* nt = n_ + t * h;
+    const double* rht = rh_ + t * h;
+    const double* h_prev = h_all_ + t * h;
+    const double* xt = x_ + t * in;
+    const double* dh_in = dh_seq + t * h;
 
-    // h' = (1-z) n + z h_prev
-    Vec dn(hidden_), dz(hidden_);
-    Vec dh_prev(hidden_, 0.0);
-    for (std::size_t j = 0; j < hidden_; ++j) {
-      dn[j] = dh[j] * (1.0 - sc.z[j]);
-      dz[j] = dh[j] * (sc.h_prev[j] - sc.n[j]);
-      dh_prev[j] = dh[j] * sc.z[j];
-    }
+    for (std::size_t j = 0; j < h; ++j) dh[j] = dh_in[j] + dh_next[j];
 
-    // Pre-activation gradients.
-    Vec dn_pre(hidden_), dz_pre(hidden_);
-    for (std::size_t j = 0; j < hidden_; ++j) {
-      dn_pre[j] = dn[j] * (1.0 - sc.n[j] * sc.n[j]);
-      dz_pre[j] = dz[j] * sc.z[j] * (1.0 - sc.z[j]);
+    // h' = (1-z) n + z h_prev; pre-activation gate gradients. Expression
+    // shapes mirror the legacy loops exactly (rounding contract).
+    for (std::size_t j = 0; j < h; ++j) {
+      const double dn = dh[j] * (1.0 - zt[j]);
+      const double dz = dh[j] * (h_prev[j] - nt[j]);
+      dh_prev[j] = dh[j] * zt[j];
+      dn_pre[j] = dn * (1.0 - nt[j] * nt[j]);
+      dz_pre[j] = dz * zt[j] * (1.0 - zt[j]);
     }
 
     // Candidate path: n depends on Wn x + Un (r h).
-    Vec drh(hidden_, 0.0);
-    for (std::size_t j = 0; j < hidden_; ++j) {
-      for (std::size_t k = 0; k < hidden_; ++k) {
-        drh[k] += wh_(2 * hidden_ + j, k) * dn_pre[j];
-      }
-    }
-    Vec dr_pre(hidden_);
-    for (std::size_t j = 0; j < hidden_; ++j) {
-      const double dr = drh[j] * sc.h_prev[j];
-      dh_prev[j] += drh[j] * sc.r[j];
-      dr_pre[j] = dr * sc.r[j] * (1.0 - sc.r[j]);
+    for (std::size_t j = 0; j < h; ++j) drh[j] = 0.0;
+    kernels::gemv_t_add(wh_.data() + 2 * h * h, h, h, dn_pre, drh);
+    for (std::size_t j = 0; j < h; ++j) {
+      const double dr = drh[j] * h_prev[j];
+      dh_prev[j] += drh[j] * rt[j];
+      dr_pre[j] = dr * rt[j] * (1.0 - rt[j]);
     }
 
-    // Weight gradients for the three stacked blocks.
-    for (std::size_t j = 0; j < hidden_; ++j) {
-      for (std::size_t c = 0; c < wx_.cols(); ++c) {
-        dwx_(j, c) += dz_pre[j] * sc.x[c];
-        dwx_(hidden_ + j, c) += dr_pre[j] * sc.x[c];
-        dwx_(2 * hidden_ + j, c) += dn_pre[j] * sc.x[c];
-      }
-      for (std::size_t k = 0; k < hidden_; ++k) {
-        dwh_(j, k) += dz_pre[j] * sc.h_prev[k];
-        dwh_(hidden_ + j, k) += dr_pre[j] * sc.h_prev[k];
-        dwh_(2 * hidden_ + j, k) += dn_pre[j] * sc.rh[k];
-      }
-      db_(j, 0) += dz_pre[j];
-      db_(hidden_ + j, 0) += dr_pre[j];
-      db_(2 * hidden_ + j, 0) += dn_pre[j];
-    }
+    // Weight gradients for the three stacked blocks. The legacy code
+    // interleaved the blocks inside one j loop, but each gradient element
+    // receives exactly one contribution per timestep, so per-block rank-1
+    // updates are bit-identical and vectorize cleanly.
+    kernels::rank1_add(dwx_.data(), h, in, dz_pre, xt);
+    kernels::rank1_add(dwx_.data() + h * in, h, in, dr_pre, xt);
+    kernels::rank1_add(dwx_.data() + 2 * h * in, h, in, dn_pre, xt);
+    kernels::rank1_add(dwh_.data(), h, h, dz_pre, h_prev);
+    kernels::rank1_add(dwh_.data() + h * h, h, h, dr_pre, h_prev);
+    kernels::rank1_add(dwh_.data() + 2 * h * h, h, h, dn_pre, rht);
+    kernels::add(db_.data(), dz_pre, h);
+    kernels::add(db_.data() + h, dr_pre, h);
+    kernels::add(db_.data() + 2 * h, dn_pre, h);
 
-    // Gradients flowing to h_prev via the z / r gate inputs.
-    for (std::size_t j = 0; j < hidden_; ++j) {
-      for (std::size_t k = 0; k < hidden_; ++k) {
-        dh_prev[k] += wh_(j, k) * dz_pre[j];
-        dh_prev[k] += wh_(hidden_ + j, k) * dr_pre[j];
-      }
-    }
-
-    // Input gradient across all three blocks.
-    Vec dx(wx_.cols(), 0.0);
-    for (std::size_t j = 0; j < hidden_; ++j) {
-      for (std::size_t c = 0; c < wx_.cols(); ++c) {
-        dx[c] += wx_(j, c) * dz_pre[j];
-        dx[c] += wx_(hidden_ + j, c) * dr_pre[j];
-        dx[c] += wx_(2 * hidden_ + j, c) * dn_pre[j];
+    // Gradients flowing to h_prev via the z / r gate inputs. The legacy
+    // loop adds the z-block and r-block terms ALTERNATELY per (j, k) pair;
+    // summation into dh_prev[k] must keep that interleaved order, so this
+    // stays a bespoke loop rather than two gemv_t_add calls.
+    for (std::size_t j = 0; j < h; ++j) {
+      const double* whz = wh_.data() + j * h;
+      const double* whr = wh_.data() + (h + j) * h;
+      const double dzj = dz_pre[j];
+      const double drj = dr_pre[j];
+      for (std::size_t k = 0; k < h; ++k) {
+        dh_prev[k] += whz[k] * dzj;
+        dh_prev[k] += whr[k] * drj;
       }
     }
 
-    dx_seq[t] = std::move(dx);
-    dh_next = std::move(dh_prev);
+    // Input gradient across all three blocks — same interleaving concern,
+    // same bespoke loop.
+    double* dx = dx_seq + t * in;
+    for (std::size_t c = 0; c < in; ++c) dx[c] = 0.0;
+    for (std::size_t j = 0; j < h; ++j) {
+      const double* wxz = wx_.data() + j * in;
+      const double* wxr = wx_.data() + (h + j) * in;
+      const double* wxn = wx_.data() + (2 * h + j) * in;
+      const double dzj = dz_pre[j];
+      const double drj = dr_pre[j];
+      const double dnj = dn_pre[j];
+      for (std::size_t c = 0; c < in; ++c) {
+        dx[c] += wxz[c] * dzj;
+        dx[c] += wxr[c] * drj;
+        dx[c] += wxn[c] * dnj;
+      }
+    }
+
+    for (std::size_t j = 0; j < h; ++j) dh_next[j] = dh_prev[j];
   }
   return dx_seq;
 }

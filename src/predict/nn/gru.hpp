@@ -4,6 +4,7 @@
 
 #include "predict/nn/layer.hpp"
 #include "predict/nn/matrix.hpp"
+#include "predict/nn/workspace.hpp"
 
 namespace fifer::nn {
 
@@ -16,6 +17,12 @@ namespace fifer::nn {
 ///   r = sigma(Wr x + Ur h + br)
 ///   n = tanh(Wn x + Un (r*h) + bn)
 ///   h' = (1-z)*n + z*h
+///
+/// Like LstmLayer, sequences are flat [T x dim] Workspace spans, the input
+/// projection is batched over all timesteps, and step caches live in the
+/// arena (DESIGN.md §5i). One quirk pinned for bit-exactness: the GRU adds
+/// the bias BEFORE folding in the recurrent terms (seeded accumulation),
+/// where the LSTM adds it after — see kernels.hpp's rounding contract.
 class GruLayer {
  public:
   GruLayer(std::size_t input_dim, std::size_t hidden_dim, Rng& rng);
@@ -23,28 +30,30 @@ class GruLayer {
   std::size_t input_dim() const { return wx_.cols(); }
   std::size_t hidden_dim() const { return hidden_; }
 
-  /// Runs over the sequence from a zero state; returns all hidden states.
-  std::vector<Vec> forward(const std::vector<Vec>& xs);
+  /// Runs over `xs` ([seq_len x input_dim]) from a zero state; returns all
+  /// hidden states ([seq_len x hidden_dim], arena-backed).
+  const double* forward(const double* xs, std::size_t seq_len, Workspace& ws);
 
   /// Backprop through the cached sequence; accumulates weight grads and
-  /// returns input gradients.
-  std::vector<Vec> backward(const std::vector<Vec>& dh_seq);
+  /// returns input gradients ([seq_len x input_dim]).
+  const double* backward(const double* dh_seq, std::size_t seq_len,
+                         Workspace& ws);
 
   std::vector<ParamRef> params();
   void zero_grads();
 
  private:
-  struct StepCache {
-    Vec x, h_prev;
-    Vec z, r, n;   ///< Post-activation gates.
-    Vec rh;        ///< r * h_prev (input to the candidate path).
-    Vec h;
-  };
-
   std::size_t hidden_;
   Matrix wx_, wh_, b_;  // (3H x I), (3H x H), (3H x 1)
   Matrix dwx_, dwh_, db_;
-  std::vector<StepCache> cache_;
+  // Arena-backed caches from the latest forward (valid until ws.reset()):
+  const double* x_ = nullptr;  ///< [T x I], caller-owned input sequence.
+  double* h_all_ = nullptr;    ///< [(T+1) x H]; row 0 is the zero state.
+  double* z_ = nullptr;        ///< [T x H] post-activation update gate.
+  double* r_ = nullptr;        ///< [T x H] post-activation reset gate.
+  double* n_ = nullptr;        ///< [T x H] post-activation candidate.
+  double* rh_ = nullptr;       ///< [T x H] r * h_prev.
+  std::size_t seq_len_ = 0;
 };
 
 }  // namespace fifer::nn

@@ -1,0 +1,322 @@
+#include "predict/nn/kernels.hpp"
+
+#include <cmath>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace fifer::nn::kernels {
+
+// Dot-product kernels (gemv / gemv_add / gemv_seed_accum / matmul_nt) process
+// output elements in blocks.  Every output element still owns exactly one
+// accumulator that folds terms in ascending-k order, so each result is
+// bit-identical to the naive one-row-at-a-time loop; the blocking only breaks
+// the serial add-latency chain by keeping several independent accumulators in
+// flight per iteration.
+//
+// The AVX2 path goes one step further: it transposes 4x4 tiles of the matrix
+// in registers so that one vector lane owns one row's accumulator.  Each lane
+// still performs `acc = acc + row[c] * x[c]` for c ascending with a separate
+// IEEE rounding per multiply and per add (no FMA contraction — plain
+// _mm256_mul_pd/_mm256_add_pd), so the vector result matches the scalar loop
+// bit for bit.  The fidelity digests and the bench_predict parity gate check
+// exactly this.
+
+#if defined(__AVX2__)
+
+// Folds the dot products of 16 consecutive rows of `a` (row stride = cols)
+// with `x` into acc[0..3], 4 rows per vector, lane i of acc[g] owning row
+// 4*g + i.  Terms enter each lane in ascending-c order, one rounded multiply
+// and one rounded add per term — identical to the scalar reference.
+static inline void dot16_accum(const double* FIFER_RESTRICT a,
+                               std::size_t cols,
+                               const double* FIFER_RESTRICT x, __m256d acc[4]) {
+  std::size_t c = 0;
+  for (; c + 4 <= cols; c += 4) {
+    const __m256d x0 = _mm256_broadcast_sd(x + c + 0);
+    const __m256d x1 = _mm256_broadcast_sd(x + c + 1);
+    const __m256d x2 = _mm256_broadcast_sd(x + c + 2);
+    const __m256d x3 = _mm256_broadcast_sd(x + c + 3);
+    for (std::size_t g = 0; g < 4; ++g) {
+      const double* FIFER_RESTRICT base = a + 4 * g * cols + c;
+      const __m256d v0 = _mm256_loadu_pd(base + 0 * cols);
+      const __m256d v1 = _mm256_loadu_pd(base + 1 * cols);
+      const __m256d v2 = _mm256_loadu_pd(base + 2 * cols);
+      const __m256d v3 = _mm256_loadu_pd(base + 3 * cols);
+      const __m256d t0 = _mm256_unpacklo_pd(v0, v1);
+      const __m256d t1 = _mm256_unpackhi_pd(v0, v1);
+      const __m256d t2 = _mm256_unpacklo_pd(v2, v3);
+      const __m256d t3 = _mm256_unpackhi_pd(v2, v3);
+      const __m256d c0 = _mm256_permute2f128_pd(t0, t2, 0x20);
+      const __m256d c1 = _mm256_permute2f128_pd(t1, t3, 0x20);
+      const __m256d c2 = _mm256_permute2f128_pd(t0, t2, 0x31);
+      const __m256d c3 = _mm256_permute2f128_pd(t1, t3, 0x31);
+      __m256d s = acc[g];
+      s = _mm256_add_pd(s, _mm256_mul_pd(c0, x0));
+      s = _mm256_add_pd(s, _mm256_mul_pd(c1, x1));
+      s = _mm256_add_pd(s, _mm256_mul_pd(c2, x2));
+      s = _mm256_add_pd(s, _mm256_mul_pd(c3, x3));
+      acc[g] = s;
+    }
+  }
+  for (; c < cols; ++c) {
+    const __m256d xc = _mm256_broadcast_sd(x + c);
+    for (std::size_t g = 0; g < 4; ++g) {
+      const double* FIFER_RESTRICT base = a + 4 * g * cols + c;
+      const __m256d col = _mm256_set_pd(base[3 * cols], base[2 * cols],
+                                        base[1 * cols], base[0 * cols]);
+      acc[g] = _mm256_add_pd(acc[g], _mm256_mul_pd(col, xc));
+    }
+  }
+}
+
+#endif  // __AVX2__
+
+void gemv(const double* FIFER_RESTRICT a, std::size_t rows, std::size_t cols,
+          const double* FIFER_RESTRICT x, double* FIFER_RESTRICT y) {
+  std::size_t r = 0;
+#if defined(__AVX2__)
+  for (; r + 16 <= rows; r += 16) {
+    __m256d acc[4] = {_mm256_setzero_pd(), _mm256_setzero_pd(),
+                      _mm256_setzero_pd(), _mm256_setzero_pd()};
+    dot16_accum(a + r * cols, cols, x, acc);
+    for (std::size_t g = 0; g < 4; ++g) {
+      _mm256_storeu_pd(y + r + 4 * g, acc[g]);
+    }
+  }
+#endif
+  for (; r + 4 <= rows; r += 4) {
+    const double* FIFER_RESTRICT r0 = a + (r + 0) * cols;
+    const double* FIFER_RESTRICT r1 = a + (r + 1) * cols;
+    const double* FIFER_RESTRICT r2 = a + (r + 2) * cols;
+    const double* FIFER_RESTRICT r3 = a + (r + 3) * cols;
+    double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double xc = x[c];
+      a0 += r0[c] * xc;
+      a1 += r1[c] * xc;
+      a2 += r2[c] * xc;
+      a3 += r3[c] * xc;
+    }
+    y[r + 0] = a0;
+    y[r + 1] = a1;
+    y[r + 2] = a2;
+    y[r + 3] = a3;
+  }
+  for (; r < rows; ++r) {
+    const double* FIFER_RESTRICT row = a + r * cols;
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols; ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+}
+
+void gemv_add(const double* FIFER_RESTRICT a, std::size_t rows,
+              std::size_t cols, const double* FIFER_RESTRICT x,
+              double* FIFER_RESTRICT y) {
+  std::size_t r = 0;
+#if defined(__AVX2__)
+  for (; r + 16 <= rows; r += 16) {
+    __m256d acc[4] = {_mm256_setzero_pd(), _mm256_setzero_pd(),
+                      _mm256_setzero_pd(), _mm256_setzero_pd()};
+    dot16_accum(a + r * cols, cols, x, acc);
+    // Matches the scalar path: the dot is built from zero, then folded into
+    // y with a single add per element.
+    for (std::size_t g = 0; g < 4; ++g) {
+      double* FIFER_RESTRICT yg = y + r + 4 * g;
+      _mm256_storeu_pd(yg, _mm256_add_pd(_mm256_loadu_pd(yg), acc[g]));
+    }
+  }
+#endif
+  for (; r + 4 <= rows; r += 4) {
+    const double* FIFER_RESTRICT r0 = a + (r + 0) * cols;
+    const double* FIFER_RESTRICT r1 = a + (r + 1) * cols;
+    const double* FIFER_RESTRICT r2 = a + (r + 2) * cols;
+    const double* FIFER_RESTRICT r3 = a + (r + 3) * cols;
+    double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double xc = x[c];
+      a0 += r0[c] * xc;
+      a1 += r1[c] * xc;
+      a2 += r2[c] * xc;
+      a3 += r3[c] * xc;
+    }
+    y[r + 0] += a0;
+    y[r + 1] += a1;
+    y[r + 2] += a2;
+    y[r + 3] += a3;
+  }
+  for (; r < rows; ++r) {
+    const double* FIFER_RESTRICT row = a + r * cols;
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols; ++c) acc += row[c] * x[c];
+    y[r] += acc;
+  }
+}
+
+void gemv_seed_accum(const double* FIFER_RESTRICT a, std::size_t rows,
+                     std::size_t cols, const double* FIFER_RESTRICT x,
+                     double* FIFER_RESTRICT y) {
+  std::size_t r = 0;
+#if defined(__AVX2__)
+  for (; r + 16 <= rows; r += 16) {
+    // Seeded variant: each lane starts from y[row] and folds terms into the
+    // running accumulator, mirroring the scalar loop exactly.
+    __m256d acc[4];
+    for (std::size_t g = 0; g < 4; ++g) {
+      acc[g] = _mm256_loadu_pd(y + r + 4 * g);
+    }
+    dot16_accum(a + r * cols, cols, x, acc);
+    for (std::size_t g = 0; g < 4; ++g) {
+      _mm256_storeu_pd(y + r + 4 * g, acc[g]);
+    }
+  }
+#endif
+  for (; r + 4 <= rows; r += 4) {
+    const double* FIFER_RESTRICT r0 = a + (r + 0) * cols;
+    const double* FIFER_RESTRICT r1 = a + (r + 1) * cols;
+    const double* FIFER_RESTRICT r2 = a + (r + 2) * cols;
+    const double* FIFER_RESTRICT r3 = a + (r + 3) * cols;
+    double a0 = y[r + 0], a1 = y[r + 1], a2 = y[r + 2], a3 = y[r + 3];
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double xc = x[c];
+      a0 += r0[c] * xc;
+      a1 += r1[c] * xc;
+      a2 += r2[c] * xc;
+      a3 += r3[c] * xc;
+    }
+    y[r + 0] = a0;
+    y[r + 1] = a1;
+    y[r + 2] = a2;
+    y[r + 3] = a3;
+  }
+  for (; r < rows; ++r) {
+    const double* FIFER_RESTRICT row = a + r * cols;
+    double acc = y[r];
+    for (std::size_t c = 0; c < cols; ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+}
+
+void gemv_t_add(const double* FIFER_RESTRICT a, std::size_t rows,
+                std::size_t cols, const double* FIFER_RESTRICT x,
+                double* FIFER_RESTRICT y) {
+  // y[c] folds terms in ascending-r order.  Blocking rows by four preserves
+  // that order (terms enter y[c] in r, r+1, r+2, r+3 sequence) while making
+  // one pass over y instead of four.
+  std::size_t r = 0;
+  for (; r + 4 <= rows; r += 4) {
+    const double* FIFER_RESTRICT r0 = a + (r + 0) * cols;
+    const double* FIFER_RESTRICT r1 = a + (r + 1) * cols;
+    const double* FIFER_RESTRICT r2 = a + (r + 2) * cols;
+    const double* FIFER_RESTRICT r3 = a + (r + 3) * cols;
+    const double x0 = x[r + 0];
+    const double x1 = x[r + 1];
+    const double x2 = x[r + 2];
+    const double x3 = x[r + 3];
+    for (std::size_t c = 0; c < cols; ++c) {
+      y[c] = (((y[c] + r0[c] * x0) + r1[c] * x1) + r2[c] * x2) + r3[c] * x3;
+    }
+  }
+  for (; r < rows; ++r) {
+    const double* FIFER_RESTRICT row = a + r * cols;
+    const double xr = x[r];
+    for (std::size_t c = 0; c < cols; ++c) y[c] += row[c] * xr;
+  }
+}
+
+void matmul_nt(const double* FIFER_RESTRICT a, std::size_t m, std::size_t k,
+               const double* FIFER_RESTRICT b, std::size_t n,
+               double* FIFER_RESTRICT c) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* FIFER_RESTRICT ai = a + i * k;
+    double* FIFER_RESTRICT ci = c + i * n;
+    std::size_t j = 0;
+#if defined(__AVX2__)
+    for (; j + 16 <= n; j += 16) {
+      __m256d acc[4] = {_mm256_setzero_pd(), _mm256_setzero_pd(),
+                        _mm256_setzero_pd(), _mm256_setzero_pd()};
+      dot16_accum(b + j * k, k, ai, acc);
+      for (std::size_t g = 0; g < 4; ++g) {
+        _mm256_storeu_pd(ci + j + 4 * g, acc[g]);
+      }
+    }
+#endif
+    for (; j + 4 <= n; j += 4) {
+      const double* FIFER_RESTRICT b0 = b + (j + 0) * k;
+      const double* FIFER_RESTRICT b1 = b + (j + 1) * k;
+      const double* FIFER_RESTRICT b2 = b + (j + 2) * k;
+      const double* FIFER_RESTRICT b3 = b + (j + 3) * k;
+      double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+      for (std::size_t p = 0; p < k; ++p) {
+        const double ap = ai[p];
+        a0 += b0[p] * ap;
+        a1 += b1[p] * ap;
+        a2 += b2[p] * ap;
+        a3 += b3[p] * ap;
+      }
+      ci[j + 0] = a0;
+      ci[j + 1] = a1;
+      ci[j + 2] = a2;
+      ci[j + 3] = a3;
+    }
+    for (; j < n; ++j) {
+      const double* FIFER_RESTRICT bj = b + j * k;
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p) acc += bj[p] * ai[p];
+      ci[j] = acc;
+    }
+  }
+}
+
+void rank1_add(double* FIFER_RESTRICT g, std::size_t rows, std::size_t cols,
+               const double* FIFER_RESTRICT a, const double* FIFER_RESTRICT b) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    double* FIFER_RESTRICT row = g + r * cols;
+    const double ar = a[r];
+    for (std::size_t c = 0; c < cols; ++c) row[c] += ar * b[c];
+  }
+}
+
+void add(double* FIFER_RESTRICT y, const double* FIFER_RESTRICT x,
+         std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += x[i];
+}
+
+void lstm_activate(double* FIFER_RESTRICT z, std::size_t hidden) {
+  for (std::size_t j = 0; j < hidden; ++j) {
+    z[j] = 1.0 / (1.0 + std::exp(-z[j]));
+  }
+  for (std::size_t j = hidden; j < 2 * hidden; ++j) {
+    z[j] = 1.0 / (1.0 + std::exp(-z[j]));
+  }
+  for (std::size_t j = 2 * hidden; j < 3 * hidden; ++j) {
+    z[j] = std::tanh(z[j]);
+  }
+  for (std::size_t j = 3 * hidden; j < 4 * hidden; ++j) {
+    z[j] = 1.0 / (1.0 + std::exp(-z[j]));
+  }
+}
+
+void sigmoid_inplace(double* FIFER_RESTRICT x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) x[i] = 1.0 / (1.0 + std::exp(-x[i]));
+}
+
+void tanh_inplace(double* FIFER_RESTRICT x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) x[i] = std::tanh(x[i]);
+}
+
+void tanh_into(double* FIFER_RESTRICT y, const double* FIFER_RESTRICT x,
+               std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] = std::tanh(x[i]);
+}
+
+bool all_finite(const double* FIFER_RESTRICT x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(x[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace fifer::nn::kernels

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstddef>
+
+namespace fifer::nn {
+
+// Allocation-free NN kernels over raw row-major buffers — the hot inner
+// loops behind every layer's forward/backward (DESIGN.md §5i). All memory
+// comes from a Workspace arena owned by the caller; no kernel allocates.
+//
+// Bit-exactness contract: the golden-digest fidelity suite trains the LSTM
+// predictor inside digested runs, so these kernels must reproduce the exact
+// floating-point accumulation order of the original Vec-based helpers.
+// Concretely:
+//  - dot products use ONE scalar accumulator walked in ascending index
+//    order (never a vectorized multi-lane reduction — that reassociates);
+//  - `gemv_add` computes the dot product in a fresh accumulator and adds
+//    the completed sum once (the old `add_in_place(z, matvec(...))` order,
+//    which the LSTM relies on);
+//  - `gemv_seed_accum` instead seeds the accumulator with the existing
+//    y[r] and folds terms in one by one (the GRU's bias-first order);
+//  - transposed products iterate rows outer / columns inner, matching
+//    `matvec_transposed`.
+// The throughput wins come from eliminating per-step heap churn, fusing
+// elementwise passes, `FIFER_RESTRICT`-qualified loops the compiler can
+// vectorize (elementwise and rank-1 updates reassociate nothing), and the
+// batched `matmul_nt` input projection.
+
+#if defined(__GNUC__) || defined(__clang__)
+#define FIFER_RESTRICT __restrict__
+#else
+#define FIFER_RESTRICT
+#endif
+
+namespace kernels {
+
+/// y = A x. A is rows x cols row-major; one accumulator per row, ascending
+/// column order (bit-identical to the legacy `matvec`).
+void gemv(const double* FIFER_RESTRICT a, std::size_t rows, std::size_t cols,
+          const double* FIFER_RESTRICT x, double* FIFER_RESTRICT y);
+
+/// y += A x, where the dot product completes in a fresh accumulator before
+/// the single add into y[r] — the `add_in_place(y, matvec(a, x))` order.
+void gemv_add(const double* FIFER_RESTRICT a, std::size_t rows,
+              std::size_t cols, const double* FIFER_RESTRICT x,
+              double* FIFER_RESTRICT y);
+
+/// y[r] = (seed already in y[r]) + a(r,0)*x[0] + a(r,1)*x[1] + ... with the
+/// terms folded into the running accumulator one at a time — the GRU's
+/// "bias first, then recurrent terms" accumulation order.
+void gemv_seed_accum(const double* FIFER_RESTRICT a, std::size_t rows,
+                     std::size_t cols, const double* FIFER_RESTRICT x,
+                     double* FIFER_RESTRICT y);
+
+/// y += A^T x accumulated rows-outer / columns-inner (bit-identical to the
+/// legacy `matvec_transposed` when y starts zeroed).
+void gemv_t_add(const double* FIFER_RESTRICT a, std::size_t rows,
+                std::size_t cols, const double* FIFER_RESTRICT x,
+                double* FIFER_RESTRICT y);
+
+/// C = A B^T: A is m x k, B is n x k, C is m x n, all row-major. Each
+/// C(i,j) is a single-accumulator ascending-index dot of two contiguous
+/// rows — element-for-element bit-identical to calling gemv(a_row_i, b) per
+/// row, which is what makes it safe to batch a whole sequence's input
+/// projection (X · Wx^T over all timesteps) in one call.
+void matmul_nt(const double* FIFER_RESTRICT a, std::size_t m, std::size_t k,
+               const double* FIFER_RESTRICT b, std::size_t n,
+               double* FIFER_RESTRICT c);
+
+/// G += a b^T (rank-1 weight-gradient update); G is rows x cols row-major.
+void rank1_add(double* FIFER_RESTRICT g, std::size_t rows, std::size_t cols,
+               const double* FIFER_RESTRICT a, const double* FIFER_RESTRICT b);
+
+/// y += x, elementwise.
+void add(double* FIFER_RESTRICT y, const double* FIFER_RESTRICT x,
+         std::size_t n);
+
+/// Fused LSTM gate activation over one timestep's stacked pre-activations
+/// z = [i, f, g, o] (4H values): sigmoid on the i/f/o thirds, tanh on g.
+void lstm_activate(double* FIFER_RESTRICT z, std::size_t hidden);
+
+/// x[i] = sigmoid(x[i]) over n values (same scalar formula as the legacy
+/// `sigmoid_vec`: 1 / (1 + exp(-x))).
+void sigmoid_inplace(double* FIFER_RESTRICT x, std::size_t n);
+
+/// x[i] = tanh(x[i]) over n values.
+void tanh_inplace(double* FIFER_RESTRICT x, std::size_t n);
+
+/// y[i] = tanh(x[i]) over n values (distinct buffers).
+void tanh_into(double* FIFER_RESTRICT y, const double* FIFER_RESTRICT x,
+               std::size_t n);
+
+/// True when every element is finite — the divergence probe for recurrent
+/// states and gradients.
+bool all_finite(const double* FIFER_RESTRICT x, std::size_t n);
+
+}  // namespace kernels
+
+}  // namespace fifer::nn

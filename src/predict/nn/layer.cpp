@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
+
+#include "common/check.hpp"
+#include "predict/nn/kernels.hpp"
 
 namespace fifer::nn {
 
@@ -13,31 +15,55 @@ Dense::Dense(std::size_t in_dim, std::size_t out_dim, Activation act, Rng& rng)
       db_(out_dim, 1, 0.0),
       act_(act) {}
 
-Vec Dense::forward(const Vec& x) {
+const double* Dense::forward(const double* x, Workspace& ws) {
+  const std::size_t out = w_.rows();
   x_cache_ = x;
-  Vec z = matvec(w_, x);
-  for (std::size_t i = 0; i < z.size(); ++i) z[i] += b_(i, 0);
+  double* y = ws.alloc(out);
+  kernels::gemv(w_.data(), out, w_.cols(), x, y);
+  kernels::add(y, b_.data(), out);
   switch (act_) {
-    case Activation::kLinear: y_cache_ = z; break;
-    case Activation::kTanh: y_cache_ = tanh_vec(z); break;
-    case Activation::kSigmoid: y_cache_ = sigmoid_vec(z); break;
-    case Activation::kRelu: y_cache_ = relu_vec(z); break;
+    case Activation::kLinear:
+      break;
+    case Activation::kTanh:
+      kernels::tanh_inplace(y, out);
+      break;
+    case Activation::kSigmoid:
+      kernels::sigmoid_inplace(y, out);
+      break;
+    case Activation::kRelu:
+      for (std::size_t i = 0; i < out; ++i) y[i] = y[i] > 0.0 ? y[i] : 0.0;
+      break;
   }
-  return y_cache_;
+  y_cache_ = y;
+  return y;
 }
 
-Vec Dense::backward(const Vec& dy) {
-  if (x_cache_.empty()) throw std::logic_error("Dense::backward before forward");
-  Vec dz;
+const double* Dense::backward(const double* dy, Workspace& ws) {
+  FIFER_DCHECK(x_cache_ != nullptr, kPredict)
+      << "Dense::backward before forward";
+  const std::size_t out = w_.rows();
+  const std::size_t in = w_.cols();
+  double* dz = ws.alloc(out);
+  const double* y = y_cache_;
   switch (act_) {
-    case Activation::kLinear: dz = dy; break;
-    case Activation::kTanh: dz = hadamard(dy, dtanh_from_y(y_cache_)); break;
-    case Activation::kSigmoid: dz = hadamard(dy, dsigmoid_from_y(y_cache_)); break;
-    case Activation::kRelu: dz = hadamard(dy, drelu_from_y(y_cache_)); break;
+    case Activation::kLinear:
+      for (std::size_t i = 0; i < out; ++i) dz[i] = dy[i];
+      break;
+    case Activation::kTanh:
+      for (std::size_t i = 0; i < out; ++i) dz[i] = dy[i] * (1.0 - y[i] * y[i]);
+      break;
+    case Activation::kSigmoid:
+      for (std::size_t i = 0; i < out; ++i) dz[i] = dy[i] * (y[i] * (1.0 - y[i]));
+      break;
+    case Activation::kRelu:
+      for (std::size_t i = 0; i < out; ++i) dz[i] = dy[i] * (y[i] > 0.0 ? 1.0 : 0.0);
+      break;
   }
-  add_outer(dw_, dz, x_cache_);
-  for (std::size_t i = 0; i < dz.size(); ++i) db_(i, 0) += dz[i];
-  return matvec_transposed(w_, dz);
+  kernels::rank1_add(dw_.data(), out, in, dz, x_cache_);
+  kernels::add(db_.data(), dz, out);
+  double* dx = ws.alloc0(in);
+  kernels::gemv_t_add(w_.data(), out, in, dz, dx);
+  return dx;
 }
 
 std::vector<ParamRef> Dense::params() {
@@ -50,9 +76,8 @@ void Dense::zero_grads() {
 }
 
 double mse_loss(const Vec& prediction, const Vec& target, Vec& dpred) {
-  if (prediction.size() != target.size()) {
-    throw std::invalid_argument("mse_loss: size mismatch");
-  }
+  FIFER_DCHECK_EQ(prediction.size(), target.size(), kPredict)
+      << "mse_loss: size mismatch";
   dpred.assign(prediction.size(), 0.0);
   double loss = 0.0;
   const double n = static_cast<double>(prediction.size());
@@ -65,9 +90,8 @@ double mse_loss(const Vec& prediction, const Vec& target, Vec& dpred) {
 }
 
 double gaussian_nll_loss(const Vec& pred, double target, Vec& dpred) {
-  if (pred.size() != 2) {
-    throw std::invalid_argument("gaussian_nll_loss: expected {mu, log_sigma}");
-  }
+  FIFER_DCHECK_EQ(pred.size(), 2u, kPredict)
+      << "gaussian_nll_loss: expected {mu, log_sigma}";
   const double mu = pred[0];
   // Clamp log_sigma for numerical stability during early training.
   const double log_sigma = std::clamp(pred[1], -5.0, 5.0);

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "predict/nn/matrix.hpp"
+#include "predict/nn/workspace.hpp"
 
 namespace fifer::nn {
 
@@ -13,7 +14,13 @@ struct ParamRef {
   Matrix* grad = nullptr;
 };
 
-/// Fully-connected layer: y = act(W x + b).
+/// Fully-connected layer: y = act(W x + b), computed on Workspace spans via
+/// the raw-buffer kernels (no per-call heap allocation).
+///
+/// Cache lifetime: forward() carves its output from `ws` and keeps raw
+/// pointers to both input and output; backward() must run before the next
+/// ws.reset() (the per-example train loop and the forecast path both reset
+/// once per pass, so this holds by construction).
 class Dense {
  public:
   enum class Activation { kLinear, kTanh, kSigmoid, kRelu };
@@ -23,12 +30,13 @@ class Dense {
   std::size_t in_dim() const { return w_.cols(); }
   std::size_t out_dim() const { return w_.rows(); }
 
-  /// Forward pass; caches input and activation for the next backward().
-  Vec forward(const Vec& x);
+  /// Forward pass over `x` (in_dim values); returns the activation
+  /// (out_dim values, arena-backed). Caches pointers for backward().
+  const double* forward(const double* x, Workspace& ws);
 
   /// Backward pass for the most recent forward(); accumulates weight/bias
-  /// gradients and returns dLoss/dx.
-  Vec backward(const Vec& dy);
+  /// gradients and returns dLoss/dx (in_dim values, arena-backed).
+  const double* backward(const double* dy, Workspace& ws);
 
   std::vector<ParamRef> params();
   void zero_grads();
@@ -37,8 +45,8 @@ class Dense {
   Matrix w_, b_;        // b_ stored as (out, 1)
   Matrix dw_, db_;
   Activation act_;
-  Vec x_cache_;
-  Vec y_cache_;
+  const double* x_cache_ = nullptr;
+  const double* y_cache_ = nullptr;
 };
 
 /// Mean-squared-error loss for scalar or vector targets.

@@ -1,9 +1,7 @@
 #include "predict/nn/lstm.hpp"
 
-#include <cmath>
-#include <stdexcept>
-
 #include "common/check.hpp"
+#include "predict/nn/kernels.hpp"
 
 namespace fifer::nn {
 
@@ -28,95 +26,109 @@ LstmLayer::LstmLayer(std::size_t input_dim, std::size_t hidden_dim, Rng& rng)
       dwh_(4 * hidden_dim, hidden_dim, 0.0),
       db_(4 * hidden_dim, 1, 0.0) {}
 
-std::vector<Vec> LstmLayer::forward(const std::vector<Vec>& xs) {
-  cache_.clear();
-  cache_.reserve(xs.size());
-  Vec h(hidden_, 0.0);
-  Vec c(hidden_, 0.0);
-  std::vector<Vec> hs;
-  hs.reserve(xs.size());
+const double* LstmLayer::forward(const double* xs, std::size_t seq_len,
+                                 Workspace& ws) {
+  const std::size_t in = wx_.cols();
+  const std::size_t h = hidden_;
+  const std::size_t g4 = 4 * h;
+  x_ = xs;
+  seq_len_ = seq_len;
+  gates_ = ws.alloc(seq_len * g4);
+  h_all_ = ws.alloc0((seq_len + 1) * h);
+  c_all_ = ws.alloc0((seq_len + 1) * h);
+  tanh_c_ = ws.alloc(seq_len * h);
 
-  for (const Vec& x : xs) {
-    if (x.size() != wx_.cols()) throw std::invalid_argument("LstmLayer: bad input dim");
-    StepCache sc;
-    sc.x = x;
-    sc.h_prev = h;
-    sc.c_prev = c;
+  // Batched input projection: one NT matmul computes Wx · x_t for every
+  // timestep (bit-identical per row to the per-step gemv it replaces).
+  kernels::matmul_nt(xs, seq_len, in, wx_.data(), g4, gates_);
 
-    Vec z = matvec(wx_, x);
-    add_in_place(z, matvec(wh_, h));
-    for (std::size_t i = 0; i < z.size(); ++i) z[i] += b_(i, 0);
+  for (std::size_t t = 0; t < seq_len; ++t) {
+    double* z = gates_ + t * g4;
+    const double* h_prev = h_all_ + t * h;
+    const double* c_prev = c_all_ + t * h;
+    // Recurrent term lands as one completed dot per row, then the bias —
+    // the legacy add_in_place(z, matvec(wh, h)); z += b order.
+    kernels::gemv_add(wh_.data(), g4, h, h_prev, z);
+    kernels::add(z, b_.data(), g4);
+    kernels::lstm_activate(z, h);
 
-    sc.i.resize(hidden_);
-    sc.f.resize(hidden_);
-    sc.g.resize(hidden_);
-    sc.o.resize(hidden_);
-    for (std::size_t j = 0; j < hidden_; ++j) {
-      sc.i[j] = 1.0 / (1.0 + std::exp(-z[j]));
-      sc.f[j] = 1.0 / (1.0 + std::exp(-z[hidden_ + j]));
-      sc.g[j] = std::tanh(z[2 * hidden_ + j]);
-      sc.o[j] = 1.0 / (1.0 + std::exp(-z[3 * hidden_ + j]));
+    double* c = c_all_ + (t + 1) * h;
+    double* h_new = h_all_ + (t + 1) * h;
+    double* tc = tanh_c_ + t * h;
+    const double* gi = z;
+    const double* gf = z + h;
+    const double* gg = z + 2 * h;
+    const double* go = z + 3 * h;
+    for (std::size_t j = 0; j < h; ++j) {
+      // Two rounded products, then one add — the hadamard/add_in_place
+      // evaluation order the golden digests were computed with.
+      const double fc = gf[j] * c_prev[j];
+      const double ig = gi[j] * gg[j];
+      c[j] = fc + ig;
     }
-
-    c = hadamard(sc.f, c);
-    add_in_place(c, hadamard(sc.i, sc.g));
-    sc.c = c;
-    sc.tanh_c = tanh_vec(c);
-    h = hadamard(sc.o, sc.tanh_c);
-    sc.h = h;
-
-    hs.push_back(h);
-    cache_.push_back(std::move(sc));
+    kernels::tanh_into(tc, c, h);
+    for (std::size_t j = 0; j < h; ++j) h_new[j] = go[j] * tc[j];
   }
   // Recurrent-state contract: bounded gate algebra (sigmoid/tanh) keeps the
   // states finite; NaN/inf here means the weights have already diverged.
-  FIFER_DCHECK(all_finite(h) && all_finite(c), kPredict)
+  FIFER_DCHECK(kernels::all_finite(h_all_ + seq_len * h, h) &&
+                   kernels::all_finite(c_all_ + seq_len * h, h),
+               kPredict)
       << "LSTM hidden/cell state diverged";
-  return hs;
+  return h_all_ + h;
 }
 
-std::vector<Vec> LstmLayer::backward(const std::vector<Vec>& dh_seq) {
-  if (dh_seq.size() != cache_.size()) {
-    throw std::invalid_argument("LstmLayer::backward: sequence length mismatch");
-  }
-  std::vector<Vec> dx_seq(cache_.size());
-  Vec dh_next(hidden_, 0.0);  // dLoss/dh flowing from t+1.
-  Vec dc_next(hidden_, 0.0);  // dLoss/dc flowing from t+1.
+const double* LstmLayer::backward(const double* dh_seq, std::size_t seq_len,
+                                  Workspace& ws) {
+  FIFER_DCHECK_EQ(seq_len, seq_len_, kPredict)
+      << "LstmLayer::backward: sequence length mismatch";
+  const std::size_t in = wx_.cols();
+  const std::size_t h = hidden_;
+  const std::size_t g4 = 4 * h;
+  double* dx_seq = ws.alloc(seq_len * in);
+  double* dh = ws.alloc(h);
+  double* dc = ws.alloc(h);
+  double* dz = ws.alloc(g4);
+  double* dh_next = ws.alloc0(h);
+  double* dc_next = ws.alloc0(h);
 
-  for (std::size_t t = cache_.size(); t-- > 0;) {
-    const StepCache& sc = cache_[t];
-    Vec dh = dh_seq[t];
-    add_in_place(dh, dh_next);
+  for (std::size_t t = seq_len; t-- > 0;) {
+    const double* gi = gates_ + t * g4;
+    const double* gf = gi + h;
+    const double* gg = gi + 2 * h;
+    const double* go = gi + 3 * h;
+    const double* tc = tanh_c_ + t * h;
+    const double* h_prev = h_all_ + t * h;
+    const double* c_prev = c_all_ + t * h;
+    const double* dh_in = dh_seq + t * h;
 
-    // h = o * tanh(c)
-    const Vec do_gate = hadamard(dh, sc.tanh_c);
-    Vec dc = hadamard(dh, sc.o);
-    for (std::size_t j = 0; j < hidden_; ++j) {
-      dc[j] *= 1.0 - sc.tanh_c[j] * sc.tanh_c[j];
-      dc[j] += dc_next[j];
+    for (std::size_t j = 0; j < h; ++j) dh[j] = dh_in[j] + dh_next[j];
+
+    // h = o * tanh(c); c = f * c_prev + i * g. Expression shapes mirror the
+    // legacy hadamard chain exactly (see kernels.hpp's rounding contract).
+    for (std::size_t j = 0; j < h; ++j) {
+      double dcj = dh[j] * go[j];
+      dcj *= 1.0 - tc[j] * tc[j];
+      dcj += dc_next[j];
+      dc[j] = dcj;
     }
-
-    // c = f * c_prev + i * g
-    const Vec df = hadamard(dc, sc.c_prev);
-    const Vec di = hadamard(dc, sc.g);
-    const Vec dg = hadamard(dc, sc.i);
-    dc_next = hadamard(dc, sc.f);
-
-    // Pre-activation gradients, stacked [i, f, g, o].
-    Vec dz(4 * hidden_, 0.0);
-    for (std::size_t j = 0; j < hidden_; ++j) {
-      dz[j] = di[j] * sc.i[j] * (1.0 - sc.i[j]);
-      dz[hidden_ + j] = df[j] * sc.f[j] * (1.0 - sc.f[j]);
-      dz[2 * hidden_ + j] = dg[j] * (1.0 - sc.g[j] * sc.g[j]);
-      dz[3 * hidden_ + j] = do_gate[j] * sc.o[j] * (1.0 - sc.o[j]);
+    for (std::size_t j = 0; j < h; ++j) {
+      dz[j] = (dc[j] * gg[j]) * gi[j] * (1.0 - gi[j]);
+      dz[h + j] = (dc[j] * c_prev[j]) * gf[j] * (1.0 - gf[j]);
+      dz[2 * h + j] = (dc[j] * gi[j]) * (1.0 - gg[j] * gg[j]);
+      dz[3 * h + j] = (dh[j] * tc[j]) * go[j] * (1.0 - go[j]);
     }
+    for (std::size_t j = 0; j < h; ++j) dc_next[j] = dc[j] * gf[j];
 
-    add_outer(dwx_, dz, sc.x);
-    add_outer(dwh_, dz, sc.h_prev);
-    for (std::size_t j = 0; j < dz.size(); ++j) db_(j, 0) += dz[j];
+    kernels::rank1_add(dwx_.data(), g4, in, dz, x_ + t * in);
+    kernels::rank1_add(dwh_.data(), g4, h, dz, h_prev);
+    kernels::add(db_.data(), dz, g4);
 
-    dx_seq[t] = matvec_transposed(wx_, dz);
-    dh_next = matvec_transposed(wh_, dz);
+    double* dx = dx_seq + t * in;
+    for (std::size_t c = 0; c < in; ++c) dx[c] = 0.0;
+    kernels::gemv_t_add(wx_.data(), g4, in, dz, dx);
+    for (std::size_t j = 0; j < h; ++j) dh_next[j] = 0.0;
+    kernels::gemv_t_add(wh_.data(), g4, h, dz, dh_next);
   }
   return dx_seq;
 }

@@ -4,6 +4,7 @@
 
 #include "predict/nn/layer.hpp"
 #include "predict/nn/matrix.hpp"
+#include "predict/nn/workspace.hpp"
 
 namespace fifer::nn {
 
@@ -13,6 +14,14 @@ namespace fifer::nn {
 ///
 /// Gate layout in the stacked weight matrices is [input, forget, cell,
 /// output], i.e. rows [0,H), [H,2H), [2H,3H), [3H,4H).
+///
+/// Hot-path shape (DESIGN.md §5i): sequences are flat row-major buffers
+/// ([T x dim]) carved from the caller's Workspace. forward() batches the
+/// input projection for every timestep in one matmul_nt call, then runs
+/// the recurrence with fused gate activation; all step caches (hidden and
+/// cell trajectories, post-activation gates, tanh(c)) live in the arena,
+/// so a warmed-up pass allocates nothing. backward() must run before the
+/// next ws.reset() — the caches are arena spans.
 class LstmLayer {
  public:
   LstmLayer(std::size_t input_dim, std::size_t hidden_dim, Rng& rng);
@@ -20,29 +29,33 @@ class LstmLayer {
   std::size_t input_dim() const { return wx_.cols(); }
   std::size_t hidden_dim() const { return hidden_; }
 
-  /// Runs the layer over `xs` from a zero initial state; returns the hidden
-  /// state at every timestep. Caches everything needed by backward().
-  std::vector<Vec> forward(const std::vector<Vec>& xs);
+  /// Runs the layer over `xs` ([seq_len x input_dim], row-major) from a
+  /// zero initial state; returns the hidden state at every timestep
+  /// ([seq_len x hidden_dim], arena-backed). Caches everything needed by
+  /// backward().
+  const double* forward(const double* xs, std::size_t seq_len, Workspace& ws);
 
   /// Backpropagates gradients w.r.t. every timestep's hidden output
-  /// (callers that only use the final hidden state pass zeros elsewhere).
-  /// Accumulates weight gradients; returns gradients w.r.t. the inputs.
-  std::vector<Vec> backward(const std::vector<Vec>& dh_seq);
+  /// (`dh_seq`, [seq_len x hidden_dim]; callers that only use the final
+  /// hidden state pass zeros elsewhere). Accumulates weight gradients;
+  /// returns gradients w.r.t. the inputs ([seq_len x input_dim]).
+  const double* backward(const double* dh_seq, std::size_t seq_len,
+                         Workspace& ws);
 
   std::vector<ParamRef> params();
   void zero_grads();
 
  private:
-  struct StepCache {
-    Vec x, h_prev, c_prev;
-    Vec i, f, g, o;  ///< Post-activation gate values.
-    Vec c, tanh_c, h;
-  };
-
   std::size_t hidden_;
   Matrix wx_, wh_, b_;     // (4H x I), (4H x H), (4H x 1)
   Matrix dwx_, dwh_, db_;
-  std::vector<StepCache> cache_;
+  // Arena-backed caches from the latest forward (valid until ws.reset()):
+  const double* x_ = nullptr;  ///< [T x I], caller-owned input sequence.
+  double* h_all_ = nullptr;    ///< [(T+1) x H]; row 0 is the zero state.
+  double* c_all_ = nullptr;    ///< [(T+1) x H]; row 0 is the zero state.
+  double* gates_ = nullptr;    ///< [T x 4H] post-activation [i,f,g,o].
+  double* tanh_c_ = nullptr;   ///< [T x H].
+  std::size_t seq_len_ = 0;
 };
 
 }  // namespace fifer::nn

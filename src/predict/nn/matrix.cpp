@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
-#include <string>
+
+#include "common/check.hpp"
 
 namespace fifer::nn {
 
@@ -24,13 +24,13 @@ Matrix Matrix::xavier(std::size_t rows, std::size_t cols, Rng& rng) {
 void Matrix::fill(double v) { std::fill(data_.begin(), data_.end(), v); }
 
 Matrix& Matrix::operator+=(const Matrix& o) {
-  if (!same_shape(o)) throw std::invalid_argument("Matrix += shape mismatch");
+  FIFER_DCHECK(same_shape(o), kPredict) << "Matrix += shape mismatch";
   for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
   return *this;
 }
 
 Matrix& Matrix::operator-=(const Matrix& o) {
-  if (!same_shape(o)) throw std::invalid_argument("Matrix -= shape mismatch");
+  FIFER_DCHECK(same_shape(o), kPredict) << "Matrix -= shape mismatch";
   for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
   return *this;
 }
@@ -41,7 +41,7 @@ Matrix& Matrix::operator*=(double s) {
 }
 
 Vec matvec(const Matrix& m, const Vec& x) {
-  if (x.size() != m.cols()) throw std::invalid_argument("matvec: shape mismatch");
+  FIFER_DCHECK_EQ(x.size(), m.cols(), kPredict) << "matvec: shape mismatch";
   Vec y(m.rows(), 0.0);
   for (std::size_t r = 0; r < m.rows(); ++r) {
     double acc = 0.0;
@@ -53,9 +53,8 @@ Vec matvec(const Matrix& m, const Vec& x) {
 }
 
 Vec matvec_transposed(const Matrix& m, const Vec& x) {
-  if (x.size() != m.rows()) {
-    throw std::invalid_argument("matvec_transposed: shape mismatch");
-  }
+  FIFER_DCHECK_EQ(x.size(), m.rows(), kPredict)
+      << "matvec_transposed: shape mismatch";
   Vec y(m.cols(), 0.0);
   for (std::size_t r = 0; r < m.rows(); ++r) {
     const double* row = m.data() + r * m.cols();
@@ -66,9 +65,8 @@ Vec matvec_transposed(const Matrix& m, const Vec& x) {
 }
 
 void add_outer(Matrix& g, const Vec& a, const Vec& b) {
-  if (g.rows() != a.size() || g.cols() != b.size()) {
-    throw std::invalid_argument("add_outer: shape mismatch");
-  }
+  FIFER_DCHECK(g.rows() == a.size() && g.cols() == b.size(), kPredict)
+      << "add_outer: shape mismatch";
   for (std::size_t r = 0; r < a.size(); ++r) {
     double* row = g.data() + r * g.cols();
     for (std::size_t c = 0; c < b.size(); ++c) row[c] += a[r] * b[c];
@@ -77,7 +75,7 @@ void add_outer(Matrix& g, const Vec& a, const Vec& b) {
 
 namespace {
 void check_sizes(const Vec& a, const Vec& b, const char* what) {
-  if (a.size() != b.size()) throw std::invalid_argument(std::string(what) + ": size mismatch");
+  FIFER_DCHECK_EQ(a.size(), b.size(), kPredict) << what << ": size mismatch";
 }
 }  // namespace
 

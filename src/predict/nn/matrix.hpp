@@ -7,10 +7,17 @@
 
 namespace fifer::nn {
 
-/// Dense row-major matrix of doubles. Deliberately minimal: just the
-/// operations the NN layers need, no expression templates, no BLAS — the
-/// models here are tiny (32-unit layers trained with batch size 1, per the
-/// paper §5.1), so clarity beats throughput.
+/// Dense row-major matrix of doubles — the parameter/gradient container
+/// for the NN layers. Still deliberately minimal (no expression templates,
+/// no BLAS dependency), but the hot math no longer lives here: layer
+/// forward/backward passes run on the raw-buffer kernels in
+/// predict/nn/kernels.hpp over Workspace-arena spans, which are
+/// allocation-free and restrict-qualified for vectorization. The `Vec`
+/// helpers below survive as the readable reference implementation — the
+/// kernels are contractually bit-identical to them (same accumulation
+/// order), which is how the golden-digest fidelity suite pins determinism
+/// (see kernels.hpp and DESIGN.md §5i). Tests and cold paths may use them;
+/// layer hot paths must not (tools/lint.sh enforces this).
 class Matrix {
  public:
   Matrix() = default;

@@ -1,0 +1,54 @@
+#include "predict/nn/workspace.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace fifer::nn {
+
+namespace {
+constexpr std::size_t kMinBlockDoubles = 1024;
+// Sentinel target for zero-length spans; never dereferenced but must be
+// non-null and distinct from arena memory so callers can pass it around.
+double g_empty_span[1];
+}  // namespace
+
+double* Workspace::alloc(std::size_t n) {
+  if (n == 0) return g_empty_span;
+  while (active_ < blocks_.size()) {
+    Block& b = blocks_[active_];
+    if (b.cap - b.used >= n) {
+      double* p = b.data.get() + b.used;
+      b.used += n;
+      return p;
+    }
+    ++active_;
+  }
+  const std::size_t prev_cap = blocks_.empty() ? 0 : blocks_.back().cap;
+  const std::size_t cap = std::max({n, prev_cap * 2, kMinBlockDoubles});
+  Block b;
+  b.data = std::make_unique<double[]>(cap);
+  b.cap = cap;
+  b.used = n;
+  blocks_.push_back(std::move(b));
+  active_ = blocks_.size() - 1;
+  return blocks_.back().data.get();
+}
+
+double* Workspace::alloc0(std::size_t n) {
+  double* p = alloc(n);
+  if (n > 0) std::memset(p, 0, n * sizeof(double));
+  return p;
+}
+
+void Workspace::reset() {
+  for (Block& b : blocks_) b.used = 0;
+  active_ = 0;
+}
+
+std::size_t Workspace::capacity() const {
+  std::size_t total = 0;
+  for (const Block& b : blocks_) total += b.cap;
+  return total;
+}
+
+}  // namespace fifer::nn

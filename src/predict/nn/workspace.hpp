@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace fifer::nn {
+
+/// Bump-allocator arena for the NN layers' step caches and scratch buffers
+/// (DESIGN.md §5i). One Workspace lives per predictor; every forward pass
+/// calls reset() and re-carves the same blocks, so after the first
+/// (warming) pass a forecast performs zero heap allocations — the property
+/// bench_predict's counting-allocator probe gates.
+///
+/// Properties the layers rely on:
+///  - pointer stability: the arena grows by appending blocks, never by
+///    reallocating one, so spans handed out earlier in a pass stay valid
+///    while later allocations happen;
+///  - reset() rewinds the bump cursor without freeing, so an identical
+///    allocation sequence reuses the same memory (and allocates nothing);
+///  - copying a Workspace produces a fresh *empty* arena: training replicas
+///    copy their predictor (and its workspace) and must carve their own
+///    spans, not alias the source's.
+class Workspace {
+ public:
+  Workspace() = default;
+
+  Workspace(const Workspace&) {}
+  Workspace& operator=(const Workspace&) { return *this; }
+  Workspace(Workspace&&) = default;
+  Workspace& operator=(Workspace&&) = default;
+
+  /// Carves `n` doubles (uninitialized). Valid until the next reset().
+  /// n == 0 returns a non-null placeholder pointer.
+  double* alloc(std::size_t n);
+
+  /// Carves `n` doubles and zero-fills them.
+  double* alloc0(std::size_t n);
+
+  /// Rewinds the cursor; all previously carved spans are invalidated but
+  /// the underlying blocks are kept for reuse.
+  void reset();
+
+  /// Total doubles of capacity across all blocks (observability/tests).
+  std::size_t capacity() const;
+  std::size_t block_count() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    std::unique_ptr<double[]> data;
+    std::size_t cap = 0;
+    std::size_t used = 0;
+  };
+
+  std::vector<Block> blocks_;
+  std::size_t active_ = 0;  ///< First block with free space.
+};
+
+}  // namespace fifer::nn

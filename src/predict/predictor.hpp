@@ -49,6 +49,17 @@ struct TrainConfig {
   /// Season length in windows for the seasonal baselines ("seasonal",
   /// "hw"); e.g. a 600 s day at Ws = 5 s is 120 windows.
   std::size_t seasonal_period = 120;
+  /// Deterministic parallel training (NeuralPredictor::train): the dataset
+  /// is walked in rounds of `train_shards` consecutive examples, each shard
+  /// computing gradients on its own model replica; shard gradients are
+  /// reduced in fixed shard order, so results depend only on the shard
+  /// count, never on thread scheduling. 1 (the default) preserves the
+  /// legacy strictly-sequential per-example semantics bit for bit.
+  std::size_t train_shards = 1;
+  /// Worker threads for the sharded path; 0 means min(train_shards,
+  /// hardware concurrency). Any value yields bit-identical results for a
+  /// fixed train_shards — this knob only changes wall time.
+  std::size_t train_jobs = 0;
 };
 
 /// Factory by model name (case-insensitive): "mwa", "ewma", "linreg",

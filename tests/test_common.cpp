@@ -123,6 +123,15 @@ TEST(Percentiles, AddAllAndMean) {
   EXPECT_DOUBLE_EQ(p.mean(), 2.0);
 }
 
+TEST(Percentiles, P999SitsBetweenP99AndMax) {
+  Percentiles p;
+  // 0..999 uniformly: p99.9 interpolates inside the last sample gap.
+  for (int i = 0; i < 1000; ++i) p.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(p.p999(), 999.0 * 0.999);
+  EXPECT_GT(p.p999(), p.p99());
+  EXPECT_LT(p.p999(), p.max());
+}
+
 TEST(Histogram, BinningAndClamping) {
   Histogram h(0.0, 100.0, 10);
   h.add(5.0);    // bin 0

@@ -179,6 +179,7 @@ TEST(Server, EchoesRequestsFromLoadGenerator) {
   lg.connections = 3;
   lg.time_scale = 1000.0;
   lg.timeout_seconds = 30.0;
+  lg.warmup_requests = 10;  // first 10 RTTs excluded from the percentiles
   const LoadGenReport r = run_loadgen(plan, apps, lg);
 
   EXPECT_TRUE(r.completed);
@@ -186,6 +187,10 @@ TEST(Server, EchoesRequestsFromLoadGenerator) {
   EXPECT_EQ(r.received, 50u);
   EXPECT_EQ(r.ok, 50u);
   EXPECT_EQ(r.errors, 0u);
+  EXPECT_EQ(r.rtt_samples, 40u);  // 50 responses minus the warmup prefix
+  EXPECT_GT(r.rtt_p50_ms, 0.0);
+  EXPECT_GE(r.rtt_p999_ms, r.rtt_p99_ms);
+  EXPECT_GE(r.rtt_max_ms, r.rtt_p999_ms);
 
   // The client returns as soon as its FINs hit the kernel; give the epoll
   // thread a moment to parse them (serving mode waits on this count as its

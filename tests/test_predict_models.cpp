@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
 
 #include "predict/classic.hpp"
 #include "predict/dataset.hpp"
@@ -259,6 +260,127 @@ TEST(NeuralApi, DeterministicTrainingGivenSeed) {
   const std::vector<double> window(rates.end() - 8, rates.end());
   EXPECT_DOUBLE_EQ(a->forecast(window), b->forecast(window));
 }
+
+// ------------------------------------------- deterministic sharded training
+
+/// Trains an LSTM with the given shard/job counts and returns its forecast
+/// on a fixed window (a bit-exact fingerprint of the final weights).
+double sharded_lstm_fingerprint(std::size_t shards, std::size_t jobs) {
+  TrainConfig cfg;
+  cfg.input_window = 8;
+  cfg.epochs = 4;
+  cfg.seed = 99;
+  cfg.train_shards = shards;
+  cfg.train_jobs = jobs;
+  auto model = make_predictor("lstm", cfg);
+  const auto rates = sine_rates(120);
+  model->train(rates);
+  const std::vector<double> window(rates.end() - 8, rates.end());
+  return model->forecast(window);
+}
+
+TEST(ShardedTraining, BitIdenticalAcrossThreadCounts) {
+  // The reduction order is pinned by the shard count, so any jobs value —
+  // sequential fallback included — must produce bit-identical weights.
+  const double one_thread = sharded_lstm_fingerprint(4, 1);
+  EXPECT_DOUBLE_EQ(one_thread, sharded_lstm_fingerprint(4, 2));
+  EXPECT_DOUBLE_EQ(one_thread, sharded_lstm_fingerprint(4, 4));
+  EXPECT_DOUBLE_EQ(one_thread, sharded_lstm_fingerprint(4, 4));  // rerun
+}
+
+TEST(ShardedTraining, SingleShardTakesTheLegacyPath) {
+  // train_shards=1 must be bit-identical to the default sequential loop
+  // regardless of train_jobs (no replicas, no reduction, no averaging).
+  TrainConfig cfg;
+  cfg.input_window = 8;
+  cfg.epochs = 4;
+  cfg.seed = 99;
+  auto a = make_predictor("lstm", cfg);
+  cfg.train_shards = 1;
+  cfg.train_jobs = 4;
+  auto b = make_predictor("lstm", cfg);
+  const auto rates = sine_rates(120);
+  a->train(rates);
+  b->train(rates);
+  const std::vector<double> window(rates.end() - 8, rates.end());
+  EXPECT_DOUBLE_EQ(a->forecast(window), b->forecast(window));
+}
+
+TEST(ShardedTraining, DeepArGaussianLossShardsDeterministically) {
+  // DeepAR overrides train_example (Gaussian NLL); replicas must dispatch
+  // to the override and stay deterministic too.
+  auto fingerprint = [](std::size_t jobs) {
+    TrainConfig cfg;
+    cfg.input_window = 8;
+    cfg.epochs = 3;
+    cfg.seed = 5;
+    cfg.train_shards = 3;
+    cfg.train_jobs = jobs;
+    DeepArPredictor model(cfg);
+    const auto rates = sine_rates(120);
+    model.train(rates);
+    return model.forecast(std::vector<double>(8, 100.0));
+  };
+  EXPECT_DOUBLE_EQ(fingerprint(1), fingerprint(3));
+}
+
+TEST(ShardedTraining, StillLearnsThePeriodicSignal) {
+  TrainConfig cfg;
+  cfg.input_window = 12;
+  cfg.horizon = 2;
+  cfg.epochs = 60;
+  cfg.seed = 7;
+  cfg.train_shards = 4;
+  auto model = make_predictor("lstm", cfg);
+  const auto rates = sine_rates(400);
+  model->train(std::vector<double>(rates.begin(), rates.begin() + 240));
+  double model_se = 0.0, mean_se = 0.0;
+  for (std::size_t t = 240; t + cfg.horizon < rates.size(); ++t) {
+    const std::vector<double> window(rates.begin() + static_cast<long>(t) - 12,
+                                     rates.begin() + static_cast<long>(t));
+    const double pred = model->forecast(window);
+    double truth = 0.0;
+    for (std::size_t h = 0; h < cfg.horizon; ++h) {
+      truth = std::max(truth, rates[t + h]);
+    }
+    model_se += (pred - truth) * (pred - truth);
+    mean_se += (100.0 - truth) * (100.0 - truth);
+  }
+  EXPECT_LT(model_se, mean_se);
+}
+
+// ----------------------------------------------------- serialize round-trip
+
+class SerializeRoundTrip : public testing::TestWithParam<const char*> {};
+
+TEST_P(SerializeRoundTrip, LoadedModelForecastsIdentically) {
+  TrainConfig cfg;
+  cfg.input_window = 8;
+  cfg.epochs = 5;
+  cfg.seed = 31;
+  const auto rates = sine_rates(140);
+
+  auto trained = make_predictor(GetParam(), cfg);
+  trained->train(rates);
+  const std::string path = testing::TempDir() + "fifer_nn_roundtrip_" +
+                           GetParam() + ".txt";
+  dynamic_cast<NeuralPredictor&>(*trained).save(path);
+
+  auto loaded = make_predictor(GetParam(), cfg);
+  dynamic_cast<NeuralPredictor&>(*loaded).load(path);
+
+  // Identical weights + identical sampling RNG state => bit-identical
+  // forecasts, including on windows needing padding or normalization.
+  for (const auto& window :
+       {std::vector<double>(rates.end() - 8, rates.end()),
+        std::vector<double>{50.0, 60.0}, std::vector<double>(8, 250.0)}) {
+    EXPECT_DOUBLE_EQ(trained->forecast(window), loaded->forecast(window));
+  }
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTrainable, SerializeRoundTrip,
+                         testing::Values("ff", "lstm", "deepar", "wavenet"));
 
 TEST(DeepAr, ExposesDistribution) {
   TrainConfig cfg;

@@ -1,17 +1,22 @@
-// Unit tests for the from-scratch NN library: matrix ops, layer forward
-// passes, numeric gradient checks for every layer type, and optimizers.
+// Unit tests for the from-scratch NN library: the raw-buffer kernels and
+// their bit-exact equivalence to the readable Vec reference helpers, the
+// Workspace arena, layer forward passes, numeric gradient checks for every
+// layer type under the flat sequence API, and the optimizers.
 
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <functional>
 
+#include "common/check.hpp"
 #include "predict/nn/conv1d.hpp"
 #include "predict/nn/gru.hpp"
+#include "predict/nn/kernels.hpp"
 #include "predict/nn/layer.hpp"
 #include "predict/nn/lstm.hpp"
 #include "predict/nn/matrix.hpp"
 #include "predict/nn/optimizer.hpp"
+#include "predict/nn/workspace.hpp"
 
 namespace fifer::nn {
 namespace {
@@ -39,7 +44,7 @@ TEST(Matrix, XavierBoundsAndDeterminism) {
   }
 }
 
-TEST(Matrix, ArithmeticAndShapeChecks) {
+TEST(Matrix, Arithmetic) {
   Matrix a(2, 2, 1.0), b(2, 2, 2.0);
   a += b;
   EXPECT_DOUBLE_EQ(a(0, 0), 3.0);
@@ -47,8 +52,6 @@ TEST(Matrix, ArithmeticAndShapeChecks) {
   EXPECT_DOUBLE_EQ(a(1, 1), 1.0);
   a *= 4.0;
   EXPECT_DOUBLE_EQ(a(0, 1), 4.0);
-  Matrix c(3, 2, 0.0);
-  EXPECT_THROW(a += c, std::invalid_argument);
 }
 
 TEST(Matrix, MatvecAndTranspose) {
@@ -64,9 +67,24 @@ TEST(Matrix, MatvecAndTranspose) {
   const Vec yt = matvec_transposed(m, {1.0, 1.0});
   EXPECT_DOUBLE_EQ(yt[0], 5.0);
   EXPECT_DOUBLE_EQ(yt[2], 9.0);
-  EXPECT_THROW(matvec(m, {1.0}), std::invalid_argument);
-  EXPECT_THROW(matvec_transposed(m, {1.0}), std::invalid_argument);
 }
+
+#if FIFER_DCHECK_ENABLED
+// Shape violations are FIFER_DCHECK contract breaches (they were throwing
+// std::invalid_argument before the kernels rewrite): compiled out of plain
+// release builds, enforced under -DFIFER_DCHECKS=ON and in debug builds.
+TEST(Matrix, ShapeMismatchTripsContract) {
+  check::ScopedTrap trap;
+  Matrix a(2, 2, 1.0), c(3, 2, 0.0);
+  EXPECT_THROW(a += c, check::CheckFailure);
+  EXPECT_THROW(a -= c, check::CheckFailure);
+  Matrix m(2, 3, 1.0);
+  EXPECT_THROW(matvec(m, {1.0}), check::CheckFailure);
+  EXPECT_THROW(matvec_transposed(m, {1.0}), check::CheckFailure);
+  Matrix g(2, 2, 0.0);
+  EXPECT_THROW(add_outer(g, {1.0}, {1.0, 2.0}), check::CheckFailure);
+}
+#endif
 
 TEST(Matrix, OuterProductAccumulates) {
   Matrix g(2, 2, 1.0);
@@ -98,11 +116,174 @@ TEST(Matrix, ActivationsAndDerivatives) {
   EXPECT_EQ(drelu_from_y(r)[2], 1.0);
 }
 
+// -------------------------------------------------------------- workspace
+
+TEST(Workspace, AllocationsAreZeroOrUninitButDistinct) {
+  Workspace ws;
+  double* a = ws.alloc0(8);
+  double* b = ws.alloc0(16);
+  EXPECT_NE(a, b);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_DOUBLE_EQ(a[i], 0.0);
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_DOUBLE_EQ(b[i], 0.0);
+}
+
+TEST(Workspace, PointersStayValidAcrossGrowth) {
+  // The arena appends blocks instead of reallocating: spans handed out
+  // before a growth must survive it (layers cache raw pointers).
+  Workspace ws;
+  double* first = ws.alloc(4);
+  first[0] = 42.0;
+  for (int i = 0; i < 64; ++i) ws.alloc(1024);  // force several new blocks
+  EXPECT_DOUBLE_EQ(first[0], 42.0);
+  EXPECT_GE(ws.block_count(), 2u);
+}
+
+TEST(Workspace, ResetReusesCapacityAndSpans) {
+  Workspace ws;
+  double* a1 = ws.alloc(100);
+  double* b1 = ws.alloc(5000);
+  const std::size_t cap = ws.capacity();
+  const std::size_t blocks = ws.block_count();
+  ws.reset();
+  // Same allocation sequence after reset() lands on the same spans with no
+  // new capacity — the zero-allocation steady state forecast() relies on.
+  double* a2 = ws.alloc(100);
+  double* b2 = ws.alloc(5000);
+  EXPECT_EQ(a1, a2);
+  EXPECT_EQ(b1, b2);
+  EXPECT_EQ(ws.capacity(), cap);
+  EXPECT_EQ(ws.block_count(), blocks);
+}
+
+TEST(Workspace, CopyStartsEmpty) {
+  Workspace ws;
+  ws.alloc(256);
+  Workspace copy(ws);  // replicas carve their own arenas
+  EXPECT_EQ(copy.capacity(), 0u);
+  Workspace assigned;
+  assigned.alloc(16);
+  const std::size_t cap = assigned.capacity();
+  assigned = ws;
+  EXPECT_EQ(assigned.capacity(), cap);  // keeps its own arena
+}
+
+// ---------------------------------------------------------------- kernels
+
+// The kernels contract (kernels.hpp) is bit-exact equivalence with the Vec
+// reference helpers — same accumulation order, so EXPECT_DOUBLE_EQ, not
+// EXPECT_NEAR.
+
+TEST(Kernels, GemvMatchesMatvecBitExactly) {
+  Rng rng(21);
+  const Matrix m = Matrix::xavier(7, 5, rng);
+  Vec x(5);
+  for (auto& v : x) v = rng.normal(0.0, 1.0);
+  const Vec ref = matvec(m, x);
+  double y[7];
+  kernels::gemv(m.data(), 7, 5, x.data(), y);
+  for (std::size_t i = 0; i < 7; ++i) EXPECT_DOUBLE_EQ(y[i], ref[i]);
+
+  // gemv_add: fresh dot added once == add_in_place(y, matvec(m, x)).
+  Vec acc_ref(7);
+  for (auto& v : acc_ref) v = rng.normal(0.0, 1.0);
+  double acc[7];
+  for (std::size_t i = 0; i < 7; ++i) acc[i] = acc_ref[i];
+  add_in_place(acc_ref, matvec(m, x));
+  kernels::gemv_add(m.data(), 7, 5, x.data(), acc);
+  for (std::size_t i = 0; i < 7; ++i) EXPECT_DOUBLE_EQ(acc[i], acc_ref[i]);
+}
+
+TEST(Kernels, GemvSeedAccumMatchesTermByTermFold) {
+  // The GRU order: the seed value participates in the running sum from the
+  // start, each product folded in one at a time.
+  Rng rng(22);
+  const Matrix m = Matrix::xavier(4, 6, rng);
+  Vec x(6), seed(4);
+  for (auto& v : x) v = rng.normal(0.0, 1.0);
+  for (auto& v : seed) v = rng.normal(0.0, 1.0);
+  Vec ref = seed;
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 6; ++c) ref[r] += m(r, c) * x[c];
+  }
+  double y[4];
+  for (std::size_t i = 0; i < 4; ++i) y[i] = seed[i];
+  kernels::gemv_seed_accum(m.data(), 4, 6, x.data(), y);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(y[i], ref[i]);
+}
+
+TEST(Kernels, GemvTAddMatchesMatvecTransposed) {
+  Rng rng(23);
+  const Matrix m = Matrix::xavier(6, 4, rng);
+  Vec x(6);
+  for (auto& v : x) v = rng.normal(0.0, 1.0);
+  const Vec ref = matvec_transposed(m, x);
+  double y[4] = {0.0, 0.0, 0.0, 0.0};
+  kernels::gemv_t_add(m.data(), 6, 4, x.data(), y);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(y[i], ref[i]);
+}
+
+TEST(Kernels, MatmulNtMatchesPerRowGemv) {
+  // C[t] = W x_t for every row of a [T x K] input — the batched input
+  // projection must equal the per-timestep gemv bit for bit.
+  Rng rng(24);
+  const std::size_t T = 5, K = 3, N = 8;
+  const Matrix w = Matrix::xavier(N, K, rng);
+  Vec xs(T * K);
+  for (auto& v : xs) v = rng.normal(0.0, 1.0);
+  Vec batched(T * N), single(N);
+  kernels::matmul_nt(xs.data(), T, K, w.data(), N, batched.data());
+  for (std::size_t t = 0; t < T; ++t) {
+    kernels::gemv(w.data(), N, K, xs.data() + t * K, single.data());
+    for (std::size_t i = 0; i < N; ++i) {
+      EXPECT_DOUBLE_EQ(batched[t * N + i], single[i]) << "t=" << t;
+    }
+  }
+}
+
+TEST(Kernels, Rank1AddMatchesAddOuter) {
+  Rng rng(25);
+  Matrix ref(3, 4, 0.5);
+  Vec a(3), b(4);
+  for (auto& v : a) v = rng.normal(0.0, 1.0);
+  for (auto& v : b) v = rng.normal(0.0, 1.0);
+  Matrix got = ref;
+  add_outer(ref, a, b);
+  kernels::rank1_add(got.data(), 3, 4, a.data(), b.data());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_DOUBLE_EQ(got.data()[i], ref.data()[i]);
+  }
+}
+
+TEST(Kernels, LstmActivateLayout) {
+  // Fused gate activation: sigmoid on [0,2H) and [3H,4H), tanh on [2H,3H).
+  const std::size_t h = 3;
+  Vec z(4 * h);
+  Rng rng(26);
+  for (auto& v : z) v = rng.normal(0.0, 1.5);
+  const Vec raw = z;
+  kernels::lstm_activate(z.data(), h);
+  for (std::size_t i = 0; i < 4 * h; ++i) {
+    const bool is_tanh = i >= 2 * h && i < 3 * h;
+    const double want =
+        is_tanh ? std::tanh(raw[i]) : 1.0 / (1.0 + std::exp(-raw[i]));
+    EXPECT_DOUBLE_EQ(z[i], want) << "gate element " << i;
+  }
+}
+
+TEST(Kernels, AllFinite) {
+  Vec ok{1.0, -2.0, 0.0};
+  EXPECT_TRUE(kernels::all_finite(ok.data(), ok.size()));
+  ok[1] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(kernels::all_finite(ok.data(), ok.size()));
+  ok[1] = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(kernels::all_finite(ok.data(), ok.size()));
+}
+
 // -------------------------------------------------------- gradient checks
 
 /// Central-difference check of dLoss/dparam against the analytic gradient
-/// accumulated by backward(). `loss_fn` must run forward+backward with
-/// gradients freshly zeroed and return the loss.
+/// accumulated by backward(). `loss_with_backward` must run forward +
+/// backward with gradients freshly zeroed and return the loss.
 void check_param_gradients(std::vector<ParamRef> params,
                            const std::function<double()>& loss_with_backward,
                            double tol = 1e-5) {
@@ -116,7 +297,6 @@ void check_param_gradients(std::vector<ParamRef> params,
              1, p.value->size() / 17)) {  // sample parameters for speed
       const double analytic = p.grad->data()[i];
       const double saved = p.value->data()[i];
-      std::vector<Matrix> grad_backup;
 
       p.value->data()[i] = saved + kEps;
       for (auto& q : params) q.grad->fill(0.0);
@@ -142,15 +322,17 @@ TEST(GradCheck, DenseTanh) {
   Dense head(4, 1, Dense::Activation::kLinear, rng);
   const Vec x{0.3, -0.7, 1.1};
   const Vec target{0.5};
+  Workspace ws;
 
   auto params = layer.params();
   for (auto& p : head.params()) params.push_back(p);
 
   auto loss_fn = [&]() {
-    const Vec pred = head.forward(layer.forward(x));
+    ws.reset();
+    const double* p = head.forward(layer.forward(x.data(), ws), ws);
     Vec dpred;
-    const double loss = mse_loss(pred, target, dpred);
-    layer.backward(head.backward(dpred));
+    const double loss = mse_loss({p[0]}, target, dpred);
+    layer.backward(head.backward(dpred.data(), ws), ws);
     return loss;
   };
   check_param_gradients(params, loss_fn);
@@ -162,14 +344,16 @@ TEST(GradCheck, DenseReluAndSigmoid) {
   Dense l2(5, 2, Dense::Activation::kSigmoid, rng);
   const Vec x{0.9, 0.2, -0.4};
   const Vec target{0.3, 0.8};
+  Workspace ws;
 
   auto params = l1.params();
   for (auto& p : l2.params()) params.push_back(p);
   auto loss_fn = [&]() {
-    const Vec pred = l2.forward(l1.forward(x));
+    ws.reset();
+    const double* p = l2.forward(l1.forward(x.data(), ws), ws);
     Vec dpred;
-    const double loss = mse_loss(pred, target, dpred);
-    l1.backward(l2.backward(dpred));
+    const double loss = mse_loss({p[0], p[1]}, target, dpred);
+    l1.backward(l2.backward(dpred.data(), ws), ws);
     return loss;
   };
   check_param_gradients(params, loss_fn);
@@ -179,41 +363,74 @@ TEST(GradCheck, LstmLayer) {
   Rng rng(13);
   LstmLayer lstm(2, 4, rng);
   Dense head(4, 1, Dense::Activation::kLinear, rng);
-  const std::vector<Vec> xs{{0.2, -0.1}, {0.5, 0.4}, {-0.3, 0.9}, {0.1, 0.1}};
+  // Flat [T x 2] input sequence.
+  const Vec xs{0.2, -0.1, 0.5, 0.4, -0.3, 0.9, 0.1, 0.1};
+  const std::size_t T = 4, H = 4;
   const Vec target{0.7};
+  Workspace ws;
 
   auto params = lstm.params();
   for (auto& p : head.params()) params.push_back(p);
   auto loss_fn = [&]() {
-    const auto hs = lstm.forward(xs);
-    const Vec pred = head.forward(hs.back());
+    ws.reset();
+    const double* hs = lstm.forward(xs.data(), T, ws);
+    const double* p = head.forward(hs + (T - 1) * H, ws);
     Vec dpred;
-    const double loss = mse_loss(pred, target, dpred);
-    std::vector<Vec> dh(xs.size(), Vec(4, 0.0));
-    dh.back() = head.backward(dpred);
-    lstm.backward(dh);
+    const double loss = mse_loss({p[0]}, target, dpred);
+    const double* d_last = head.backward(dpred.data(), ws);
+    double* dh = ws.alloc0(T * H);
+    for (std::size_t j = 0; j < H; ++j) dh[(T - 1) * H + j] = d_last[j];
+    lstm.backward(dh, T, ws);
     return loss;
   };
   check_param_gradients(params, loss_fn, 1e-4);
+}
+
+TEST(GradCheck, LstmLayerAllTimestepGradients) {
+  // A stacked-LSTM lower layer receives nonzero dh at EVERY timestep; the
+  // single-head tests above only exercise the final one.
+  Rng rng(19);
+  LstmLayer lstm(1, 3, rng);
+  const Vec xs{0.4, -0.2, 0.9};
+  const std::size_t T = 3, H = 3;
+  Workspace ws;
+
+  // Loss = weighted sum of all hidden outputs; analytic dh is the weights.
+  Vec wsum(T * H);
+  for (auto& v : wsum) v = rng.normal(0.0, 1.0);
+
+  auto loss_fn = [&]() {
+    ws.reset();
+    const double* hs = lstm.forward(xs.data(), T, ws);
+    double loss = 0.0;
+    for (std::size_t i = 0; i < T * H; ++i) loss += wsum[i] * hs[i];
+    lstm.backward(wsum.data(), T, ws);
+    return loss;
+  };
+  check_param_gradients(lstm.params(), loss_fn, 1e-4);
 }
 
 TEST(GradCheck, GruLayer) {
   Rng rng(14);
   GruLayer gru(2, 3, rng);
   Dense head(3, 1, Dense::Activation::kLinear, rng);
-  const std::vector<Vec> xs{{0.3, 0.8}, {-0.2, 0.1}, {0.6, -0.5}};
+  const Vec xs{0.3, 0.8, -0.2, 0.1, 0.6, -0.5};
+  const std::size_t T = 3, H = 3;
   const Vec target{-0.2};
+  Workspace ws;
 
   auto params = gru.params();
   for (auto& p : head.params()) params.push_back(p);
   auto loss_fn = [&]() {
-    const auto hs = gru.forward(xs);
-    const Vec pred = head.forward(hs.back());
+    ws.reset();
+    const double* hs = gru.forward(xs.data(), T, ws);
+    const double* p = head.forward(hs + (T - 1) * H, ws);
     Vec dpred;
-    const double loss = mse_loss(pred, target, dpred);
-    std::vector<Vec> dh(xs.size(), Vec(3, 0.0));
-    dh.back() = head.backward(dpred);
-    gru.backward(dh);
+    const double loss = mse_loss({p[0]}, target, dpred);
+    const double* d_last = head.backward(dpred.data(), ws);
+    double* dh = ws.alloc0(T * H);
+    for (std::size_t j = 0; j < H; ++j) dh[(T - 1) * H + j] = d_last[j];
+    gru.backward(dh, T, ws);
     return loss;
   };
   check_param_gradients(params, loss_fn, 1e-4);
@@ -223,19 +440,23 @@ TEST(GradCheck, CausalConv1d) {
   Rng rng(15);
   CausalConv1d conv(1, 3, 2, 2, CausalConv1d::Activation::kTanh, rng);
   Dense head(3, 1, Dense::Activation::kLinear, rng);
-  const std::vector<Vec> xs{{0.1}, {0.5}, {-0.4}, {0.8}, {0.2}};
+  const Vec xs{0.1, 0.5, -0.4, 0.8, 0.2};
+  const std::size_t T = 5, C = 3;
   const Vec target{0.3};
+  Workspace ws;
 
   auto params = conv.params();
   for (auto& p : head.params()) params.push_back(p);
   auto loss_fn = [&]() {
-    const auto ys = conv.forward(xs);
-    const Vec pred = head.forward(ys.back());
+    ws.reset();
+    const double* ys = conv.forward(xs.data(), T, ws);
+    const double* p = head.forward(ys + (T - 1) * C, ws);
     Vec dpred;
-    const double loss = mse_loss(pred, target, dpred);
-    std::vector<Vec> dy(xs.size(), Vec(3, 0.0));
-    dy.back() = head.backward(dpred);
-    conv.backward(dy);
+    const double loss = mse_loss({p[0]}, target, dpred);
+    const double* d_last = head.backward(dpred.data(), ws);
+    double* dy = ws.alloc0(T * C);
+    for (std::size_t j = 0; j < C; ++j) dy[(T - 1) * C + j] = d_last[j];
+    conv.backward(dy, T, ws);
     return loss;
   };
   check_param_gradients(params, loss_fn, 1e-4);
@@ -265,29 +486,43 @@ TEST(GradCheck, GaussianNllGradients) {
 TEST(CausalConv1d, OutputIgnoresTheFuture) {
   Rng rng(16);
   CausalConv1d conv(1, 2, 2, 1, CausalConv1d::Activation::kLinear, rng);
-  std::vector<Vec> xs{{1.0}, {2.0}, {3.0}, {4.0}};
-  const auto y1 = conv.forward(xs);
-  xs[3][0] = 99.0;  // mutate the future
-  const auto y2 = conv.forward(xs);
+  Vec xs{1.0, 2.0, 3.0, 4.0};
+  Workspace ws;
+  const double* y1p = conv.forward(xs.data(), 4, ws);
+  const Vec y1(y1p, y1p + 4 * 2);
+  xs[3] = 99.0;  // mutate the future
+  ws.reset();
+  const double* y2 = conv.forward(xs.data(), 4, ws);
   for (std::size_t t = 0; t < 3; ++t) {
     for (std::size_t o = 0; o < 2; ++o) {
-      EXPECT_DOUBLE_EQ(y1[t][o], y2[t][o]) << "t=" << t;
+      EXPECT_DOUBLE_EQ(y1[t * 2 + o], y2[t * 2 + o]) << "t=" << t;
     }
   }
 }
 
-TEST(LstmLayer, SequenceLengthMismatchThrows) {
+#if FIFER_DCHECK_ENABLED
+TEST(LstmLayer, SequenceLengthMismatchTripsContract) {
+  check::ScopedTrap trap;
   Rng rng(17);
   LstmLayer lstm(1, 2, rng);
-  lstm.forward({{1.0}, {2.0}});
-  EXPECT_THROW(lstm.backward({{0.0, 0.0}}), std::invalid_argument);
+  Workspace ws;
+  const Vec xs{1.0, 2.0};
+  lstm.forward(xs.data(), 2, ws);
+  const Vec dh{0.0, 0.0};  // length 1 sequence, but forward saw 2
+  EXPECT_THROW(lstm.backward(dh.data(), 1, ws), check::CheckFailure);
 }
 
-TEST(LstmLayer, RejectsWrongInputDim) {
+TEST(GruLayer, SequenceLengthMismatchTripsContract) {
+  check::ScopedTrap trap;
   Rng rng(18);
-  LstmLayer lstm(2, 3, rng);
-  EXPECT_THROW(lstm.forward({{1.0}}), std::invalid_argument);
+  GruLayer gru(1, 2, rng);
+  Workspace ws;
+  const Vec xs{1.0, 2.0};
+  gru.forward(xs.data(), 2, ws);
+  const Vec dh{0.0, 0.0};
+  EXPECT_THROW(gru.backward(dh.data(), 1, ws), check::CheckFailure);
 }
+#endif
 
 // ------------------------------------------------------------- optimizers
 

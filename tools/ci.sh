@@ -128,6 +128,14 @@ echo "==== [release] perf smoke (zero-alloc probe + BENCH_scale.json refresh)"
 echo "==== [release] serving perf smoke (epoll zero-alloc probe + BENCH_serve.json refresh)"
 "$ROOT/build-ci-release/bench/bench_serve" probe_requests=10000 \
   e2e_requests=1000 json_out="$ROOT/BENCH_serve.json"
+# Predictor perf smoke (DESIGN.md §5i): bench_predict must show zero
+# allocations per forecast() for all four NN predictors and bit-identical
+# forecasts from the pre-rewrite scalar LSTM path and the kernel path (the
+# bench exits non-zero on either violation); refreshes BENCH_predict.json
+# with train/infer throughput.
+echo "==== [release] predictor perf smoke (zero-alloc forecast probe + BENCH_predict.json refresh)"
+"$ROOT/build-ci-release/bench/bench_predict" epochs=4 probe_forecasts=500 \
+  json_out="$ROOT/BENCH_predict.json"
 echo "==== [release] StatsDb hot-path microbenchmarks"
 "$ROOT/build-ci-release/bench/bench_overheads" \
   --benchmark_filter='BM_StatsDb'

@@ -90,6 +90,25 @@ if [ -n "$RAW_NET" ]; then
   printf '%s\n' "$RAW_NET" >&2
 fi
 
+# Allocation-free NN hot path (DESIGN.md §5i): the nn layer and optimizer
+# translation units must not call the allocating Vec helpers from
+# nn/matrix.hpp (each returns a fresh std::vector, which would put heap
+# traffic back into forward()/backward()/step()). Hot-path math goes through
+# the in-place kernels in nn/kernels.hpp over Workspace spans. matrix.cpp
+# (which defines the helpers for tests and cold paths) is exempt; comment
+# lines are filtered the same way the naked-new rule does.
+NN_VEC_ALLOC=$(grep -rnE \
+  '[^_[:alnum:]](matvec|matvec_transposed|add_outer|hadamard|scaled|tanh_vec|sigmoid_vec|relu_vec)[[:space:]]*\(' \
+  "$ROOT/src/predict/nn/kernels.cpp" "$ROOT/src/predict/nn/layer.cpp" \
+  "$ROOT/src/predict/nn/lstm.cpp" "$ROOT/src/predict/nn/gru.cpp" \
+  "$ROOT/src/predict/nn/conv1d.cpp" "$ROOT/src/predict/nn/optimizer.cpp" \
+  "$ROOT/src/predict/neural.cpp" 2>/dev/null |
+  grep -vE '^\s*[^:]*:[0-9]+:\s*(//|\*)' || true)
+if [ -n "$NN_VEC_ALLOC" ]; then
+  fail "allocating Vec helper in an NN hot-path TU (use nn/kernels.hpp + Workspace spans):"
+  printf '%s\n' "$NN_VEC_ALLOC" >&2
+fi
+
 MISSING_PRAGMA=$(find "$ROOT/src" -name '*.hpp' -print0 |
   xargs -0 grep -L '#pragma once' || true)
 if [ -n "$MISSING_PRAGMA" ]; then
